@@ -1,0 +1,212 @@
+package evolve
+
+// The benchmark harness: one testing.B benchmark per paper figure /
+// experiment (DESIGN.md §4 maps each to its scenario). Each benchmark
+// regenerates its experiment's table and additionally reports
+// experiment-specific metrics through b.ReportMetric, so
+// `go test -bench=. -benchmem` reproduces the complete evaluation.
+
+import (
+	"strconv"
+	"testing"
+
+	"github.com/evolvable-net/evolve/internal/anycast"
+	"github.com/evolvable-net/evolve/internal/core"
+	"github.com/evolvable-net/evolve/internal/routing/bgpvn"
+	"github.com/evolvable-net/evolve/internal/topology"
+)
+
+// benchExperiment runs one harness experiment per iteration and fails the
+// benchmark if the reproduction verdict regresses.
+func benchExperiment(b *testing.B, id string) {
+	b.Helper()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tbl, err := RunExperiment(id, 42)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !tbl.OK {
+			b.Fatalf("%s verdict regressed: %s", id, tbl.Verdict)
+		}
+	}
+}
+
+// BenchmarkFig1SeamlessSpread regenerates Figure 1 (E1).
+func BenchmarkFig1SeamlessSpread(b *testing.B) { benchExperiment(b, "E1") }
+
+// BenchmarkFig2DefaultRoutes regenerates Figure 2 (E2).
+func BenchmarkFig2DefaultRoutes(b *testing.B) { benchExperiment(b, "E2") }
+
+// BenchmarkFig3EgressSelection regenerates Figure 3 (E3).
+func BenchmarkFig3EgressSelection(b *testing.B) { benchExperiment(b, "E3") }
+
+// BenchmarkFig4AdvByProxy regenerates Figure 4 (E4).
+func BenchmarkFig4AdvByProxy(b *testing.B) { benchExperiment(b, "E4") }
+
+// BenchmarkUAStretchVsDeployment regenerates E5.
+func BenchmarkUAStretchVsDeployment(b *testing.B) { benchExperiment(b, "E5") }
+
+// BenchmarkRedirectorComparison regenerates E6.
+func BenchmarkRedirectorComparison(b *testing.B) { benchExperiment(b, "E6") }
+
+// BenchmarkAnycastStateGrowth regenerates E7.
+func BenchmarkAnycastStateGrowth(b *testing.B) { benchExperiment(b, "E7") }
+
+// BenchmarkVNBoneConstruction regenerates E8.
+func BenchmarkVNBoneConstruction(b *testing.B) { benchExperiment(b, "E8") }
+
+// BenchmarkAdoptionDynamics regenerates E9.
+func BenchmarkAdoptionDynamics(b *testing.B) { benchExperiment(b, "E9") }
+
+// BenchmarkSelfAddressing regenerates E10.
+func BenchmarkSelfAddressing(b *testing.B) { benchExperiment(b, "E10") }
+
+// BenchmarkOverlayForwarding regenerates E11 (live UDP sockets).
+func BenchmarkOverlayForwarding(b *testing.B) { benchExperiment(b, "E11") }
+
+// BenchmarkIntraDomainAnycast regenerates E12.
+func BenchmarkIntraDomainAnycast(b *testing.B) { benchExperiment(b, "E12") }
+
+// BenchmarkFailureResilience regenerates E13.
+func BenchmarkFailureResilience(b *testing.B) { benchExperiment(b, "E13") }
+
+// BenchmarkEndhostRegistration regenerates E14.
+func BenchmarkEndhostRegistration(b *testing.B) { benchExperiment(b, "E14") }
+
+// BenchmarkProviderChoice regenerates E15.
+func BenchmarkProviderChoice(b *testing.B) { benchExperiment(b, "E15") }
+
+// BenchmarkGIAComparison regenerates E16.
+func BenchmarkGIAComparison(b *testing.B) { benchExperiment(b, "E16") }
+
+// BenchmarkConvergenceDynamics regenerates E17.
+func BenchmarkConvergenceDynamics(b *testing.B) { benchExperiment(b, "E17") }
+
+// BenchmarkAnycastFailoverDynamics regenerates E18.
+func BenchmarkAnycastFailoverDynamics(b *testing.B) { benchExperiment(b, "E18") }
+
+// BenchmarkMulticastPayoff regenerates E19.
+func BenchmarkMulticastPayoff(b *testing.B) { benchExperiment(b, "E19") }
+
+// BenchmarkDefaultDomainDependence regenerates E20.
+func BenchmarkDefaultDomainDependence(b *testing.B) { benchExperiment(b, "E20") }
+
+// BenchmarkSendEndToEnd measures the full data path (ingress anycast,
+// bone relay with real encap/decap, egress, tail) per delivery, at three
+// deployment levels.
+func BenchmarkSendEndToEnd(b *testing.B) {
+	net, err := TransitStub(3, 4, 0.4, GenConfig{Seed: 42, RoutersPerDomain: 3, HostsPerDomain: 2})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, deployed := range []int{1, len(net.ASNs()) / 2, len(net.ASNs())} {
+		b.Run("deployedISPs="+strconv.Itoa(deployed), func(b *testing.B) {
+			evo, err := core.New(net, core.Config{Option: anycast.Option2, DefaultAS: net.ASNs()[0]})
+			if err != nil {
+				b.Fatal(err)
+			}
+			for i := 0; i < deployed; i++ {
+				evo.DeployDomain(net.ASNs()[i], 0)
+			}
+			src := net.Hosts[0]
+			dst := net.Hosts[len(net.Hosts)-1]
+			payload := make([]byte, 256)
+			// Warm caches and record the stretch this configuration gives.
+			d, err := evo.Send(src, dst, payload)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportMetric(d.Stretch, "stretch")
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := evo.Send(src, dst, payload); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkEgressPolicies is the E3/E4 ablation at workload scale: mean
+// stretch per egress policy over all host pairs.
+func BenchmarkEgressPolicies(b *testing.B) {
+	net, err := TransitStub(3, 4, 0.4, GenConfig{Seed: 42, RoutersPerDomain: 3, HostsPerDomain: 2})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, pol := range []EgressPolicy{ExitEarly, PathInformed, ProxyInformed} {
+		b.Run(pol.String(), func(b *testing.B) {
+			evo, err := core.New(net, core.Config{
+				Option: anycast.Option2, DefaultAS: net.ASNs()[0], Egress: pol,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			evo.DeployDomain(net.DomainByName("T0").ASN, 0)
+			evo.DeployDomain(net.DomainByName("T1").ASN, 0)
+			b.ReportAllocs()
+			var mean float64
+			for i := 0; i < b.N; i++ {
+				sample, failures, err := evo.StretchSample(200)
+				if err != nil || failures > 0 {
+					b.Fatalf("%v (%d failures)", err, failures)
+				}
+				s := Summarize(sample)
+				mean = s.Mean
+			}
+			b.ReportMetric(mean, "mean-stretch")
+		})
+	}
+}
+
+// BenchmarkBGPConvergence measures routing-fixpoint cost as the internet
+// grows — the substrate's scalability.
+func BenchmarkBGPConvergence(b *testing.B) {
+	for _, size := range []int{10, 25, 50} {
+		b.Run("ASes="+strconv.Itoa(size), func(b *testing.B) {
+			net, err := topology.BarabasiAlbert(size, 2, topology.GenConfig{Seed: 42, RoutersPerDomain: 2})
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				evo, err := core.New(net, core.Config{Option: anycast.Option1})
+				if err != nil {
+					b.Fatal(err)
+				}
+				evo.DeployDomain(net.ASNs()[0], 0)
+				if _, err := evo.Bone(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkBoneRebuild isolates vN-Bone construction cost as membership
+// grows.
+func BenchmarkBoneRebuild(b *testing.B) {
+	net, err := TransitStub(3, 4, 0.4, GenConfig{Seed: 42, RoutersPerDomain: 4})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, domains := range []int{3, 7, 15} {
+		b.Run("participants="+strconv.Itoa(domains), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				evo, err := core.New(net, core.Config{Option: anycast.Option1, Egress: bgpvn.PathInformed})
+				if err != nil {
+					b.Fatal(err)
+				}
+				for j := 0; j < domains && j < len(net.ASNs()); j++ {
+					evo.DeployDomain(net.ASNs()[j], 0)
+				}
+				if _, err := evo.Bone(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,101 @@
+// Failover demonstrates the operational virtue of network-level
+// redirection: links fail, IPvN routers withdraw, and clients keep
+// working without touching a single endhost — the anycast address they
+// were configured with on day one keeps resolving.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"github.com/evolvable-net/evolve"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	net, err := evolve.TransitStub(3, 3, 0.5, evolve.GenConfig{
+		Seed: 11, RoutersPerDomain: 3, HostsPerDomain: 2,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	evo, err := evolve.New(net, evolve.Config{
+		Option:    evolve.Option2,
+		DefaultAS: net.DomainByName("T0").ASN,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	// Two transits deploy IPv8.
+	evo.DeployDomain(net.DomainByName("T0").ASN, 0)
+	evo.DeployDomain(net.DomainByName("T1").ASN, 0)
+
+	// Pick a multihomed client stub (two uplinks), so one failed uplink
+	// degrades rather than isolates.
+	var clientASN evolve.ASN = -1
+	for _, asn := range net.ASNs() {
+		if net.Domain(asn).Name[0] != 'S' {
+			continue
+		}
+		if len(net.Neighbors(asn)) >= 2 && len(net.HostsIn(asn)) > 0 {
+			clientASN = asn
+			break
+		}
+	}
+	if clientASN < 0 {
+		log.Fatal("no multihomed stub in this topology/seed")
+	}
+	client := net.HostsIn(clientASN)[0]
+	server := net.HostsIn(net.DomainByName("S1.1").ASN)[0]
+	fmt.Printf("client lives in multihomed stub %s\n\n", net.Domain(clientASN).Name)
+
+	report := func(phase string) {
+		res, err := evo.Anycast.ResolveFromHost(client, evo.AnycastAddr())
+		if err != nil {
+			fmt.Printf("%-28s client cannot reach IPv8: %v\n", phase, err)
+			return
+		}
+		d, err := evo.Send(client, server, []byte("GET /")) // full delivery
+		if err != nil {
+			fmt.Printf("%-28s ingress %s but delivery failed: %v\n",
+				phase, net.Domain(net.DomainOf(res.Member)).Name, err)
+			return
+		}
+		fmt.Printf("%-28s ingress %s (cost %d), end-to-end %d, stretch %.2f\n",
+			phase, net.Domain(net.DomainOf(res.Member)).Name, res.Cost, d.TotalCost, d.Stretch)
+	}
+
+	report("healthy:")
+
+	// One of the client stub's two uplinks dies.
+	up := net.Inter[0]
+	for _, l := range net.Inter {
+		if net.DomainOf(l.To) == client.Domain || net.DomainOf(l.From) == client.Domain {
+			up = l
+			break
+		}
+	}
+	a, b := net.Router(up.From), net.Router(up.To)
+	fmt.Printf("\n*** failing link %s — %s ***\n", a.Name, b.Name)
+	link, ok := evo.FailInterLink(up.From, up.To)
+	if !ok {
+		log.Fatal("link not found")
+	}
+	report("after uplink failure:")
+
+	// One whole deploying ISP turns IPv8 off.
+	fmt.Println("\n*** T1 un-deploys IPv8 entirely ***")
+	for _, m := range evo.Dep.MembersIn(net.DomainByName("T1").ASN) {
+		evo.UndeployRouter(m)
+	}
+	report("after T1 withdrawal:")
+
+	// Everything heals.
+	fmt.Println("\n*** link repaired, T1 redeploys ***")
+	evo.RestoreInterLink(link)
+	evo.DeployDomain(net.DomainByName("T1").ASN, 0)
+	report("healed:")
+
+	fmt.Println("\nthe client never reconfigured anything: same anycast address throughout.")
+}

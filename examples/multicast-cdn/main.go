@@ -1,0 +1,113 @@
+// Multicast-cdn replays the paper's motivating cautionary tale (§2.1):
+// a content provider wants to use a new network service — think CNN and
+// IP Multicast, with Sprint as the one deploying ISP. Without universal
+// access, only the deployer's customers can be served, developers don't
+// invest, and adoption stalls (the chicken-and-egg that killed
+// multicast). With anycast-based universal access, the same single-ISP
+// deployment reaches every host on day one, and the adoption model's
+// virtuous cycle completes.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"github.com/evolvable-net/evolve"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	net, err := evolve.TransitStub(3, 4, 0.4, evolve.GenConfig{
+		Seed: 7, RoutersPerDomain: 3, HostsPerDomain: 2,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	sprint := net.DomainByName("T0") // the one ISP that deploys
+
+	// --- Part 1: addressable market with a single deploying ISP -------
+	evo, err := evolve.New(net, evolve.Config{
+		Option:    evolve.Option2,
+		DefaultAS: sprint.ASN,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	evo.DeployDomain(sprint.ASN, 0)
+
+	// "Multicast-style" reach: only the deployer's own customers.
+	restricted := len(net.HostsIn(sprint.ASN))
+
+	// Universal-access reach: every host that can complete a delivery to
+	// the content server through the IPvN deployment.
+	server := net.HostsIn(sprint.ASN)[0]
+	universal := 0
+	for _, h := range net.Hosts {
+		if h.ID == server.ID {
+			continue
+		}
+		if _, err := evo.Send(h, server, []byte("SUBSCRIBE")); err == nil {
+			universal++
+		}
+	}
+	fmt.Printf("single deploying ISP: %s\n", sprint.Name)
+	fmt.Printf("  addressable hosts without universal access: %d/%d (deployer's customers only)\n",
+		restricted, len(net.Hosts))
+	fmt.Printf("  addressable hosts with anycast universal access: %d/%d\n\n",
+		universal, len(net.Hosts)-1)
+
+	// --- Part 2: what that difference does to adoption ----------------
+	run := func(ua bool) {
+		m, err := evolve.NewAdoptionModel(evolve.AdoptionParams{UniversalAccess: ua}, net)
+		if err != nil {
+			log.Fatal(err)
+		}
+		hist := m.Run()
+		o := m.Outcome()
+		label := "WITHOUT universal access (the IP Multicast story)"
+		if ua {
+			label = "WITH universal access"
+		}
+		fmt.Printf("%s:\n", label)
+		for _, t := range []int{0, 10, 30, len(hist) - 1} {
+			r := hist[t]
+			fmt.Printf("  round %3d: app demand %.2f, ISPs deployed %d/%d\n",
+				r.T, r.Demand, r.DeployedCount, len(m.ISPs))
+		}
+		switch {
+		case o.Completed:
+			fmt.Printf("  → adoption completed (demand %.2f)\n\n", o.FinalDemand)
+		case o.Stalled:
+			fmt.Printf("  → stalled: chicken-and-egg (demand %.3f, %d deployers left)\n\n",
+				o.FinalDemand, o.FinalDeployed)
+		default:
+			fmt.Printf("  → partial (demand %.2f, %d deployers)\n\n", o.FinalDemand, o.FinalDeployed)
+		}
+	}
+	run(false)
+	run(true)
+
+	// --- Part 3: the payoff — multicast itself, over IPv8 -------------
+	// With the evolvable architecture in place, the capability that died
+	// for lack of universal access simply ships as an IPv8 feature.
+	mc := evolve.NewMulticast(evo)
+	grp := mc.CreateGroup(1)
+	subs := 0
+	for _, h := range net.Hosts {
+		if h.ID == server.ID || h.Domain == sprint.ASN {
+			continue
+		}
+		if err := mc.Subscribe(grp, h); err == nil {
+			subs++
+		}
+	}
+	d, err := mc.Deliver(grp, server, []byte("breaking news"))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("IPv8 multicast to %d subscribers (all in NON-deploying ISPs):\n", subs)
+	fmt.Printf("  shared tree: %d vN links, total cost %d\n", d.TreeLinks, d.TotalCost)
+	fmt.Printf("  repeated unicast would cost %d → saving %.0f%%\n",
+		d.UnicastCost, d.Saving*100)
+}

@@ -1,0 +1,3 @@
+module github.com/evolvable-net/evolve
+
+go 1.22

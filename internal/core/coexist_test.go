@@ -1,0 +1,82 @@
+package core
+
+import (
+	"testing"
+
+	"github.com/evolvable-net/evolve/internal/anycast"
+	"github.com/evolvable-net/evolve/internal/topology"
+)
+
+// TestTwoGenerationsCoexist runs IPv8 and IPv9 deployments over one
+// internet simultaneously — the "number of simultaneous attempts to
+// deploy different IP versions" case §3.2 sizes its scalability argument
+// on. Each generation has its own anycast group, bone and addressing;
+// deliveries must not interfere.
+func TestTwoGenerationsCoexist(t *testing.T) {
+	net, err := topology.TransitStub(2, 3, 0.3, topology.GenConfig{
+		Seed: 77, RoutersPerDomain: 3, HostsPerDomain: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	v8, err := New(net, Config{Version: 8, Option: anycast.Option1, Group: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	v9, err := New(net, Config{Version: 9, Option: anycast.Option1, Group: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Different (partially overlapping) adopter sets.
+	v8.DeployDomain(net.DomainByName("T0").ASN, 0)
+	v9.DeployDomain(net.DomainByName("T1").ASN, 0)
+	v9.DeployDomain(net.DomainByName("T0").ASN, 1)
+
+	if v8.AnycastAddr() == v9.AnycastAddr() {
+		t.Fatal("generations share an anycast address")
+	}
+
+	src := net.HostsIn(net.DomainByName("S0.0").ASN)[0]
+	dst := net.HostsIn(net.DomainByName("S1.1").ASN)[0]
+
+	d8, err := v8.Send(src, dst, []byte("over IPv8"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	d9, err := v9.Send(src, dst, []byte("over IPv9"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(d8.Payload) != "over IPv8" || string(d9.Payload) != "over IPv9" {
+		t.Errorf("payloads: %q %q", d8.Payload, d9.Payload)
+	}
+	// Each generation's ingress serves its own deployment.
+	if !contains(v8.Dep.Members(), d8.Ingress.Member) {
+		t.Error("IPv8 ingress not an IPv8 member")
+	}
+	if !contains(v9.Dep.Members(), d9.Ingress.Member) {
+		t.Error("IPv9 ingress not an IPv9 member")
+	}
+
+	// A generation-specific failure: IPv9's sole T1 deployment leaving
+	// must not disturb IPv8.
+	for _, m := range v9.Dep.MembersIn(net.DomainByName("T1").ASN) {
+		v9.UndeployRouter(m)
+	}
+	if _, err := v9.Send(src, dst, nil); err != nil {
+		t.Fatalf("IPv9 delivery after shrink: %v", err)
+	}
+	if _, err := v8.Send(src, dst, nil); err != nil {
+		t.Fatalf("IPv8 delivery disturbed by IPv9 shrink: %v", err)
+	}
+}
+
+func contains(xs []topology.RouterID, x topology.RouterID) bool {
+	for _, v := range xs {
+		if v == x {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,652 @@
+// Package core assembles the paper's complete story: an internet where
+// IPv(N-1) is ubiquitous, a new generation IPvN deployed in a subset of
+// ISPs' routers, universal access through anycast redirection (§3.1),
+// vN-Bone transit (§3.3), egress selection for self-addressed hosts
+// (§3.3.2) and the final IPv(N-1) tunnel to the destination (§3.4). The
+// central type, Evolution, answers the question the whole paper is about:
+// what happens to an IPvN packet sent between any two hosts at any stage
+// of deployment — and at what cost relative to native IPv(N-1) delivery.
+package core
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"github.com/evolvable-net/evolve/internal/addr"
+	"github.com/evolvable-net/evolve/internal/anycast"
+	"github.com/evolvable-net/evolve/internal/forward"
+	"github.com/evolvable-net/evolve/internal/metrics"
+	"github.com/evolvable-net/evolve/internal/packet"
+	"github.com/evolvable-net/evolve/internal/routing/bgp"
+	"github.com/evolvable-net/evolve/internal/routing/bgpvn"
+	"github.com/evolvable-net/evolve/internal/topology"
+	"github.com/evolvable-net/evolve/internal/tunnel"
+	"github.com/evolvable-net/evolve/internal/underlay"
+	"github.com/evolvable-net/evolve/internal/vnbone"
+)
+
+// Config parameterises an Evolution.
+type Config struct {
+	// Version is the IPvN generation number (the paper's running example
+	// is 8). Default 8.
+	Version uint8
+	// Option selects the §3.2 anycast deployment option. Default Option2
+	// (the paper's choice "given its practicality").
+	Option anycast.Option
+	// DefaultAS anchors an option-2 deployment (typically the first
+	// mover). Ignored for option 1.
+	DefaultAS topology.ASN
+	// Group is the anycast group number of this deployment. Default 0.
+	Group uint32
+	// Egress selects the §3.3.2 egress policy for self-addressed
+	// destinations. Default PathInformed.
+	Egress bgpvn.EgressPolicy
+	// Bone configures vN-Bone construction.
+	Bone vnbone.Config
+}
+
+// ErrNotDeployed is returned by operations that need at least one IPvN
+// router.
+var ErrNotDeployed = errors.New("core: IPvN has no deployed routers")
+
+// Evolution is one IPvN deployment over one internet.
+type Evolution struct {
+	Net     *topology.Network
+	BGP     *bgp.System
+	IGP     *underlay.View
+	Anycast *anycast.Service
+	Fwd     *forward.Engine
+	Dep     *anycast.Deployment
+
+	cfg  Config
+	bone *vnbone.Bone
+	vn   *bgpvn.System
+	// dirty marks the bone/vn stale after membership changes.
+	dirty bool
+
+	// vnAddrs caches stable per-host IPvN addresses; pools allocate
+	// native addresses per participant domain.
+	vnAddrs map[topology.HostID]addr.VN
+	pools   map[topology.ASN]*addr.VNPool
+	// registered holds endhosts using the §3.3.2 anycast-based route
+	// advertisement; re-applied on every deployment change.
+	registered map[topology.HostID]*topology.Host
+	// providerDeps holds per-provider anycast deployments for §2.1's
+	// user-choice-of-provider extension; membership stays in sync with
+	// the main deployment.
+	providerDeps map[topology.ASN]*anycast.Deployment
+	// sendSeq stamps each delivery's trace tag.
+	sendSeq uint32
+}
+
+// New creates an Evolution with no routers deployed yet.
+func New(net *topology.Network, cfg Config) (*Evolution, error) {
+	if cfg.Version == 0 {
+		cfg.Version = 8
+	}
+	if cfg.Option == 0 {
+		cfg.Option = anycast.Option2
+	}
+	igp := underlay.NewView(net)
+	bgpSys := bgp.NewSystem(net)
+	svc := anycast.NewService(net, bgpSys, igp)
+
+	var dep *anycast.Deployment
+	var err error
+	switch cfg.Option {
+	case anycast.Option1:
+		dep, err = svc.DeployOption1(cfg.Group)
+	case anycast.Option2:
+		if net.Domain(cfg.DefaultAS) == nil {
+			return nil, fmt.Errorf("core: option 2 requires a valid DefaultAS (got %d)", cfg.DefaultAS)
+		}
+		dep, err = svc.DeployOption2(cfg.Group, cfg.DefaultAS)
+	case anycast.OptionGIA:
+		if net.Domain(cfg.DefaultAS) == nil {
+			return nil, fmt.Errorf("core: GIA requires a valid home DefaultAS (got %d)", cfg.DefaultAS)
+		}
+		dep, err = svc.DeployGIA(uint8(cfg.Group), cfg.DefaultAS)
+	default:
+		return nil, fmt.Errorf("core: unknown anycast option %d", cfg.Option)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return &Evolution{
+		Net:          net,
+		BGP:          bgpSys,
+		IGP:          igp,
+		Anycast:      svc,
+		Fwd:          forward.NewEngine(net, bgpSys, igp),
+		Dep:          dep,
+		cfg:          cfg,
+		dirty:        true,
+		vnAddrs:      map[topology.HostID]addr.VN{},
+		pools:        map[topology.ASN]*addr.VNPool{},
+		registered:   map[topology.HostID]*topology.Host{},
+		providerDeps: map[topology.ASN]*anycast.Deployment{},
+	}, nil
+}
+
+// Config returns the deployment configuration.
+func (e *Evolution) Config() Config { return e.cfg }
+
+// AnycastAddr returns the deployment's well-known anycast address — the
+// only thing an endhost ever needs to know.
+func (e *Evolution) AnycastAddr() addr.V4 { return e.Dep.Addr }
+
+// DeployRouter turns one router into an IPvN router.
+func (e *Evolution) DeployRouter(id topology.RouterID) {
+	e.Anycast.AddMember(e.Dep, id)
+	if pd, ok := e.providerDeps[e.Net.DomainOf(id)]; ok {
+		e.Anycast.AddMember(pd, id)
+	}
+	e.dirty = true
+}
+
+// UndeployRouter withdraws one router from the deployment.
+func (e *Evolution) UndeployRouter(id topology.RouterID) {
+	e.Anycast.RemoveMember(e.Dep, id)
+	if pd, ok := e.providerDeps[e.Net.DomainOf(id)]; ok {
+		e.Anycast.RemoveMember(pd, id)
+	}
+	e.dirty = true
+}
+
+// EnableProviderChoice provisions a provider-specific anycast address for
+// a participating ISP — the §2.1 extension "offer users the choice of
+// which IPvN service provider their IPvN packets are redirected to". The
+// returned address behaves like the deployment's shared address except
+// that only the chosen provider's routers accept it; use SendVia to route
+// through it. Idempotent per provider.
+func (e *Evolution) EnableProviderChoice(asn topology.ASN) (addr.V4, error) {
+	if pd, ok := e.providerDeps[asn]; ok {
+		return pd.Addr, nil
+	}
+	members := e.Dep.MembersIn(asn)
+	if len(members) == 0 {
+		return 0, fmt.Errorf("core: AS%d does not participate in the deployment", asn)
+	}
+	// A provider-specific address is naturally option 2, rooted in the
+	// provider's own aggregate (group offset 1 keeps it clear of a shared
+	// option-2 address also rooted there).
+	pd, err := e.Anycast.DeployOption2(e.cfg.Group+1, asn)
+	if err != nil {
+		return 0, err
+	}
+	for _, m := range members {
+		e.Anycast.AddMember(pd, m)
+	}
+	e.providerDeps[asn] = pd
+	return pd.Addr, nil
+}
+
+// SendVia delivers like Send but lets the user choose the IPvN provider:
+// the packet is encapsulated toward provider's specific anycast address,
+// so its ingress is guaranteed to be one of that provider's routers
+// regardless of proximity.
+func (e *Evolution) SendVia(src, dst *topology.Host, provider topology.ASN, payload []byte) (Delivery, error) {
+	if err := e.rebuild(); err != nil {
+		return Delivery{}, err
+	}
+	pd, ok := e.providerDeps[provider]
+	if !ok {
+		return Delivery{}, fmt.Errorf("core: provider choice not enabled for AS%d", provider)
+	}
+	return e.send(src, dst, payload, pd.Addr)
+}
+
+// DeployDomain deploys IPvN in count routers of a domain (all when count
+// ≤ 0), modelling an ISP's partial internal rollout (assumption A1).
+func (e *Evolution) DeployDomain(asn topology.ASN, count int) {
+	d := e.Net.Domain(asn)
+	if d == nil {
+		return
+	}
+	if count <= 0 || count > len(d.Routers) {
+		count = len(d.Routers)
+	}
+	for _, rid := range d.Routers[:count] {
+		e.DeployRouter(rid)
+	}
+}
+
+// Participates reports whether a domain has any IPvN routers.
+func (e *Evolution) Participates(asn topology.ASN) bool {
+	return len(e.Dep.MembersIn(asn)) > 0
+}
+
+// Bone returns the current vN-Bone, rebuilding it if deployment changed.
+func (e *Evolution) Bone() (*vnbone.Bone, error) {
+	if err := e.rebuild(); err != nil {
+		return nil, err
+	}
+	return e.bone, nil
+}
+
+// VN returns the current BGPvN system, rebuilding if needed.
+func (e *Evolution) VN() (*bgpvn.System, error) {
+	if err := e.rebuild(); err != nil {
+		return nil, err
+	}
+	return e.vn, nil
+}
+
+func (e *Evolution) rebuild() error {
+	if !e.dirty {
+		return nil
+	}
+	if len(e.Dep.Members()) == 0 {
+		return ErrNotDeployed
+	}
+	bone, err := vnbone.Build(e.Anycast, e.IGP, e.Dep, e.cfg.Bone)
+	if err != nil {
+		return err
+	}
+	e.bone = bone
+	e.vn = bgpvn.New(bone, e.Fwd, e.Net)
+	e.relabelHosts()
+	e.dirty = false
+	// Re-register endhost routes against the fresh vN routing state —
+	// the paper's "endhost would periodically repeat this process in
+	// order to adapt to spread in deployment" (§3.3.2).
+	for _, h := range e.registered {
+		if err := e.applyRegistration(h); err != nil {
+			return fmt.Errorf("core: re-registering %s: %w", h.Name, err)
+		}
+	}
+	return nil
+}
+
+// RegisterEndhost opts a host into the §3.3.2 anycast-based route
+// advertisement the paper describes (and sets aside by default for its
+// policy questions): the host locates a nearby IPvN router via anycast,
+// and that router's domain advertises the host's temporary /128 into the
+// IPvN routing fabric. Deliveries to the host then use native IPvN
+// routing instead of egress-policy guesswork. Registration renews
+// automatically whenever deployment changes.
+func (e *Evolution) RegisterEndhost(h *topology.Host) error {
+	if err := e.rebuild(); err != nil {
+		return err
+	}
+	e.registered[h.ID] = h
+	return e.applyRegistration(h)
+}
+
+// UnregisterEndhost withdraws a host's advertised route.
+func (e *Evolution) UnregisterEndhost(h *topology.Host) {
+	if _, ok := e.registered[h.ID]; !ok {
+		return
+	}
+	delete(e.registered, h.ID)
+	// The natives table is rebuilt from scratch on the next query.
+	e.dirty = true
+}
+
+func (e *Evolution) applyRegistration(h *topology.Host) error {
+	v := e.vnAddrs[h.ID]
+	if !v.IsSelf() {
+		// The host's provider adopted IPvN; its native address is
+		// routable without any registration.
+		return nil
+	}
+	res, err := e.Anycast.ResolveFromHost(h, e.Dep.Addr)
+	if err != nil {
+		return err
+	}
+	e.vn.AdvertiseNative(addr.HostVNPrefix(v), e.Net.DomainOf(res.Member))
+	return nil
+}
+
+// relabelHosts updates host IPvN addresses after participation changes:
+// hosts of newly participating domains get native addresses ("such
+// endhosts will have to relabel if and when their access providers do
+// adopt IPvN"), hosts of domains that dropped out fall back to temporary
+// self-addresses.
+func (e *Evolution) relabelHosts() {
+	for _, h := range e.Net.Hosts {
+		want := e.addressFor(h)
+		e.vnAddrs[h.ID] = want
+	}
+}
+
+func (e *Evolution) addressFor(h *topology.Host) addr.VN {
+	if !e.Participates(h.Domain) {
+		return addr.SelfAddress(h.Addr)
+	}
+	cur, ok := e.vnAddrs[h.ID]
+	if ok && !cur.IsSelf() {
+		return cur // already natively addressed; stable
+	}
+	pool, ok := e.pools[h.Domain]
+	if !ok {
+		pool = addr.NewVNPool(addr.DomainVNPrefix(int(h.Domain)))
+		e.pools[h.Domain] = pool
+	}
+	v, err := pool.Next()
+	if err != nil {
+		// A /40 per domain cannot exhaust at simulated scales.
+		panic(fmt.Sprintf("core: native pool exhausted for AS%d: %v", h.Domain, err))
+	}
+	return v
+}
+
+// HostVNAddr returns a host's current IPvN address: native when its
+// access provider participates, self-derived otherwise (§3.3.2).
+func (e *Evolution) HostVNAddr(h *topology.Host) (addr.VN, error) {
+	if err := e.rebuild(); err != nil {
+		return addr.VN{}, err
+	}
+	return e.vnAddrs[h.ID], nil
+}
+
+// Delivery is one end-to-end IPvN transmission.
+type Delivery struct {
+	SrcVN, DstVN addr.VN
+	// Ingress is the anycast leg: host to the first IPvN router.
+	Ingress anycast.Resolution
+	// Egress is the vN-Bone leg and exit decision.
+	Egress bgpvn.Egress
+	// TailCost is the final leg: egress router to the destination host
+	// (zero when the egress domain is the destination's own and the
+	// destination is natively addressed — then the tail is the intra
+	// leg counted here too).
+	TailCost int64
+	// TotalCost is the full IPvN path cost.
+	TotalCost int64
+	// BaselineCost is the direct IPv(N-1) unicast cost between the hosts.
+	BaselineCost int64
+	// Stretch is TotalCost / BaselineCost.
+	Stretch float64
+	// Payload is the bytes that arrived, after all encap/decap layers —
+	// the wire path runs for real.
+	Payload []byte
+	// VNHops is the number of vN-Bone virtual hops traversed.
+	VNHops int
+	// TailPath is the router-level path of the final leg, from the
+	// egress member to the destination's attach router.
+	TailPath []topology.RouterID
+	// TraceTag is the per-Evolution sequence number stamped into the
+	// header options at the source and verified at the destination.
+	TraceTag uint32
+}
+
+// Send delivers an IPvN packet with the given payload from src to dst,
+// running the actual wire-level encapsulation at every stage, and returns
+// the full accounting.
+func (e *Evolution) Send(src, dst *topology.Host, payload []byte) (Delivery, error) {
+	if err := e.rebuild(); err != nil {
+		return Delivery{}, err
+	}
+	return e.send(src, dst, payload, e.Dep.Addr)
+}
+
+// send runs the delivery with the given ingress anycast address (the
+// shared deployment address, or a provider-specific one).
+func (e *Evolution) send(src, dst *topology.Host, payload []byte, ingressAddr addr.V4) (Delivery, error) {
+	srcVN := e.vnAddrs[src.ID]
+	dstVN := e.vnAddrs[dst.ID]
+	d := Delivery{SrcVN: srcVN, DstVN: dstVN}
+
+	// Leg 1 — universal access: the host encapsulates toward the
+	// deployment's anycast address; routing finds the ingress (§3.1).
+	hdr := packet.VNHeader{
+		Version: e.cfg.Version,
+		Src:     srcVN,
+		Dst:     dstVN,
+	}
+	if dstVN.IsSelf() {
+		hdr = hdr.WithUnderlayDst(dst.Addr)
+	}
+	// Tag the packet so the harness can assert the header options survive
+	// every encap/decap stage bit-for-bit.
+	e.sendSeq++
+	tag := make([]byte, 4)
+	binary.BigEndian.PutUint32(tag, e.sendSeq)
+	hdr.Options = append(hdr.Options, packet.Option{Type: packet.OptTraceTag, Value: tag})
+	hostEP := tunnel.NewEndpoint(src.Addr)
+	wire, err := hostEP.EncapTo(ingressAddr, hdr, payload)
+	if err != nil {
+		return Delivery{}, err
+	}
+	ing, err := e.Anycast.ResolveFromHost(src, ingressAddr)
+	if err != nil {
+		return Delivery{}, fmt.Errorf("core: ingress: %w", err)
+	}
+	d.Ingress = ing
+
+	ingressEP := tunnel.NewEndpoint(e.Net.Router(ing.Member).Loopback)
+	// The ingress accepts anycast-addressed packets: decapsulate there.
+	// (Outer dst is the anycast address the member serves.)
+	outer, inner, pl, err := packet.DecapVN(wire)
+	if err != nil {
+		return Delivery{}, fmt.Errorf("core: ingress decap: %w", err)
+	}
+	if outer.Dst != ingressAddr {
+		return Delivery{}, fmt.Errorf("core: ingress got packet for %s", outer.Dst)
+	}
+
+	// Leg 2 — vN-Bone transit and egress selection (§3.3.2). A
+	// self-addressed destination may still have a registered /128 in the
+	// IPvN fabric (RegisterEndhost); native routing then takes
+	// precedence over egress-policy guesswork.
+	var eg bgpvn.Egress
+	if dstVN.IsSelf() {
+		eg, err = e.vn.RouteNative(ing.Member, dstVN)
+		if errors.Is(err, bgpvn.ErrNoVNRoute) {
+			eg, err = e.vn.SelectEgress(ing.Member, dst.Addr, e.cfg.Egress)
+		}
+	} else {
+		eg, err = e.vn.RouteNative(ing.Member, dstVN)
+	}
+	if err != nil {
+		return Delivery{}, fmt.Errorf("core: vn routing: %w", err)
+	}
+	d.Egress = eg
+	d.VNHops = len(eg.BonePath) - 1
+	if d.VNHops < 0 {
+		d.VNHops = 0
+	}
+
+	// Relay the wire packet member-to-member along the bone path.
+	curEP := ingressEP
+	for i := 1; i < len(eg.BonePath); i++ {
+		nextLoop := e.Net.Router(eg.BonePath[i]).Loopback
+		curEP.Add("bone-hop", nextLoop, 0)
+		wire, err = curEP.Relay(nextLoop, inner, pl)
+		if err != nil {
+			return Delivery{}, fmt.Errorf("core: bone relay %d: %w", i, err)
+		}
+		nextEP := tunnel.NewEndpoint(nextLoop)
+		_, inner, pl, err = nextEP.Decap(wire)
+		if err != nil {
+			return Delivery{}, fmt.Errorf("core: bone decap %d: %w", i, err)
+		}
+		curEP = nextEP
+	}
+
+	// Leg 3 — exit the vN-Bone and reach the destination host.
+	if dstVN.IsSelf() {
+		under, ok := inner.UnderlayDst()
+		if !ok {
+			return Delivery{}, fmt.Errorf("core: self-addressed destination without underlay address")
+		}
+		tail, err := e.Fwd.FromRouter(eg.Member, under)
+		if err != nil {
+			return Delivery{}, fmt.Errorf("core: tail: %w", err)
+		}
+		d.TailCost = tail.Cost
+		d.TailPath = tail.Routers
+		// Final tunnel: egress → destination host over IPv(N-1), an
+		// ad-hoc encapsulation toward the host's underlay address.
+		wire, err = curEP.EncapTo(under, inner, pl)
+		if err == nil {
+			dstEP := tunnel.NewEndpoint(dst.Addr)
+			_, _, pl, err = dstEP.Decap(wire)
+		}
+		if err != nil {
+			return Delivery{}, fmt.Errorf("core: final tunnel: %w", err)
+		}
+	} else {
+		// Egress is in dst's own (participating) domain: IGP delivers.
+		d.TailCost = e.IGP.IntraDist(eg.Member, dst.Attach) + dst.AccessLatency
+		d.TailPath = e.IGP.IntraPath(eg.Member, dst.Attach)
+		wire, err = curEP.EncapTo(dst.Addr, inner, pl)
+		if err != nil {
+			return Delivery{}, fmt.Errorf("core: native delivery encap: %w", err)
+		}
+		dstEP := tunnel.NewEndpoint(dst.Addr)
+		_, _, pl, err = dstEP.Decap(wire)
+		if err != nil {
+			return Delivery{}, fmt.Errorf("core: native delivery decap: %w", err)
+		}
+	}
+	d.Payload = pl
+	// The trace tag must have survived the whole wire path.
+	for _, o := range inner.Options {
+		if o.Type == packet.OptTraceTag && len(o.Value) == 4 {
+			d.TraceTag = binary.BigEndian.Uint32(o.Value)
+		}
+	}
+	if d.TraceTag != e.sendSeq {
+		return Delivery{}, fmt.Errorf("core: trace tag corrupted in transit (%d != %d)", d.TraceTag, e.sendSeq)
+	}
+
+	d.TotalCost = ing.Cost + eg.BoneCost + d.TailCost
+	base, err := e.Fwd.HostToHost(src, dst)
+	if err != nil {
+		return Delivery{}, fmt.Errorf("core: baseline: %w", err)
+	}
+	d.BaselineCost = base.Cost
+	d.Stretch = metrics.Stretch(d.TotalCost, d.BaselineCost)
+	return d, nil
+}
+
+// DescribeDelivery renders a delivery as a human-readable hop-by-hop
+// trace: the anycast leg, the vN-Bone leg and the final tail, with router
+// names and per-leg costs.
+func (e *Evolution) DescribeDelivery(d Delivery) string {
+	name := func(id topology.RouterID) string { return e.Net.Router(id).Name }
+	pathStr := func(p []topology.RouterID) string {
+		s := ""
+		for i, r := range p {
+			if i > 0 {
+				s += " → "
+			}
+			s += name(r)
+		}
+		return s
+	}
+	out := fmt.Sprintf("%s → %s (stretch %.2f)\n", d.SrcVN, d.DstVN, d.Stretch)
+	out += fmt.Sprintf("  anycast leg (cost %d): %s\n", d.Ingress.Cost, pathStr(d.Ingress.RouterPath))
+	if d.VNHops > 0 {
+		out += fmt.Sprintf("  vN-Bone leg (%d hops, cost %d, %s): %s\n",
+			d.VNHops, d.Egress.BoneCost, d.Egress.Policy, pathStr(d.Egress.BonePath))
+	} else {
+		out += fmt.Sprintf("  vN-Bone leg: exits at ingress %s (%s)\n", name(d.Egress.Member), d.Egress.Policy)
+	}
+	if len(d.TailPath) > 1 {
+		out += fmt.Sprintf("  tail leg (cost %d): %s\n", d.TailCost, pathStr(d.TailPath))
+	} else {
+		out += fmt.Sprintf("  tail leg (cost %d): local delivery\n", d.TailCost)
+	}
+	out += fmt.Sprintf("  total %d vs baseline %d\n", d.TotalCost, d.BaselineCost)
+	return out
+}
+
+// FailIntraLink injects an intra-domain link failure and reconverges the
+// whole stack (IGP views, bone). It reports whether the link existed.
+func (e *Evolution) FailIntraLink(a, b topology.RouterID) bool {
+	if !e.Net.FailIntraLink(a, b) {
+		return false
+	}
+	e.reconverge()
+	return true
+}
+
+// RestoreIntraLink repairs an intra-domain link.
+func (e *Evolution) RestoreIntraLink(a, b topology.RouterID, latency int64) {
+	e.Net.RestoreIntraLink(a, b, latency)
+	e.reconverge()
+}
+
+// FailInterLink injects an inter-domain link failure; BGP re-converges
+// around it. The removed link is returned for later restoration.
+func (e *Evolution) FailInterLink(a, b topology.RouterID) (topology.InterLink, bool) {
+	l, ok := e.Net.FailInterLink(a, b)
+	if !ok {
+		return topology.InterLink{}, false
+	}
+	e.reconverge()
+	return l, true
+}
+
+// RestoreInterLink repairs a previously failed inter-domain link.
+func (e *Evolution) RestoreInterLink(l topology.InterLink) {
+	e.Net.RestoreInterLink(l)
+	e.reconverge()
+}
+
+// reconverge invalidates every routing-derived cache after a topology
+// mutation — the simulated analogue of protocols reacting to the event.
+func (e *Evolution) reconverge() {
+	e.IGP.Invalidate()
+	e.BGP.Refresh()
+	e.dirty = true
+}
+
+// IngressShare returns, for every participating domain, the fraction of
+// hosts whose anycast ingress lands there — the "attracted traffic" that
+// assumption A4 converts into revenue.
+func (e *Evolution) IngressShare() (map[topology.ASN]float64, error) {
+	if err := e.rebuild(); err != nil {
+		return nil, err
+	}
+	counts := map[topology.ASN]int{}
+	total := 0
+	for _, h := range e.Net.Hosts {
+		res, err := e.Anycast.ResolveFromHost(h, e.Dep.Addr)
+		if err != nil {
+			continue
+		}
+		counts[e.Net.DomainOf(res.Member)]++
+		total++
+	}
+	out := map[topology.ASN]float64{}
+	if total == 0 {
+		return out, nil
+	}
+	for asn, c := range counts {
+		out[asn] = float64(c) / float64(total)
+	}
+	return out, nil
+}
+
+// StretchSample sends between all ordered host pairs (up to maxPairs,
+// 0 = unlimited) and returns the stretch sample. Failed deliveries are
+// counted in failures.
+func (e *Evolution) StretchSample(maxPairs int) (sample []float64, failures int, err error) {
+	if err := e.rebuild(); err != nil {
+		return nil, 0, err
+	}
+	pairs := 0
+	for _, src := range e.Net.Hosts {
+		for _, dst := range e.Net.Hosts {
+			if src.ID == dst.ID {
+				continue
+			}
+			if maxPairs > 0 && pairs >= maxPairs {
+				return sample, failures, nil
+			}
+			pairs++
+			d, err := e.Send(src, dst, nil)
+			if err != nil {
+				failures++
+				continue
+			}
+			sample = append(sample, d.Stretch)
+		}
+	}
+	return sample, failures, nil
+}

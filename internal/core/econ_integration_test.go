@@ -1,0 +1,67 @@
+package core
+
+import (
+	"testing"
+
+	"github.com/evolvable-net/evolve/internal/anycast"
+	"github.com/evolvable-net/evolve/internal/econ"
+	"github.com/evolvable-net/evolve/internal/topology"
+)
+
+// TestSettlementRevenueFromMeasuredTraffic wires the measured traffic
+// geography (core.IngressShare) into the A4 settlement model
+// (econ.SettlementRevenue): the sole early adopter earns settlement on
+// everyone's traffic; a second adopter claws back its own base.
+func TestSettlementRevenueFromMeasuredTraffic(t *testing.T) {
+	net, err := topology.TransitStub(2, 2, 0, topology.GenConfig{
+		Seed: 31, RoutersPerDomain: 2, HostsPerDomain: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	evo, err := New(net, Config{Option: anycast.Option1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t0 := net.DomainByName("T0").ASN
+	t1 := net.DomainByName("T1").ASN
+
+	ownShare := map[topology.ASN]float64{}
+	for _, asn := range net.ASNs() {
+		ownShare[asn] = float64(len(net.HostsIn(asn))) / float64(len(net.Hosts))
+	}
+	params := econ.Params{Price: 1, SettlementRate: 0.5}
+
+	// Stage 1: T0 alone captures everything.
+	evo.DeployDomain(t0, 0)
+	share, err := evo.IngressShare()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rev1 := econ.SettlementRevenue(params, 1.0, ownShare, share)
+	if len(rev1) != 1 || rev1[t0] <= ownShare[t0] {
+		t.Fatalf("sole adopter revenue = %v (own share %v)", rev1, ownShare[t0])
+	}
+
+	// Stage 2: T1 adopts; T0's revenue shrinks, T1 earns at least its
+	// own base, and total revenue never exceeds full retail.
+	evo.DeployDomain(t1, 0)
+	share, err = evo.IngressShare()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rev2 := econ.SettlementRevenue(params, 1.0, ownShare, share)
+	if rev2[t0] >= rev1[t0] {
+		t.Errorf("competition did not reduce the first mover's revenue: %v → %v", rev1[t0], rev2[t0])
+	}
+	if rev2[t1] < ownShare[t1]-1e-9 {
+		t.Errorf("second adopter earns %v < its own base %v", rev2[t1], ownShare[t1])
+	}
+	var total float64
+	for _, r := range rev2 {
+		total += r
+	}
+	if total > 1.0+1e-9 {
+		t.Errorf("total revenue %v exceeds full retail", total)
+	}
+}

@@ -1,0 +1,135 @@
+package core
+
+import (
+	"testing"
+
+	"github.com/evolvable-net/evolve/internal/anycast"
+	"github.com/evolvable-net/evolve/internal/topology"
+)
+
+// providerWorld: two participant providers P1 (near the client) and P2
+// (far), client stub C buying transit from P1 only; P1 peers with P2.
+func providerWorld(t *testing.T) (*topology.Network, *Evolution, *topology.Host, *topology.Host) {
+	t.Helper()
+	b := topology.NewBuilder()
+	dP1 := b.AddDomain("P1")
+	dP2 := b.AddDomain("P2")
+	dC := b.AddDomain("C")
+	rP1 := b.AddRouter(dP1, "")
+	rP2 := b.AddRouter(dP2, "")
+	rC := b.AddRouter(dC, "")
+	b.Peer(rP1, rP2, 40)
+	b.Provide(rP1, rC, 10)
+	h := b.AddHost(dC, rC, "user", 1)
+	srv := b.AddHost(dP2, rP2, "server", 1)
+	net, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	evo, err := New(net, Config{Option: anycast.Option1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	evo.DeployRouter(rP1)
+	evo.DeployRouter(rP2)
+	return net, evo, h, srv
+}
+
+func TestSendViaChoosesProviderIngress(t *testing.T) {
+	net, evo, h, srv := providerWorld(t)
+	dP1 := net.DomainByName("P1")
+	dP2 := net.DomainByName("P2")
+
+	// Default anycast: closest provider P1 captures.
+	d, err := evo.Send(h, srv, []byte("default"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if net.DomainOf(d.Ingress.Member) != dP1.ASN {
+		t.Fatalf("default ingress in %s", net.Domain(net.DomainOf(d.Ingress.Member)).Name)
+	}
+	defaultCost := d.TotalCost
+
+	// The user chooses P2 explicitly: ingress must be P2's router, even
+	// though it is farther.
+	addr2, err := evo.EnableProviderChoice(dP2.ASN)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !net.Domain(dP2.ASN).Prefix.Contains(addr2) {
+		t.Errorf("provider address %s outside P2's block", addr2)
+	}
+	d, err = evo.SendVia(h, srv, dP2.ASN, []byte("via P2"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if net.DomainOf(d.Ingress.Member) != dP2.ASN {
+		t.Errorf("chosen ingress in %s, want P2", net.Domain(net.DomainOf(d.Ingress.Member)).Name)
+	}
+	if string(d.Payload) != "via P2" {
+		t.Errorf("payload = %q", d.Payload)
+	}
+	// Choice has a price: the user sacrificed proximity.
+	if d.Ingress.Cost <= defaultCost && d.TotalCost < defaultCost {
+		t.Errorf("choosing the far provider should not be cheaper: %d vs %d", d.TotalCost, defaultCost)
+	}
+
+	// Choosing P1 explicitly matches the default capture.
+	if _, err := evo.EnableProviderChoice(dP1.ASN); err != nil {
+		t.Fatal(err)
+	}
+	d, err = evo.SendVia(h, srv, dP1.ASN, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if net.DomainOf(d.Ingress.Member) != dP1.ASN {
+		t.Errorf("P1 choice landed in %s", net.Domain(net.DomainOf(d.Ingress.Member)).Name)
+	}
+}
+
+func TestEnableProviderChoiceValidation(t *testing.T) {
+	net, evo, h, srv := providerWorld(t)
+	dC := net.DomainByName("C")
+	if _, err := evo.EnableProviderChoice(dC.ASN); err == nil {
+		t.Error("non-participant provider accepted")
+	}
+	if _, err := evo.SendVia(h, srv, dC.ASN, nil); err == nil {
+		t.Error("SendVia to unenabled provider succeeded")
+	}
+	// Idempotent.
+	dP2 := net.DomainByName("P2")
+	a1, err := evo.EnableProviderChoice(dP2.ASN)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a2, err := evo.EnableProviderChoice(dP2.ASN)
+	if err != nil || a1 != a2 {
+		t.Errorf("second enable: %s %v", a2, err)
+	}
+	// Distinct from the shared deployment address.
+	if a1 == evo.AnycastAddr() {
+		t.Error("provider address collides with shared address")
+	}
+}
+
+func TestProviderMembershipTracksDeployment(t *testing.T) {
+	net, evo, h, srv := providerWorld(t)
+	dP2 := net.DomainByName("P2")
+	if _, err := evo.EnableProviderChoice(dP2.ASN); err != nil {
+		t.Fatal(err)
+	}
+	// P2's only router undeploys: provider-specific delivery must fail,
+	// while the shared address still works via P1.
+	evo.UndeployRouter(dP2.Routers[0])
+	if _, err := evo.SendVia(h, srv, dP2.ASN, nil); err == nil {
+		t.Error("SendVia succeeded with no members")
+	}
+	if _, err := evo.Send(h, srv, nil); err != nil {
+		t.Errorf("shared delivery broke: %v", err)
+	}
+	// Redeploy: choice works again (membership synced on deploy).
+	evo.DeployRouter(dP2.Routers[0])
+	if _, err := evo.SendVia(h, srv, dP2.ASN, nil); err != nil {
+		t.Errorf("SendVia after redeploy: %v", err)
+	}
+}

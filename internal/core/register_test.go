@@ -1,0 +1,154 @@
+package core
+
+import (
+	"testing"
+
+	"github.com/evolvable-net/evolve/internal/anycast"
+	"github.com/evolvable-net/evolve/internal/routing/bgpvn"
+	"github.com/evolvable-net/evolve/internal/topology"
+)
+
+// registrationWorld: participants M and O; destination host C in
+// non-participant domain NC hanging off O (the Figure 3 world, reused).
+func registrationWorld(t *testing.T) (*topology.Network, *Evolution, *topology.Host, *topology.Host) {
+	t.Helper()
+	b := topology.NewBuilder()
+	dM := b.AddDomain("M")
+	dO := b.AddDomain("O")
+	dNC := b.AddDomain("NC")
+	rM := b.AddRouters(dM, 2)
+	rO := b.AddRouters(dO, 2)
+	rNC := b.AddRouter(dNC, "")
+	b.IntraLink(rM[0], rM[1], 1)
+	b.IntraLink(rO[0], rO[1], 1)
+	b.Peer(rM[1], rO[0], 10)
+	b.Provide(rO[1], rNC, 10)
+	src := b.AddHost(dM, rM[0], "src", 1)
+	c := b.AddHost(dNC, rNC, "C", 1)
+	net, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	evo, err := New(net, Config{Option: anycast.Option1, Egress: bgpvn.ExitEarly})
+	if err != nil {
+		t.Fatal(err)
+	}
+	evo.DeployRouter(rM[0])
+	evo.DeployRouter(rO[1])
+	return net, evo, src, c
+}
+
+func TestRegisteredEndhostUsesNativeRouting(t *testing.T) {
+	net, evo, src, c := registrationWorld(t)
+	// Unregistered, exit-early policy: egress at the ingress (in M).
+	d1, err := evo.Send(src, c, []byte("before"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if net.DomainOf(d1.Egress.Member) != net.DomainByName("M").ASN {
+		t.Fatalf("precondition: egress in %d", net.DomainOf(d1.Egress.Member))
+	}
+
+	// C registers: its nearby IPvN router is in O (one AS hop from NC),
+	// so O's domain advertises C's /128 and deliveries egress in O.
+	if err := evo.RegisterEndhost(c); err != nil {
+		t.Fatal(err)
+	}
+	d2, err := evo.Send(src, c, []byte("after"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if net.DomainOf(d2.Egress.Member) != net.DomainByName("O").ASN {
+		t.Errorf("registered egress in AS%d, want O", net.DomainOf(d2.Egress.Member))
+	}
+	if d2.TotalCost > d1.TotalCost {
+		t.Errorf("registration worsened delivery: %d → %d", d1.TotalCost, d2.TotalCost)
+	}
+	if string(d2.Payload) != "after" {
+		t.Errorf("payload = %q", d2.Payload)
+	}
+}
+
+func TestRegistrationSurvivesDeploymentChange(t *testing.T) {
+	net, evo, src, c := registrationWorld(t)
+	if err := evo.RegisterEndhost(c); err != nil {
+		t.Fatal(err)
+	}
+	// NC itself adopts: C relabels to native, registration becomes inert
+	// but harmless, and delivery continues to work.
+	evo.DeployDomain(net.DomainByName("NC").ASN, 0)
+	d, err := evo.Send(src, c, []byte("native now"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.DstVN.IsSelf() {
+		t.Error("C did not relabel")
+	}
+	if net.DomainOf(d.Egress.Member) != c.Domain {
+		t.Errorf("egress in AS%d, want C's own domain", net.DomainOf(d.Egress.Member))
+	}
+}
+
+func TestUnregisterFallsBackToEgressPolicy(t *testing.T) {
+	net, evo, src, c := registrationWorld(t)
+	if err := evo.RegisterEndhost(c); err != nil {
+		t.Fatal(err)
+	}
+	d, err := evo.Send(src, c, nil)
+	if err != nil || net.DomainOf(d.Egress.Member) != net.DomainByName("O").ASN {
+		t.Fatalf("precondition: %v egress %d", err, net.DomainOf(d.Egress.Member))
+	}
+	evo.UnregisterEndhost(c)
+	d, err = evo.Send(src, c, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if net.DomainOf(d.Egress.Member) != net.DomainByName("M").ASN {
+		t.Errorf("post-unregister egress in AS%d, want exit-early at M", net.DomainOf(d.Egress.Member))
+	}
+	// Double-unregister is a no-op.
+	evo.UnregisterEndhost(c)
+}
+
+func TestRegistrationAdaptsToSpread(t *testing.T) {
+	// The paper: the endhost "would periodically repeat this process in
+	// order to adapt to spread in deployment". A closer participant
+	// appears; after the automatic renewal the /128 moves there.
+	b := topology.NewBuilder()
+	dFar := b.AddDomain("FAR")
+	dNear := b.AddDomain("NEAR")
+	dNC := b.AddDomain("NC")
+	rFar := b.AddRouter(dFar, "")
+	rNear := b.AddRouter(dNear, "")
+	rNC := b.AddRouter(dNC, "")
+	b.Provide(rFar, rNear, 50)
+	b.Provide(rNear, rNC, 5)
+	srcH := b.AddHost(dFar, rFar, "src", 1)
+	c := b.AddHost(dNC, rNC, "C", 1)
+	net, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	evo, err := New(net, Config{Option: anycast.Option1, Egress: bgpvn.ExitEarly})
+	if err != nil {
+		t.Fatal(err)
+	}
+	evo.DeployRouter(rFar)
+	if err := evo.RegisterEndhost(c); err != nil {
+		t.Fatal(err)
+	}
+	d, err := evo.Send(srcH, c, nil)
+	if err != nil || net.DomainOf(d.Egress.Member) != dFar.ASN {
+		t.Fatalf("precondition: %v egress %d", err, net.DomainOf(d.Egress.Member))
+	}
+	// NEAR deploys; re-registration (automatic on rebuild) should move
+	// the advert into NEAR, and deliveries egress there.
+	evo.DeployRouter(rNear)
+	d, err = evo.Send(srcH, c, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if net.DomainOf(d.Egress.Member) != dNear.ASN {
+		t.Errorf("egress in AS%d, want NEAR after renewal", net.DomainOf(d.Egress.Member))
+	}
+}

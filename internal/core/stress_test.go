@@ -1,0 +1,107 @@
+package core
+
+import (
+	"testing"
+
+	"github.com/evolvable-net/evolve/internal/anycast"
+	"github.com/evolvable-net/evolve/internal/topology"
+)
+
+// TestScaleBarabasiAlbert runs the whole stack on a larger internet than
+// the experiments use: 80 domains in a heavy-tailed provider hierarchy,
+// 240 routers, partial deployment, full universal-access sampling.
+func TestScaleBarabasiAlbert(t *testing.T) {
+	if testing.Short() {
+		t.Skip("scale test")
+	}
+	net, err := topology.BarabasiAlbert(80, 2, topology.GenConfig{
+		Seed: 4242, RoutersPerDomain: 3, HostsPerDomain: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	evo, err := New(net, Config{Option: anycast.Option1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The hub and two leaves deploy.
+	evo.DeployDomain(net.ASNs()[0], 0)
+	evo.DeployDomain(net.ASNs()[40], 0)
+	evo.DeployDomain(net.ASNs()[79], 0)
+
+	bone, err := evo.Bone()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bone.Connected() {
+		t.Fatal("bone disconnected at scale")
+	}
+	sample, failures, err := evo.StretchSample(2000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if failures != 0 {
+		t.Errorf("%d failed deliveries at scale", failures)
+	}
+	if len(sample) == 0 {
+		t.Fatal("empty sample")
+	}
+	for _, s := range sample {
+		if s <= 0 {
+			t.Fatalf("nonpositive stretch %v", s)
+		}
+	}
+	// Catchment covers every domain.
+	c := evo.Anycast.Catchment(evo.Dep)
+	if len(c[-1]) != 0 {
+		t.Errorf("unresolved domains at scale: %v", c[-1])
+	}
+	total := 0
+	for p, srcs := range c {
+		if p >= 0 {
+			total += len(srcs)
+		}
+	}
+	if total != len(net.ASNs()) {
+		t.Errorf("catchment covers %d/%d", total, len(net.ASNs()))
+	}
+}
+
+// TestScaleTransitStubOption2 repeats at scale for option 2 with failures
+// injected mid-run.
+func TestScaleTransitStubOption2(t *testing.T) {
+	if testing.Short() {
+		t.Skip("scale test")
+	}
+	net, err := topology.TransitStub(4, 10, 0.4, topology.GenConfig{
+		Seed: 99, RoutersPerDomain: 3, HostsPerDomain: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	evo, err := New(net, Config{Option: anycast.Option2, DefaultAS: net.DomainByName("T0").ASN})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, asn := range net.ASNs() {
+		if i%3 == 0 {
+			evo.DeployDomain(asn, 0)
+		}
+	}
+	if _, failures, err := evo.StretchSample(1500); err != nil || failures != 0 {
+		t.Fatalf("pre-failure: %v (%d failures)", err, failures)
+	}
+	// Fail a transit-to-stub link; the multihomed internet keeps working
+	// for all but possibly single-homed victims.
+	link := net.Inter[len(net.Inter)-1]
+	if _, ok := evo.FailInterLink(link.From, link.To); !ok {
+		t.Fatal("link not found")
+	}
+	sample, _, err := evo.StretchSample(1500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sample) == 0 {
+		t.Fatal("no deliveries after failure")
+	}
+}

@@ -1,0 +1,142 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestAllExperimentsPass runs every experiment and requires its verdict
+// to be PASS — the repository's reproduction gate.
+func TestAllExperimentsPass(t *testing.T) {
+	for _, e := range All() {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			tbl, err := e.Run(42)
+			if err != nil {
+				t.Fatalf("%s: %v", e.ID, err)
+			}
+			if !tbl.OK {
+				t.Errorf("%s verdict: %s\n%s", e.ID, tbl.Verdict, tbl)
+			}
+			if len(tbl.Rows) == 0 {
+				t.Errorf("%s produced no rows", e.ID)
+			}
+			if tbl.ID != e.ID {
+				t.Errorf("table id %q != registry id %q", tbl.ID, e.ID)
+			}
+		})
+	}
+}
+
+func TestExperimentsDeterministic(t *testing.T) {
+	// Same seed → identical tables (E11 is live networking with real
+	// timing in its cells, so it is exempt from cell-level comparison).
+	for _, e := range All() {
+		if e.ID == "E11" {
+			continue
+		}
+		a, err1 := e.Run(7)
+		b, err2 := e.Run(7)
+		if err1 != nil || err2 != nil {
+			t.Fatalf("%s: %v %v", e.ID, err1, err2)
+		}
+		if len(a.Rows) != len(b.Rows) {
+			t.Fatalf("%s: row counts differ", e.ID)
+		}
+		for i := range a.Rows {
+			for j := range a.Rows[i] {
+				if a.Rows[i][j] != b.Rows[i][j] {
+					t.Errorf("%s row %d col %d: %q vs %q", e.ID, i, j, a.Rows[i][j], b.Rows[i][j])
+				}
+			}
+		}
+	}
+}
+
+func TestTableString(t *testing.T) {
+	tbl := &Table{
+		ID: "EX", Title: "demo", Claim: "c",
+		Columns: []string{"a", "long-header"},
+	}
+	tbl.AddRow("1", "2")
+	tbl.AddRow("wide-cell", "3")
+	tbl.pass("fine")
+	out := tbl.String()
+	for _, want := range []string{"EX — demo", "claim: c", "long-header", "wide-cell", "PASS: fine"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("String missing %q:\n%s", want, out)
+		}
+	}
+	tbl.fail("broken %d", 7)
+	if !strings.Contains(tbl.String(), "FAIL: broken 7") {
+		t.Error("fail verdict missing")
+	}
+}
+
+func TestFig1Rows(t *testing.T) {
+	tbl, err := Fig1SeamlessSpread(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 3 {
+		t.Fatalf("rows = %d", len(tbl.Rows))
+	}
+	// Ingress column walks X, Y, Z.
+	wants := []string{"X", "Y", "Z"}
+	for i, w := range wants {
+		if tbl.Rows[i][2] != w {
+			t.Errorf("stage %d ingress = %q, want %q", i+1, tbl.Rows[i][2], w)
+		}
+		if tbl.Rows[i][4] != "none" {
+			t.Errorf("stage %d endhost reconfig = %q", i+1, tbl.Rows[i][4])
+		}
+	}
+}
+
+func TestFig2Rows(t *testing.T) {
+	tbl, err := Fig2DefaultRoutes(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 6 {
+		t.Fatalf("rows = %d", len(tbl.Rows))
+	}
+}
+
+func TestE7LinearityVisible(t *testing.T) {
+	tbl, err := AnycastStateGrowth(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tbl.OK {
+		t.Fatalf("verdict: %s", tbl.Verdict)
+	}
+	if len(tbl.Rows) != 5 {
+		t.Errorf("rows = %d", len(tbl.Rows))
+	}
+}
+
+func TestSweepsAcrossSeeds(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-seed sweep")
+	}
+	// Every experiment must pass on several seeds, not just the
+	// documentation seed — the robustness gate behind EXPERIMENTS.md's
+	// "stable across seeds" claim. (E11 is live networking; its sockets
+	// make it slower, so it runs on one extra seed only.)
+	for _, e := range All() {
+		seeds := []int64{1, 2, 3}
+		if e.ID == "E11" {
+			seeds = []int64{1}
+		}
+		for _, seed := range seeds {
+			tbl, err := e.Run(seed)
+			if err != nil {
+				t.Fatalf("%s seed %d: %v", e.ID, seed, err)
+			}
+			if !tbl.OK {
+				t.Errorf("%s seed %d: %s", e.ID, seed, tbl.Verdict)
+			}
+		}
+	}
+}

@@ -1,0 +1,160 @@
+// Package forward simulates ordinary IPv(N-1) unicast forwarding over the
+// modelled internet: inter-domain hops follow BGP policy, intra-domain
+// hops follow the converged IGP. This is the baseline data path — what a
+// packet experiences *without* any IPvN machinery — and also the final
+// "tunnel to the destination's underlay address" leg of IPvN delivery to
+// self-addressed hosts (§3.3.2).
+package forward
+
+import (
+	"errors"
+	"fmt"
+
+	"github.com/evolvable-net/evolve/internal/addr"
+	"github.com/evolvable-net/evolve/internal/graph"
+	"github.com/evolvable-net/evolve/internal/routing/bgp"
+	"github.com/evolvable-net/evolve/internal/topology"
+	"github.com/evolvable-net/evolve/internal/underlay"
+)
+
+// Errors returned by the engine.
+var (
+	// ErrNoRoute: no BGP route covers the destination.
+	ErrNoRoute = errors.New("forward: no route to destination")
+	// ErrHostNotFound: the covering prefix's origin domain has no host or
+	// router bearing the destination address.
+	ErrHostNotFound = errors.New("forward: destination address unassigned in origin domain")
+	// ErrLoop: inconsistent routing state produced a forwarding loop.
+	ErrLoop = errors.New("forward: forwarding loop")
+	// ErrUnreachable: an intra-domain segment of the path is severed
+	// (the domain is internally partitioned by link failures).
+	ErrUnreachable = errors.New("forward: destination unreachable over failed links")
+)
+
+// Path is a simulated unicast trajectory.
+type Path struct {
+	// Routers is the router-level path, from the source router to the
+	// destination's attachment (or the destination router itself).
+	Routers []topology.RouterID
+	// ASPath is the domain-level trajectory.
+	ASPath []topology.ASN
+	// Cost is the summed link cost, including the destination host's
+	// access link when the destination is a host address.
+	Cost int64
+	// DstHost is set when the destination address belongs to a host.
+	DstHost *topology.Host
+	// DstRouter is the final router (the host's attach, or the addressed
+	// router).
+	DstRouter topology.RouterID
+}
+
+// Engine computes unicast paths.
+type Engine struct {
+	net *topology.Network
+	bgp *bgp.System
+	igp *underlay.View
+}
+
+// NewEngine returns a forwarding engine over the given routing state.
+func NewEngine(net *topology.Network, bgpSys *bgp.System, igp *underlay.View) *Engine {
+	return &Engine{net: net, bgp: bgpSys, igp: igp}
+}
+
+// FromRouter traces a packet from a router to the destination address.
+func (e *Engine) FromRouter(from topology.RouterID, dst addr.V4) (Path, error) {
+	p := Path{Routers: []topology.RouterID{from}}
+	cur := from
+	visited := map[topology.ASN]bool{}
+	for {
+		asn := e.net.DomainOf(cur)
+		p.ASPath = append(p.ASPath, asn)
+		if visited[asn] {
+			return Path{}, ErrLoop
+		}
+		visited[asn] = true
+
+		route, ok := e.bgp.Lookup(asn, dst)
+		if !ok {
+			return Path{}, ErrNoRoute
+		}
+		if route.NextHop() == -1 {
+			// Destination is in this domain.
+			return e.finish(p, cur, asn, dst)
+		}
+		link, ok := e.igp.HotPotato(cur, e.bgp.LinksBetween(asn, route.NextHop()))
+		if !ok {
+			return Path{}, fmt.Errorf("forward: BGP chose non-adjacent AS%d from AS%d", route.NextHop(), asn)
+		}
+		if e.igp.IntraDist(cur, link.From) >= graph.Inf {
+			return Path{}, ErrUnreachable
+		}
+		p.Cost += e.igp.IntraDist(cur, link.From) + link.Latency
+		p.Routers = appendPath(p.Routers, e.igp.IntraPath(cur, link.From))
+		p.Routers = append(p.Routers, link.To)
+		cur = link.To
+	}
+}
+
+// finish completes the intra-domain tail of the walk.
+func (e *Engine) finish(p Path, cur topology.RouterID, asn topology.ASN, dst addr.V4) (Path, error) {
+	// A router loopback?
+	if r := e.net.RouterByLoopback(dst); r != nil && r.Domain == asn {
+		if e.igp.IntraDist(cur, r.ID) >= graph.Inf {
+			return Path{}, ErrUnreachable
+		}
+		p.Cost += e.igp.IntraDist(cur, r.ID)
+		p.Routers = appendPath(p.Routers, e.igp.IntraPath(cur, r.ID))
+		p.DstRouter = r.ID
+		return p, nil
+	}
+	// A host?
+	if h := e.net.FindHost(dst); h != nil && h.Domain == asn {
+		if e.igp.IntraDist(cur, h.Attach) >= graph.Inf {
+			return Path{}, ErrUnreachable
+		}
+		p.Cost += e.igp.IntraDist(cur, h.Attach) + h.AccessLatency
+		p.Routers = appendPath(p.Routers, e.igp.IntraPath(cur, h.Attach))
+		p.DstRouter = h.Attach
+		p.DstHost = h
+		return p, nil
+	}
+	return Path{}, ErrHostNotFound
+}
+
+// HostToHost traces a packet between two hosts, including both access
+// links. This is the baseline against which IPvN path stretch is measured.
+func (e *Engine) HostToHost(src, dst *topology.Host) (Path, error) {
+	p, err := e.FromRouter(src.Attach, dst.Addr)
+	if err != nil {
+		return Path{}, err
+	}
+	p.Cost += src.AccessLatency
+	return p, nil
+}
+
+// DomainDistance returns the BGP AS-hop count from a domain to the domain
+// owning dst (0 when local), which is exactly the information an IPvN
+// border router obtains from its domain's BGPv(N-1) tables (§3.3.2).
+func (e *Engine) DomainDistance(from topology.ASN, dst addr.V4) (int, bool) {
+	route, ok := e.bgp.Lookup(from, dst)
+	if !ok {
+		return 0, false
+	}
+	return len(route.Path), true
+}
+
+// DomainPath returns the AS-level BGP path from a domain toward dst,
+// starting at from.
+func (e *Engine) DomainPath(from topology.ASN, dst addr.V4) ([]topology.ASN, bool) {
+	return e.bgp.ASPath(from, dst)
+}
+
+func appendPath(path, p []topology.RouterID) []topology.RouterID {
+	for i, r := range p {
+		if i == 0 && len(path) > 0 && path[len(path)-1] == r {
+			continue
+		}
+		path = append(path, r)
+	}
+	return path
+}

@@ -1,0 +1,205 @@
+// Package livebridge turns a simulated Evolution into a running overlay:
+// one live UDP node per vN-Bone member and per endhost, with bone routes
+// derived from the simulator's BGPvN decisions and anycast resolution
+// delegated to the simulator's routing. The simulator is the control
+// plane; the overlay is the data plane. Every packet a bridged Send
+// delivers has crossed real sockets through the exact trajectory the
+// simulation predicts.
+package livebridge
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/evolvable-net/evolve/internal/addr"
+	"github.com/evolvable-net/evolve/internal/core"
+	"github.com/evolvable-net/evolve/internal/overlaynet"
+	"github.com/evolvable-net/evolve/internal/topology"
+	"github.com/evolvable-net/evolve/internal/vncast"
+)
+
+// Overlay is a provisioned live overlay.
+type Overlay struct {
+	Reg     *overlaynet.Registry
+	Members map[topology.RouterID]*overlaynet.Node
+	Hosts   map[topology.HostID]*overlaynet.Node
+
+	evo *core.Evolution
+}
+
+// Provision builds the live overlay for the Evolution's current
+// deployment state. Close the returned overlay when done. Deployment
+// changes after provisioning are not tracked; re-provision instead.
+func Provision(evo *core.Evolution) (*Overlay, error) {
+	bone, err := evo.Bone()
+	if err != nil {
+		return nil, err
+	}
+	vn, err := evo.VN()
+	if err != nil {
+		return nil, err
+	}
+	o := &Overlay{
+		Reg:     overlaynet.NewRegistry(),
+		Members: map[topology.RouterID]*overlaynet.Node{},
+		Hosts:   map[topology.HostID]*overlaynet.Node{},
+		evo:     evo,
+	}
+	fail := func(err error) (*Overlay, error) {
+		o.Close()
+		return nil, err
+	}
+
+	// One live node per bone member, accepting the deployment's anycast
+	// address.
+	for _, m := range bone.Members() {
+		n, err := overlaynet.NewNode(o.Reg, evo.Net.Router(m).Loopback)
+		if err != nil {
+			return fail(err)
+		}
+		n.ServeAnycast(evo.AnycastAddr())
+		o.Members[m] = n
+	}
+	// One live node per endhost.
+	for _, h := range evo.Net.Hosts {
+		n, err := overlaynet.NewNode(o.Reg, h.Addr)
+		if err != nil {
+			return fail(err)
+		}
+		v, err := evo.HostVNAddr(h)
+		if err != nil {
+			return fail(err)
+		}
+		n.SetVNAddr(v)
+		o.Hosts[h.ID] = n
+	}
+
+	// Anycast resolution delegates to the simulator's routing: the
+	// ingress for a packet from src is whatever the simulated anycast
+	// trajectory says.
+	o.Reg.SetResolver(func(src, anycastAddr addr.V4) (addr.V4, bool) {
+		var res topology.RouterID = -1
+		if h := evo.Net.FindHost(src); h != nil {
+			if r, err := evo.Anycast.ResolveFromHost(h, anycastAddr); err == nil {
+				res = r.Member
+			}
+		} else if r := evo.Net.RouterByLoopback(src); r != nil {
+			if rr, err := evo.Anycast.ResolveFromRouter(r.ID, anycastAddr); err == nil {
+				res = rr.Member
+			}
+		}
+		if res < 0 {
+			return 0, false
+		}
+		return evo.Net.Router(res).Loopback, true
+	})
+
+	// Per-host /128 routes at every member, following the simulator's
+	// egress decisions hop by hop.
+	for _, m := range bone.Members() {
+		node := o.Members[m]
+		for _, h := range evo.Net.Hosts {
+			v, err := evo.HostVNAddr(h)
+			if err != nil {
+				return fail(err)
+			}
+			var bonePath []topology.RouterID
+			var egress topology.RouterID
+			if v.IsSelf() {
+				d, err := vn.SelectEgress(m, h.Addr, evo.Config().Egress)
+				if err != nil {
+					return fail(fmt.Errorf("livebridge: egress for %s from %d: %w", h.Name, m, err))
+				}
+				bonePath, egress = d.BonePath, d.Member
+			} else {
+				d, err := vn.RouteNative(m, v)
+				if err != nil {
+					return fail(fmt.Errorf("livebridge: native route for %s from %d: %w", h.Name, m, err))
+				}
+				bonePath, egress = d.BonePath, d.Member
+			}
+			var next addr.V4
+			if egress == m || len(bonePath) < 2 {
+				// This member is the egress: exit straight to the host.
+				next = h.Addr
+			} else {
+				next = evo.Net.Router(bonePath[1]).Loopback
+			}
+			node.AddVNRoute(addr.HostVNPrefix(v), next)
+		}
+	}
+	return o, nil
+}
+
+// Send delivers a payload from src to dst over the live overlay (host
+// encapsulates toward the anycast address; relays and exits follow the
+// provisioned routes) and waits for the destination's inbox.
+func (o *Overlay) Send(src, dst *topology.Host, payload []byte, timeout time.Duration) (overlaynet.Received, error) {
+	srcNode, ok := o.Hosts[src.ID]
+	if !ok {
+		return overlaynet.Received{}, fmt.Errorf("livebridge: unknown src host %s", src.Name)
+	}
+	dstNode, ok := o.Hosts[dst.ID]
+	if !ok {
+		return overlaynet.Received{}, fmt.Errorf("livebridge: unknown dst host %s", dst.Name)
+	}
+	if err := srcNode.SendVN(o.evo.AnycastAddr(), dstNode.VNAddr(), payload); err != nil {
+		return overlaynet.Received{}, err
+	}
+	return dstNode.WaitInbox(timeout)
+}
+
+// ProvisionMulticast installs a multicast group's distribution tree
+// (computed by the simulator's vncast layer) onto the live overlay: each
+// on-tree member node gets its branch and leaf replication state. The
+// source then sends a single packet to the group address and every live
+// subscriber node receives a copy.
+func (o *Overlay) ProvisionMulticast(svc *vncast.Service, grp *vncast.Group, src *topology.Host) (addr.VN, error) {
+	tree, err := svc.BuildTree(grp, src)
+	if err != nil {
+		return addr.VN{}, err
+	}
+	// Collect the on-tree members (branch points plus leaf egresses).
+	onTree := map[topology.RouterID]bool{tree.Ingress: true}
+	for m := range tree.Branches {
+		onTree[m] = true
+	}
+	for m := range tree.Leaves {
+		onTree[m] = true
+	}
+	for m := range onTree {
+		node, ok := o.Members[m]
+		if !ok {
+			return addr.VN{}, fmt.Errorf("livebridge: tree member %d not provisioned", m)
+		}
+		var branches, leaves []addr.V4
+		for _, b := range tree.Branches[m] {
+			branches = append(branches, o.evo.Net.Router(b).Loopback)
+		}
+		for _, h := range tree.Leaves[m] {
+			leaves = append(leaves, h.Addr)
+		}
+		node.SetMulticastRoute(grp.Addr, branches, leaves)
+	}
+	return grp.Addr, nil
+}
+
+// SendMulticast originates one live packet from src toward the group
+// address; the provisioned tree replicates it to every subscriber node.
+func (o *Overlay) SendMulticast(src *topology.Host, group addr.VN, payload []byte) error {
+	srcNode, ok := o.Hosts[src.ID]
+	if !ok {
+		return fmt.Errorf("livebridge: unknown src host %s", src.Name)
+	}
+	return srcNode.SendVN(o.evo.AnycastAddr(), group, payload)
+}
+
+// Close shuts every node down.
+func (o *Overlay) Close() {
+	for _, n := range o.Members {
+		n.Close()
+	}
+	for _, n := range o.Hosts {
+		n.Close()
+	}
+}

@@ -1,0 +1,145 @@
+// Package metrics provides the measurement primitives the experiment
+// harness reports: path stretch, summary statistics and histograms.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Stretch is the ratio of an achieved path cost to the optimal path cost.
+// By convention Stretch(x, 0) with x > 0 is +Inf and Stretch(0, 0) is 1.
+func Stretch(achieved, optimal int64) float64 {
+	if optimal == 0 {
+		if achieved == 0 {
+			return 1
+		}
+		return math.Inf(1)
+	}
+	return float64(achieved) / float64(optimal)
+}
+
+// Summary holds the descriptive statistics of a sample.
+type Summary struct {
+	N              int
+	Mean, Min, Max float64
+	P50, P90, P95  float64
+	Stddev         float64
+}
+
+// Summarize computes a Summary; an empty sample yields the zero Summary.
+func Summarize(xs []float64) Summary {
+	if len(xs) == 0 {
+		return Summary{}
+	}
+	s := make([]float64, len(xs))
+	copy(s, xs)
+	sort.Float64s(s)
+	var sum, sumSq float64
+	for _, x := range s {
+		sum += x
+		sumSq += x * x
+	}
+	n := float64(len(s))
+	mean := sum / n
+	variance := sumSq/n - mean*mean
+	if variance < 0 {
+		variance = 0
+	}
+	return Summary{
+		N:      len(s),
+		Mean:   mean,
+		Min:    s[0],
+		Max:    s[len(s)-1],
+		P50:    Percentile(s, 50),
+		P90:    Percentile(s, 90),
+		P95:    Percentile(s, 95),
+		Stddev: math.Sqrt(variance),
+	}
+}
+
+// Percentile returns the p-th percentile (0–100) of a sorted sample using
+// nearest-rank with linear interpolation.
+func Percentile(sorted []float64, p float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	if p <= 0 {
+		return sorted[0]
+	}
+	if p >= 100 {
+		return sorted[len(sorted)-1]
+	}
+	rank := p / 100 * float64(len(sorted)-1)
+	lo := int(math.Floor(rank))
+	hi := int(math.Ceil(rank))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := rank - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// String renders the summary compactly for harness output.
+func (s Summary) String() string {
+	if s.N == 0 {
+		return "n=0"
+	}
+	return fmt.Sprintf("n=%d mean=%.3f p50=%.3f p95=%.3f max=%.3f",
+		s.N, s.Mean, s.P50, s.P95, s.Max)
+}
+
+// Histogram counts observations in fixed-width buckets.
+type Histogram struct {
+	Width   float64
+	buckets map[int]int
+	n       int
+}
+
+// NewHistogram returns a histogram with the given bucket width.
+func NewHistogram(width float64) *Histogram {
+	if width <= 0 {
+		width = 1
+	}
+	return &Histogram{Width: width, buckets: map[int]int{}}
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(x float64) {
+	h.buckets[int(math.Floor(x/h.Width))]++
+	h.n++
+}
+
+// N returns the number of observations.
+func (h *Histogram) N() int { return h.n }
+
+// Count returns the observations in the bucket containing x.
+func (h *Histogram) Count(x float64) int {
+	return h.buckets[int(math.Floor(x/h.Width))]
+}
+
+// String renders an ASCII bar chart, one row per non-empty bucket.
+func (h *Histogram) String() string {
+	if h.n == 0 {
+		return "(empty)"
+	}
+	keys := make([]int, 0, len(h.buckets))
+	maxCount := 0
+	for k, c := range h.buckets {
+		keys = append(keys, k)
+		if c > maxCount {
+			maxCount = c
+		}
+	}
+	sort.Ints(keys)
+	var b strings.Builder
+	for _, k := range keys {
+		c := h.buckets[k]
+		bar := strings.Repeat("#", int(math.Ceil(float64(c)/float64(maxCount)*40)))
+		fmt.Fprintf(&b, "[%8.2f, %8.2f) %6d %s\n",
+			float64(k)*h.Width, float64(k+1)*h.Width, c, bar)
+	}
+	return b.String()
+}

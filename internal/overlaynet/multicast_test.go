@@ -1,0 +1,126 @@
+package overlaynet
+
+import (
+	"testing"
+	"time"
+
+	"github.com/evolvable-net/evolve/internal/addr"
+)
+
+// buildMulticastTree wires a source host, an ingress router replicating
+// to two branch routers, each delivering to one subscriber leaf:
+//
+//	src → R0 → {R1 → sub1, R2 → sub2}
+func buildMulticastTree(t *testing.T) (src, sub1, sub2 *Node, routers []*Node, group addr.VN, any addr.V4) {
+	t.Helper()
+	reg := NewRegistry()
+	mk := func(last byte) *Node {
+		n, err := NewNode(reg, u(100+last))
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { n.Close() })
+		return n
+	}
+	src = mk(1)
+	sub1 = mk(2)
+	sub2 = mk(3)
+	r0, r1, r2 := mk(10), mk(11), mk(12)
+	routers = []*Node{r0, r1, r2}
+
+	any, err := addr.Option1Address(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r0.ServeAnycast(any)
+	reg.SetAnycastMembers(any, []addr.V4{r0.Underlay})
+	src.SetVNAddr(addr.SelfAddress(src.Underlay))
+
+	group = addr.MulticastVN(9)
+	r0.SetMulticastRoute(group, []addr.V4{r1.Underlay, r2.Underlay}, nil)
+	r1.SetMulticastRoute(group, nil, []addr.V4{sub1.Underlay})
+	r2.SetMulticastRoute(group, nil, []addr.V4{sub2.Underlay})
+	return src, sub1, sub2, routers, group, any
+}
+
+func TestLiveMulticastReplication(t *testing.T) {
+	src, sub1, sub2, routers, group, any := buildMulticastTree(t)
+	if err := src.SendVN(any, group, []byte("to the group")); err != nil {
+		t.Fatal(err)
+	}
+	for i, sub := range []*Node{sub1, sub2} {
+		got, err := sub.WaitInbox(2 * time.Second)
+		if err != nil {
+			t.Fatalf("subscriber %d: %v", i+1, err)
+		}
+		if string(got.Payload) != "to the group" {
+			t.Errorf("subscriber %d payload = %q", i+1, got.Payload)
+		}
+		if got.To != group {
+			t.Errorf("subscriber %d dst = %s", i+1, got.To)
+		}
+	}
+	// The ingress replicated once per branch; each branch exited once.
+	if s := routers[0].Stats(); s.Forwarded != 2 {
+		t.Errorf("ingress stats = %+v", s)
+	}
+	for i, r := range routers[1:] {
+		if s := r.Stats(); s.Exited != 1 {
+			t.Errorf("branch %d stats = %+v", i+1, s)
+		}
+	}
+	// One send, two deliveries: that is the multicast saving, live.
+}
+
+func TestLiveMulticastRouteReplacement(t *testing.T) {
+	src, sub1, sub2, routers, group, any := buildMulticastTree(t)
+	// Drop sub2's branch: only sub1 receives.
+	routers[0].SetMulticastRoute(group, []addr.V4{routers[1].Underlay}, nil)
+	if err := src.SendVN(any, group, []byte("narrowed")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sub1.WaitInbox(2 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sub2.WaitInbox(300 * time.Millisecond); err == nil {
+		t.Error("pruned subscriber still received")
+	}
+}
+
+func TestLiveMulticastHopLimit(t *testing.T) {
+	// A replication loop between two routers must die by hop limit.
+	reg := NewRegistry()
+	a, err := NewNode(reg, u(200))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	b, err := NewNode(reg, u(201))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+	group := addr.MulticastVN(1)
+	a.SetMulticastRoute(group, []addr.V4{b.Underlay}, nil)
+	b.SetMulticastRoute(group, []addr.V4{a.Underlay}, nil)
+	any, _ := addr.Option1Address(4)
+	a.ServeAnycast(any)
+	reg.SetAnycastMembers(any, []addr.V4{a.Underlay})
+	srcNode, err := NewNode(reg, u(202))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srcNode.Close()
+	srcNode.SetVNAddr(addr.SelfAddress(srcNode.Underlay))
+	if err := srcNode.SendVN(any, group, []byte("loop")); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		if a.Stats().Dropped+b.Stats().Dropped >= 1 {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Error("looping multicast packet never dropped")
+}

@@ -1,0 +1,488 @@
+// Package overlaynet is the live prototype: vN-Bone nodes as goroutines
+// bound to real UDP sockets on localhost, exchanging the actual wire
+// formats of internal/packet through real tunnels. The simulated internet
+// supplies the *control plane* (which router is the anycast ingress, what
+// the bone routes are); this package executes the *data plane* — encap at
+// the host toward the anycast address, decap/relay at each vN router,
+// exit toward self-addressed destinations — over genuine sockets.
+//
+// The Registry stands in for IPv(N-1) routing: it maps underlay addresses
+// to UDP endpoints and resolves anycast addresses to their current member
+// list (ordered by proximity, as the simulator's routing would). This is
+// the documented substitution for a real multi-ISP underlay (DESIGN.md
+// §2): the code paths above the socket layer are identical.
+package overlaynet
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"github.com/evolvable-net/evolve/internal/addr"
+	"github.com/evolvable-net/evolve/internal/packet"
+	"github.com/evolvable-net/evolve/internal/rib"
+)
+
+// Errors.
+var (
+	// ErrUnknownUnderlay: the registry has no endpoint for an address.
+	ErrUnknownUnderlay = errors.New("overlaynet: unknown underlay address")
+	// ErrNoAnycastMember: an anycast address has no registered members.
+	ErrNoAnycastMember = errors.New("overlaynet: anycast group empty")
+	// ErrClosed: the node has been shut down.
+	ErrClosed = errors.New("overlaynet: node closed")
+)
+
+// Resolver answers "where does an anycast packet from src land" — the
+// hook through which a control plane (e.g. the simulator's routing)
+// drives per-source anycast resolution in the live overlay.
+type Resolver func(src, anycastAddr addr.V4) (addr.V4, bool)
+
+// Registry is the stand-in for global IPv(N-1) routing: underlay address →
+// UDP endpoint, anycast address → proximity-ordered member list, plus an
+// optional per-source Resolver that overrides the static ordering.
+type Registry struct {
+	mu       sync.RWMutex
+	unicast  map[addr.V4]*net.UDPAddr
+	anycast  map[addr.V4][]addr.V4
+	resolver Resolver
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		unicast: map[addr.V4]*net.UDPAddr{},
+		anycast: map[addr.V4][]addr.V4{},
+	}
+}
+
+// Register binds an underlay address to a UDP endpoint.
+func (r *Registry) Register(a addr.V4, ep *net.UDPAddr) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.unicast[a] = ep
+}
+
+// Unregister removes an underlay binding.
+func (r *Registry) Unregister(a addr.V4) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	delete(r.unicast, a)
+}
+
+// Endpoint resolves an underlay address.
+func (r *Registry) Endpoint(a addr.V4) (*net.UDPAddr, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	ep, ok := r.unicast[a]
+	return ep, ok
+}
+
+// SetAnycastMembers installs the proximity-ordered member list for an
+// anycast address — the control-plane output of the simulated routing.
+func (r *Registry) SetAnycastMembers(a addr.V4, members []addr.V4) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.anycast[a] = append([]addr.V4(nil), members...)
+}
+
+// SetResolver installs a per-source anycast resolver; a nil resolver
+// reverts to the static member ordering.
+func (r *Registry) SetResolver(f Resolver) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.resolver = f
+}
+
+// ResolveAnycast returns the first registered member of the group — the
+// "closest" per the installed ordering.
+func (r *Registry) ResolveAnycast(a addr.V4) (addr.V4, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	for _, m := range r.anycast[a] {
+		if _, ok := r.unicast[m]; ok {
+			return m, true
+		}
+	}
+	return 0, false
+}
+
+// resolveFrom maps any destination (anycast or unicast) to a UDP
+// endpoint, consulting the per-source resolver first.
+func (r *Registry) resolveFrom(src, dst addr.V4) (*net.UDPAddr, error) {
+	r.mu.RLock()
+	res := r.resolver
+	r.mu.RUnlock()
+	if res != nil {
+		if m, ok := res(src, dst); ok {
+			if _, registered := r.Endpoint(m); registered {
+				dst = m
+			}
+		}
+	}
+	if m, ok := r.ResolveAnycast(dst); ok {
+		dst = m
+	}
+	ep, ok := r.Endpoint(dst)
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrUnknownUnderlay, dst)
+	}
+	return ep, nil
+}
+
+// Received is one payload delivered to a node as final destination.
+type Received struct {
+	From    addr.VN
+	To      addr.VN
+	Payload []byte
+	// OuterSrc is the underlay address of the last tunnel hop.
+	OuterSrc addr.V4
+}
+
+// Stats counts a node's data-plane activity.
+type Stats struct {
+	Delivered uint64
+	Forwarded uint64
+	Exited    uint64
+	Dropped   uint64
+}
+
+// Node is one live overlay participant (vN router or endhost).
+type Node struct {
+	Underlay addr.V4
+
+	reg    *Registry
+	conn   *net.UDPConn
+	vnAddr addr.VN
+	served map[addr.V4]bool
+
+	mu     sync.RWMutex
+	routes rib.TableVN[addr.V4] // IPvN prefix → next-hop underlay
+	// mcast maps an IPvN group address to this node's replication state:
+	// downstream tree branches plus locally attached subscribers.
+	mcast map[addr.VN]*mcastState
+	// echoVia, when set, makes the node answer "ping:" payloads with
+	// "pong:" replies sent back through the given anycast address.
+	echoVia addr.V4
+	echoOn  bool
+
+	// Inbox receives payloads addressed to this node. Buffered; overflow
+	// is dropped and counted.
+	Inbox chan Received
+
+	statsMu sync.Mutex
+	stats   Stats
+
+	closeOnce sync.Once
+	done      chan struct{}
+	wg        sync.WaitGroup
+}
+
+// NewNode binds a UDP socket on 127.0.0.1 and registers the node.
+func NewNode(reg *Registry, underlay addr.V4) (*Node, error) {
+	conn, err := net.ListenUDP("udp4", &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1)})
+	if err != nil {
+		return nil, fmt.Errorf("overlaynet: listen: %w", err)
+	}
+	// Relay nodes see every packet of a burst; a roomy receive buffer
+	// keeps the kernel from shedding load before the read loop runs.
+	_ = conn.SetReadBuffer(1 << 20)
+	n := &Node{
+		Underlay: underlay,
+		reg:      reg,
+		conn:     conn,
+		served:   map[addr.V4]bool{},
+		Inbox:    make(chan Received, 256),
+		done:     make(chan struct{}),
+	}
+	reg.Register(underlay, conn.LocalAddr().(*net.UDPAddr))
+	n.wg.Add(1)
+	go n.readLoop()
+	return n, nil
+}
+
+// Close shuts the node down and unregisters it.
+func (n *Node) Close() error {
+	n.closeOnce.Do(func() {
+		close(n.done)
+		n.reg.Unregister(n.Underlay)
+		n.conn.Close()
+	})
+	n.wg.Wait()
+	return nil
+}
+
+// SetVNAddr assigns the node's own IPvN address (native or self).
+func (n *Node) SetVNAddr(v addr.VN) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.vnAddr = v
+}
+
+// VNAddr returns the node's IPvN address.
+func (n *Node) VNAddr() addr.VN {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	return n.vnAddr
+}
+
+// ServeAnycast makes this node accept packets whose outer destination is
+// the given anycast address (an IPvN router's defining property).
+func (n *Node) ServeAnycast(a addr.V4) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.served[a] = true
+}
+
+// mcastState is one group's replication entry at a node.
+type mcastState struct {
+	// branches are downstream tree next hops (other vN routers).
+	branches []addr.V4
+	// leaves are locally attached subscribers' underlay addresses.
+	leaves []addr.V4
+}
+
+// SetMulticastRoute installs this node's replication state for group:
+// incoming packets for the group are forwarded once per branch (further
+// vN routers) and delivered once per leaf (local subscribers). Replaces
+// any previous state for the group.
+func (n *Node) SetMulticastRoute(group addr.VN, branches, leaves []addr.V4) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.mcast == nil {
+		n.mcast = map[addr.VN]*mcastState{}
+	}
+	n.mcast[group] = &mcastState{
+		branches: append([]addr.V4(nil), branches...),
+		leaves:   append([]addr.V4(nil), leaves...),
+	}
+}
+
+// Echo payload prefixes.
+var (
+	pingMagic = []byte("ping:")
+	pongMagic = []byte("pong:")
+)
+
+// EnableEcho makes the node answer payloads beginning with "ping:" by
+// sending "pong:" plus the rest back to the IPvN source, re-entering the
+// overlay through the given anycast address. Echoed pings are not
+// delivered to the Inbox.
+func (n *Node) EnableEcho(via addr.V4) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.echoVia = via
+	n.echoOn = true
+}
+
+// AddVNRoute installs a bone route: IPvN prefix → next-hop member's
+// underlay address.
+func (n *Node) AddVNRoute(p addr.VNPrefix, via addr.V4) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.routes.Insert(p, via)
+}
+
+// Stats returns a snapshot of the node's counters.
+func (n *Node) Stats() Stats {
+	n.statsMu.Lock()
+	defer n.statsMu.Unlock()
+	return n.stats
+}
+
+func (n *Node) count(f func(*Stats)) {
+	n.statsMu.Lock()
+	f(&n.stats)
+	n.statsMu.Unlock()
+}
+
+// SendVN originates an IPvN packet from this node: encapsulated toward
+// the anycast address (universal access — the node needs no knowledge of
+// deployment state).
+func (n *Node) SendVN(anycastAddr addr.V4, dst addr.VN, payload []byte) error {
+	hdr := packet.VNHeader{
+		Version: 8,
+		Src:     n.VNAddr(),
+		Dst:     dst,
+	}
+	if u, ok := dst.Underlay(); ok {
+		hdr = hdr.WithUnderlayDst(u)
+	}
+	outer := packet.V4Header{
+		Proto: packet.ProtoVNEncap,
+		Src:   n.Underlay,
+		Dst:   anycastAddr,
+	}
+	buf := packet.NewSerializeBuffer()
+	if err := packet.Serialize(buf, payload, &outer, &hdr); err != nil {
+		return err
+	}
+	return n.sendWire(anycastAddr, buf.Bytes())
+}
+
+func (n *Node) sendWire(dst addr.V4, wire []byte) error {
+	select {
+	case <-n.done:
+		return ErrClosed
+	default:
+	}
+	ep, err := n.reg.resolveFrom(n.Underlay, dst)
+	if err != nil {
+		return err
+	}
+	_, err = n.conn.WriteToUDP(wire, ep)
+	return err
+}
+
+func (n *Node) readLoop() {
+	defer n.wg.Done()
+	buf := make([]byte, 64*1024)
+	for {
+		sz, _, err := n.conn.ReadFromUDP(buf)
+		if err != nil {
+			select {
+			case <-n.done:
+				return
+			default:
+				continue
+			}
+		}
+		wire := make([]byte, sz)
+		copy(wire, buf[:sz])
+		n.handle(wire)
+	}
+}
+
+// handle is the per-packet forwarding decision of a vN router/host.
+func (n *Node) handle(wire []byte) {
+	outer, inner, payload, err := packet.DecapVN(wire)
+	if err != nil {
+		n.count(func(s *Stats) { s.Dropped++ })
+		return
+	}
+	n.mu.RLock()
+	acceptable := outer.Dst == n.Underlay || n.served[outer.Dst]
+	self := n.vnAddr
+	n.mu.RUnlock()
+	if !acceptable {
+		n.count(func(s *Stats) { s.Dropped++ })
+		return
+	}
+
+	// Group traffic: replicate at tree nodes, deliver at leaves.
+	if inner.Dst.IsMulticast() {
+		n.mu.RLock()
+		st := n.mcast[inner.Dst]
+		n.mu.RUnlock()
+		if st == nil {
+			// A leaf delivery: this node subscribed and the tree tunnelled
+			// the packet here.
+			rcv := Received{From: inner.Src, To: inner.Dst, Payload: payload, OuterSrc: outer.Src}
+			select {
+			case n.Inbox <- rcv:
+				n.count(func(s *Stats) { s.Delivered++ })
+			default:
+				n.count(func(s *Stats) { s.Dropped++ })
+			}
+			return
+		}
+		for _, b := range st.branches {
+			if n.relay(b, inner, payload) {
+				n.count(func(s *Stats) { s.Forwarded++ })
+			}
+		}
+		for _, l := range st.leaves {
+			if n.relay(l, inner, payload) {
+				n.count(func(s *Stats) { s.Exited++ })
+			}
+		}
+		return
+	}
+
+	// Final destination?
+	if !inner.Dst.IsZero() && inner.Dst == self {
+		n.mu.RLock()
+		echoOn, echoVia := n.echoOn, n.echoVia
+		n.mu.RUnlock()
+		if echoOn && len(payload) >= len(pingMagic) && string(payload[:len(pingMagic)]) == string(pingMagic) {
+			reply := append(append([]byte(nil), pongMagic...), payload[len(pingMagic):]...)
+			if err := n.SendVN(echoVia, inner.Src, reply); err != nil {
+				n.count(func(s *Stats) { s.Dropped++ })
+			} else {
+				n.count(func(s *Stats) { s.Delivered++ })
+			}
+			return
+		}
+		rcv := Received{From: inner.Src, To: inner.Dst, Payload: payload, OuterSrc: outer.Src}
+		select {
+		case n.Inbox <- rcv:
+			n.count(func(s *Stats) { s.Delivered++ })
+		default:
+			n.count(func(s *Stats) { s.Dropped++ })
+		}
+		return
+	}
+
+	// Forward over the bone.
+	n.mu.RLock()
+	via, _, haveRoute := n.routes.Lookup(inner.Dst)
+	n.mu.RUnlock()
+	if haveRoute {
+		if !n.relay(via, inner, payload) {
+			return
+		}
+		n.count(func(s *Stats) { s.Forwarded++ })
+		return
+	}
+
+	// No bone route: exit toward the destination's underlay address
+	// (self-addressed destinations carry it).
+	if u, ok := inner.UnderlayDst(); ok {
+		if !n.relay(u, inner, payload) {
+			return
+		}
+		n.count(func(s *Stats) { s.Exited++ })
+		return
+	}
+	n.count(func(s *Stats) { s.Dropped++ })
+}
+
+// relay re-encapsulates toward the next underlay hop, decrementing the
+// inner hop limit; it reports success.
+func (n *Node) relay(next addr.V4, inner packet.VNHeader, payload []byte) bool {
+	if inner.HopLimit <= 1 {
+		n.count(func(s *Stats) { s.Dropped++ })
+		return false
+	}
+	inner.HopLimit--
+	outer := packet.V4Header{
+		Proto: packet.ProtoVNEncap,
+		Src:   n.Underlay,
+		Dst:   next,
+	}
+	buf := packet.NewSerializeBuffer()
+	if err := packet.Serialize(buf, payload, &outer, &inner); err != nil {
+		n.count(func(s *Stats) { s.Dropped++ })
+		return false
+	}
+	if err := n.sendWire(next, buf.Bytes()); err != nil {
+		n.count(func(s *Stats) { s.Dropped++ })
+		return false
+	}
+	return true
+}
+
+// WaitInbox receives from the node's inbox with a timeout, for tests and
+// examples.
+func (n *Node) WaitInbox(timeout time.Duration) (Received, error) {
+	select {
+	case r := <-n.Inbox:
+		return r, nil
+	case <-time.After(timeout):
+		return Received{}, fmt.Errorf("overlaynet: timeout waiting for delivery at %s", n.Underlay)
+	case <-n.done:
+		return Received{}, ErrClosed
+	}
+}

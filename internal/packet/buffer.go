@@ -1,0 +1,103 @@
+// Package packet defines the wire formats exchanged in the evolvable
+// architecture: the fixed underlay IPv(N-1) header ("V4"), the versioned
+// next-generation IPvN header ("VN") with its option TLVs, and the
+// encapsulation of the latter inside the former — the mechanism by which an
+// endhost reaches the IPvN virtual network through an anycast address
+// (paper §3.1, §3.4).
+//
+// Serialization follows the gopacket idiom: layers are serialized in
+// reverse order into a SerializeBuffer that supports cheap prepending, so a
+// full packet is built as Payload, then VNHeader, then V4Header.
+package packet
+
+import "errors"
+
+// ErrTruncated is returned when a decode runs out of bytes.
+var ErrTruncated = errors.New("packet: truncated")
+
+// SerializeBuffer builds packets back-to-front. Prepending a header is the
+// common case, so bytes grow toward the start of an internal slice.
+type SerializeBuffer struct {
+	buf   []byte
+	start int
+}
+
+// NewSerializeBuffer returns a buffer with room for typical headers.
+func NewSerializeBuffer() *SerializeBuffer {
+	const room = 128
+	return &SerializeBuffer{buf: make([]byte, room), start: room}
+}
+
+// Bytes returns the serialized packet so far. The slice is invalidated by
+// further Prepend/Append/Clear calls.
+func (b *SerializeBuffer) Bytes() []byte { return b.buf[b.start:] }
+
+// Len returns the current packet length.
+func (b *SerializeBuffer) Len() int { return len(b.buf) - b.start }
+
+// Clear resets the buffer for reuse.
+func (b *SerializeBuffer) Clear() { b.start = len(b.buf) }
+
+// PrependBytes makes room for n bytes at the front and returns the slice to
+// fill in.
+func (b *SerializeBuffer) PrependBytes(n int) []byte {
+	if b.start < n {
+		grow := n - b.start
+		if grow < len(b.buf) {
+			grow = len(b.buf) // at least double
+		}
+		nb := make([]byte, len(b.buf)+grow)
+		copy(nb[grow:], b.buf)
+		b.buf = nb
+		b.start += grow
+	}
+	b.start -= n
+	return b.buf[b.start : b.start+n]
+}
+
+// AppendBytes makes room for n bytes at the back and returns the slice to
+// fill in.
+func (b *SerializeBuffer) AppendBytes(n int) []byte {
+	old := len(b.buf)
+	b.buf = append(b.buf, make([]byte, n)...)
+	return b.buf[old:]
+}
+
+// PushPayload appends raw payload bytes.
+func (b *SerializeBuffer) PushPayload(p []byte) {
+	copy(b.AppendBytes(len(p)), p)
+}
+
+// SerializableLayer is implemented by every header that can prepend itself
+// onto a buffer whose current contents it treats as its payload.
+type SerializableLayer interface {
+	SerializeTo(b *SerializeBuffer) error
+}
+
+// Serialize clears the buffer and writes payload plus the given layers from
+// innermost (last) to outermost (first), mirroring gopacket.SerializeLayers.
+func Serialize(b *SerializeBuffer, payload []byte, layers ...SerializableLayer) error {
+	b.Clear()
+	b.PushPayload(payload)
+	for i := len(layers) - 1; i >= 0; i-- {
+		if err := layers[i].SerializeTo(b); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Checksum is the RFC 1071 internet checksum used in the V4 header.
+func Checksum(data []byte) uint16 {
+	var sum uint32
+	for i := 0; i+1 < len(data); i += 2 {
+		sum += uint32(data[i])<<8 | uint32(data[i+1])
+	}
+	if len(data)%2 == 1 {
+		sum += uint32(data[len(data)-1]) << 8
+	}
+	for sum>>16 != 0 {
+		sum = sum&0xFFFF + sum>>16
+	}
+	return ^uint16(sum)
+}

@@ -1,0 +1,219 @@
+// Package rib implements longest-prefix-match routing tables as binary
+// tries, for both the 32-bit underlay address space and the 128-bit IPvN
+// space. These are the FIB/RIB structures used by every router in the
+// simulator and by the live overlay prototype.
+package rib
+
+import (
+	"github.com/evolvable-net/evolve/internal/addr"
+)
+
+// key is a left-aligned 128-bit bit string with a length. V4 prefixes are
+// mapped into the top 32 bits.
+type key struct {
+	hi, lo uint64
+	length uint8
+}
+
+func (k key) bit(i uint8) byte {
+	if i < 64 {
+		return byte(k.hi >> (63 - i) & 1)
+	}
+	return byte(k.lo >> (127 - i) & 1)
+}
+
+type node[V any] struct {
+	child [2]*node[V]
+	val   V
+	set   bool
+}
+
+type trie[V any] struct {
+	root *node[V]
+	size int
+}
+
+func (t *trie[V]) insert(k key, v V) {
+	if t.root == nil {
+		t.root = &node[V]{}
+	}
+	n := t.root
+	for i := uint8(0); i < k.length; i++ {
+		b := k.bit(i)
+		if n.child[b] == nil {
+			n.child[b] = &node[V]{}
+		}
+		n = n.child[b]
+	}
+	if !n.set {
+		t.size++
+	}
+	n.val, n.set = v, true
+}
+
+func (t *trie[V]) remove(k key) bool {
+	if t.root == nil {
+		return false
+	}
+	n := t.root
+	for i := uint8(0); i < k.length; i++ {
+		n = n.child[k.bit(i)]
+		if n == nil {
+			return false
+		}
+	}
+	if !n.set {
+		return false
+	}
+	var zero V
+	n.val, n.set = zero, false
+	t.size--
+	return true
+}
+
+// lookup returns the value of the longest set prefix along the key's bits,
+// plus the matched length.
+func (t *trie[V]) lookup(k key) (v V, matched uint8, ok bool) {
+	n := t.root
+	if n == nil {
+		return v, 0, false
+	}
+	depth := uint8(0)
+	if n.set {
+		v, matched, ok = n.val, 0, true
+	}
+	for depth < k.length {
+		n = n.child[k.bit(depth)]
+		if n == nil {
+			break
+		}
+		depth++
+		if n.set {
+			v, matched, ok = n.val, depth, true
+		}
+	}
+	return v, matched, ok
+}
+
+// exact returns the value stored at exactly the given prefix.
+func (t *trie[V]) exact(k key) (v V, ok bool) {
+	n := t.root
+	if n == nil {
+		return v, false
+	}
+	for i := uint8(0); i < k.length; i++ {
+		n = n.child[k.bit(i)]
+		if n == nil {
+			return v, false
+		}
+	}
+	return n.val, n.set
+}
+
+func (t *trie[V]) walk(n *node[V], k key, fn func(key, V) bool) bool {
+	if n == nil {
+		return true
+	}
+	if n.set && !fn(k, n.val) {
+		return false
+	}
+	for b := byte(0); b < 2; b++ {
+		child := n.child[b]
+		if child == nil {
+			continue
+		}
+		ck := k
+		ck.length++
+		if b == 1 {
+			if k.length < 64 {
+				ck.hi |= 1 << (63 - k.length)
+			} else {
+				ck.lo |= 1 << (127 - k.length)
+			}
+		}
+		if !t.walk(child, ck, fn) {
+			return false
+		}
+	}
+	return true
+}
+
+// Table4 is a longest-prefix-match table over the underlay address space.
+// The zero value is an empty table ready to use.
+type Table4[V any] struct {
+	t trie[V]
+}
+
+func key4(p addr.Prefix) key {
+	return key{hi: uint64(uint32(p.Addr)) << 32, length: p.Len}
+}
+
+// Insert adds or replaces the route for prefix p.
+func (t *Table4[V]) Insert(p addr.Prefix, v V) { t.t.insert(key4(p), v) }
+
+// Delete removes the route for exactly p, reporting whether it existed.
+func (t *Table4[V]) Delete(p addr.Prefix) bool { return t.t.remove(key4(p)) }
+
+// Lookup returns the value of the longest prefix containing a.
+func (t *Table4[V]) Lookup(a addr.V4) (V, addr.Prefix, bool) {
+	v, l, ok := t.t.lookup(key{hi: uint64(uint32(a)) << 32, length: 32})
+	if !ok {
+		var zero V
+		return zero, addr.Prefix{}, false
+	}
+	return v, addr.MakePrefix(a, l), true
+}
+
+// Exact returns the value stored for exactly p.
+func (t *Table4[V]) Exact(p addr.Prefix) (V, bool) { return t.t.exact(key4(p)) }
+
+// Len returns the number of routes.
+func (t *Table4[V]) Len() int { return t.t.size }
+
+// Walk visits every route in bit order; returning false from fn stops the
+// walk early.
+func (t *Table4[V]) Walk(fn func(addr.Prefix, V) bool) {
+	t.t.walk(t.t.root, key{}, func(k key, v V) bool {
+		return fn(addr.Prefix{Addr: addr.V4(uint32(k.hi >> 32)), Len: k.length}, v)
+	})
+}
+
+// TableVN is a longest-prefix-match table over the IPvN address space.
+// The zero value is an empty table ready to use.
+type TableVN[V any] struct {
+	t trie[V]
+}
+
+func keyVN(p addr.VNPrefix) key {
+	return key{hi: p.Addr.Hi, lo: p.Addr.Lo, length: p.Len}
+}
+
+// Insert adds or replaces the route for prefix p.
+func (t *TableVN[V]) Insert(p addr.VNPrefix, v V) { t.t.insert(keyVN(p), v) }
+
+// Delete removes the route for exactly p, reporting whether it existed.
+func (t *TableVN[V]) Delete(p addr.VNPrefix) bool { return t.t.remove(keyVN(p)) }
+
+// Lookup returns the value of the longest prefix containing a.
+func (t *TableVN[V]) Lookup(a addr.VN) (V, addr.VNPrefix, bool) {
+	v, l, ok := t.t.lookup(key{hi: a.Hi, lo: a.Lo, length: 128})
+	if !ok {
+		var zero V
+		return zero, addr.VNPrefix{}, false
+	}
+	return v, addr.MakeVNPrefix(a, l), true
+}
+
+// Exact returns the value stored for exactly p.
+func (t *TableVN[V]) Exact(p addr.VNPrefix) (V, bool) { return t.t.exact(keyVN(p)) }
+
+// Len returns the number of routes.
+func (t *TableVN[V]) Len() int { return t.t.size }
+
+// Walk visits every route in bit order; returning false from fn stops the
+// walk early.
+func (t *TableVN[V]) Walk(fn func(addr.VNPrefix, V) bool) {
+	t.t.walk(t.t.root, key{}, func(k key, v V) bool {
+		return fn(addr.VNPrefix{Addr: addr.VN{Hi: k.hi, Lo: k.lo}, Len: k.length}, v)
+	})
+}

@@ -1,0 +1,293 @@
+package rib
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"github.com/evolvable-net/evolve/internal/addr"
+)
+
+func TestTable4LongestMatch(t *testing.T) {
+	var tbl Table4[string]
+	tbl.Insert(addr.MustParsePrefix("0.0.0.0/0"), "default")
+	tbl.Insert(addr.MustParsePrefix("10.0.0.0/8"), "ten")
+	tbl.Insert(addr.MustParsePrefix("10.1.0.0/16"), "ten-one")
+	tbl.Insert(addr.MustParsePrefix("10.1.2.3/32"), "host")
+
+	cases := []struct {
+		a    string
+		want string
+	}{
+		{"11.0.0.1", "default"},
+		{"10.9.9.9", "ten"},
+		{"10.1.9.9", "ten-one"},
+		{"10.1.2.3", "host"},
+	}
+	for _, c := range cases {
+		v, p, ok := tbl.Lookup(addr.MustParseV4(c.a))
+		if !ok || v != c.want {
+			t.Errorf("Lookup(%s) = %q (prefix %s), want %q", c.a, v, p, c.want)
+		}
+	}
+}
+
+func TestTable4NoMatch(t *testing.T) {
+	var tbl Table4[int]
+	tbl.Insert(addr.MustParsePrefix("10.0.0.0/8"), 1)
+	if _, _, ok := tbl.Lookup(addr.MustParseV4("11.0.0.1")); ok {
+		t.Error("lookup outside all prefixes should fail")
+	}
+	var empty Table4[int]
+	if _, _, ok := empty.Lookup(0); ok {
+		t.Error("empty table lookup should fail")
+	}
+}
+
+func TestTable4InsertReplaces(t *testing.T) {
+	var tbl Table4[int]
+	p := addr.MustParsePrefix("10.0.0.0/8")
+	tbl.Insert(p, 1)
+	tbl.Insert(p, 2)
+	if tbl.Len() != 1 {
+		t.Errorf("Len = %d", tbl.Len())
+	}
+	v, _, _ := tbl.Lookup(addr.MustParseV4("10.0.0.1"))
+	if v != 2 {
+		t.Errorf("value = %d", v)
+	}
+}
+
+func TestTable4Delete(t *testing.T) {
+	var tbl Table4[int]
+	outer := addr.MustParsePrefix("10.0.0.0/8")
+	inner := addr.MustParsePrefix("10.1.0.0/16")
+	tbl.Insert(outer, 1)
+	tbl.Insert(inner, 2)
+	if !tbl.Delete(inner) {
+		t.Fatal("delete existing failed")
+	}
+	if tbl.Delete(inner) {
+		t.Error("double delete succeeded")
+	}
+	v, _, ok := tbl.Lookup(addr.MustParseV4("10.1.0.1"))
+	if !ok || v != 1 {
+		t.Errorf("after delete, lookup = %d, %v (want fall back to outer)", v, ok)
+	}
+	if tbl.Len() != 1 {
+		t.Errorf("Len = %d", tbl.Len())
+	}
+}
+
+func TestTable4Exact(t *testing.T) {
+	var tbl Table4[int]
+	tbl.Insert(addr.MustParsePrefix("10.0.0.0/8"), 1)
+	if _, ok := tbl.Exact(addr.MustParsePrefix("10.0.0.0/9")); ok {
+		t.Error("exact on absent length matched")
+	}
+	if v, ok := tbl.Exact(addr.MustParsePrefix("10.0.0.0/8")); !ok || v != 1 {
+		t.Error("exact on present prefix failed")
+	}
+}
+
+func TestTable4DefaultRouteOnly(t *testing.T) {
+	var tbl Table4[string]
+	tbl.Insert(addr.MustParsePrefix("0.0.0.0/0"), "d")
+	v, p, ok := tbl.Lookup(addr.MustParseV4("1.2.3.4"))
+	if !ok || v != "d" || p.Len != 0 {
+		t.Errorf("default route lookup = %q %s %v", v, p, ok)
+	}
+}
+
+func TestTable4Walk(t *testing.T) {
+	var tbl Table4[int]
+	prefixes := []string{"0.0.0.0/0", "10.0.0.0/8", "10.1.0.0/16", "192.168.0.0/24"}
+	for i, s := range prefixes {
+		tbl.Insert(addr.MustParsePrefix(s), i)
+	}
+	seen := map[string]int{}
+	tbl.Walk(func(p addr.Prefix, v int) bool {
+		seen[p.String()] = v
+		return true
+	})
+	if len(seen) != len(prefixes) {
+		t.Fatalf("walk visited %d entries: %v", len(seen), seen)
+	}
+	for i, s := range prefixes {
+		want := addr.MustParsePrefix(s).String()
+		if seen[want] != i {
+			t.Errorf("walk[%s] = %d, want %d", want, seen[want], i)
+		}
+	}
+	// Early stop.
+	n := 0
+	tbl.Walk(func(addr.Prefix, int) bool { n++; return false })
+	if n != 1 {
+		t.Errorf("early stop visited %d", n)
+	}
+}
+
+// linearTable is a brute-force longest-prefix-match oracle.
+type linearTable struct {
+	entries []struct {
+		p addr.Prefix
+		v int
+	}
+}
+
+func (l *linearTable) insert(p addr.Prefix, v int) {
+	for i := range l.entries {
+		if l.entries[i].p == p {
+			l.entries[i].v = v
+			return
+		}
+	}
+	l.entries = append(l.entries, struct {
+		p addr.Prefix
+		v int
+	}{p, v})
+}
+
+func (l *linearTable) lookup(a addr.V4) (int, bool) {
+	best := -1
+	bestLen := -1
+	for _, e := range l.entries {
+		if e.p.Contains(a) && int(e.p.Len) > bestLen {
+			best, bestLen = e.v, int(e.p.Len)
+		}
+	}
+	return best, bestLen >= 0
+}
+
+func TestTable4MatchesLinearOracle(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		var tbl Table4[int]
+		var oracle linearTable
+		for i := 0; i < 40; i++ {
+			p := addr.MakePrefix(addr.V4(rng.Uint32()), uint8(rng.Intn(33)))
+			tbl.Insert(p, i)
+			oracle.insert(p, i)
+		}
+		for i := 0; i < 200; i++ {
+			a := addr.V4(rng.Uint32())
+			got, gotOK, _ := func() (int, bool, addr.Prefix) {
+				v, p, ok := tbl.Lookup(a)
+				return v, ok, p
+			}()
+			want, wantOK := oracle.lookup(a)
+			if gotOK != wantOK || (gotOK && got != want) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTableVNLongestMatch(t *testing.T) {
+	var tbl TableVN[string]
+	d7 := addr.DomainVNPrefix(7)
+	d8 := addr.DomainVNPrefix(8)
+	tbl.Insert(d7, "seven")
+	tbl.Insert(d8, "eight")
+	host := addr.VN{Hi: d7.Addr.Hi, Lo: 42}
+	tbl.Insert(addr.HostVNPrefix(host), "host")
+
+	if v, _, ok := tbl.Lookup(host); !ok || v != "host" {
+		t.Errorf("host lookup = %q %v", v, ok)
+	}
+	other := addr.VN{Hi: d7.Addr.Hi, Lo: 43}
+	if v, _, ok := tbl.Lookup(other); !ok || v != "seven" {
+		t.Errorf("domain lookup = %q %v", v, ok)
+	}
+	if v, _, ok := tbl.Lookup(addr.VN{Hi: d8.Addr.Hi, Lo: 1}); !ok || v != "eight" {
+		t.Errorf("other-domain lookup = %q %v", v, ok)
+	}
+	if _, _, ok := tbl.Lookup(addr.SelfAddress(1)); ok {
+		t.Error("self address should not match native prefixes")
+	}
+}
+
+func TestTableVNSelfPrefix(t *testing.T) {
+	// A /1 on the self-flag bit catches every self-address: this is how an
+	// egress policy can route "all temporary addresses" specially.
+	var tbl TableVN[string]
+	selfAll := addr.MakeVNPrefix(addr.SelfAddress(0), 1)
+	tbl.Insert(selfAll, "self")
+	if v, _, ok := tbl.Lookup(addr.SelfAddress(addr.MustParseV4("10.0.0.1"))); !ok || v != "self" {
+		t.Errorf("self catch-all = %q %v", v, ok)
+	}
+	if _, _, ok := tbl.Lookup(addr.VN{Hi: 1}); ok {
+		t.Error("native address matched self catch-all")
+	}
+}
+
+func TestTableVNDeleteAndWalk(t *testing.T) {
+	var tbl TableVN[int]
+	for asn := 1; asn <= 10; asn++ {
+		tbl.Insert(addr.DomainVNPrefix(asn), asn)
+	}
+	if tbl.Len() != 10 {
+		t.Fatalf("Len = %d", tbl.Len())
+	}
+	if !tbl.Delete(addr.DomainVNPrefix(5)) {
+		t.Fatal("delete failed")
+	}
+	sum := 0
+	tbl.Walk(func(_ addr.VNPrefix, v int) bool { sum += v; return true })
+	if sum != 55-5 {
+		t.Errorf("walk sum = %d", sum)
+	}
+	if _, _, ok := tbl.Lookup(addr.VN{Hi: addr.DomainVNPrefix(5).Addr.Hi, Lo: 9}); ok {
+		t.Error("deleted prefix still matches")
+	}
+}
+
+func TestTableVNExactBitBoundary(t *testing.T) {
+	// Exercise prefixes straddling the 64-bit boundary of the key.
+	var tbl TableVN[int]
+	p := addr.MakeVNPrefix(addr.VN{Hi: 0xDEADBEEF, Lo: 0xF000000000000000}, 68)
+	tbl.Insert(p, 1)
+	if v, ok := tbl.Exact(p); !ok || v != 1 {
+		t.Error("exact at 68 bits failed")
+	}
+	inside := addr.VN{Hi: 0xDEADBEEF, Lo: 0xF800000000000000}
+	if v, _, ok := tbl.Lookup(inside); !ok || v != 1 {
+		t.Error("lookup inside 68-bit prefix failed")
+	}
+	outside := addr.VN{Hi: 0xDEADBEEF, Lo: 0x0800000000000000}
+	if _, _, ok := tbl.Lookup(outside); ok {
+		t.Error("lookup outside 68-bit prefix matched")
+	}
+}
+
+func BenchmarkTable4Lookup(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	var tbl Table4[int]
+	for i := 0; i < 10000; i++ {
+		tbl.Insert(addr.MakePrefix(addr.V4(rng.Uint32()), uint8(8+rng.Intn(25))), i)
+	}
+	addrs := make([]addr.V4, 1024)
+	for i := range addrs {
+		addrs[i] = addr.V4(rng.Uint32())
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tbl.Lookup(addrs[i%len(addrs)])
+	}
+}
+
+func BenchmarkTableVNLookup(b *testing.B) {
+	var tbl TableVN[int]
+	for asn := 0; asn < 10000; asn++ {
+		tbl.Insert(addr.DomainVNPrefix(asn), asn)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tbl.Lookup(addr.VN{Hi: addr.DomainVNPrefix(i % 10000).Addr.Hi, Lo: 7})
+	}
+}

@@ -1,0 +1,474 @@
+// Package bgp implements an AS-level path-vector protocol with
+// Gao-Rexford business policy, the inter-domain substrate under both of
+// the paper's anycast deployment options (§3.2):
+//
+//   - option 1: participating ASes all originate the same non-aggregatable
+//     anycast host prefix, which propagates globally like any route, so
+//     each AS's policy delivers to its preferred (typically closest)
+//     participant;
+//   - option 2: the anycast address lives inside the default ISP's
+//     aggregate, so non-participants need no new routes at all, and a
+//     participant can additionally advertise the host prefix to chosen
+//     neighbours with NO_EXPORT semantics ("Q peers with Y to advertise
+//     its path for the anycast address").
+//
+// The engine computes the stable routing by synchronous fixpoint
+// iteration: in each round every AS selects best routes from the adverts
+// of the previous round and re-exports under Gao-Rexford rules, until
+// nothing changes. For policy-safe configurations (customer routes
+// preferred, no peer/provider transit) this converges and is
+// deterministic.
+package bgp
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/evolvable-net/evolve/internal/addr"
+	"github.com/evolvable-net/evolve/internal/rib"
+	"github.com/evolvable-net/evolve/internal/topology"
+)
+
+// Local preference derived from the relationship to the advertising
+// neighbour: revenue-bearing customer routes beat free peer routes beat
+// paid provider routes.
+const (
+	prefCustomer = 300
+	prefPeer     = 200
+	prefProvider = 100
+	prefSelf     = 1000
+)
+
+func prefFor(rel topology.Rel) int {
+	switch rel {
+	case topology.RelProvider: // neighbour is our customer? No:
+		// Rel is *our* relationship toward the neighbour. If we are the
+		// provider, the neighbour is our customer.
+		return prefCustomer
+	case topology.RelCustomer:
+		return prefProvider
+	default:
+		return prefPeer
+	}
+}
+
+// Route is one BGP route as held by an AS.
+type Route struct {
+	Prefix addr.Prefix
+	// Path is the AS path from the holder (exclusive) to the origin
+	// (inclusive); it is empty for self-originated routes. Path[0] is the
+	// next-hop AS.
+	Path []topology.ASN
+	// LocalPref encodes the Gao-Rexford preference tier.
+	LocalPref int
+	// NoExport marks a route that must not be re-advertised (the BGP
+	// NO_EXPORT community), used for option-2 selective peering adverts.
+	NoExport bool
+	// FromCustomer records whether the route was learned from a customer,
+	// which controls export policy.
+	FromCustomer bool
+}
+
+// Origin returns the originating AS, or the holder's own ASN sentinel -1
+// meaning "self" when the path is empty.
+func (r Route) Origin() topology.ASN {
+	if len(r.Path) == 0 {
+		return -1
+	}
+	return r.Path[len(r.Path)-1]
+}
+
+// NextHop returns the next-hop AS, or -1 for self-originated routes.
+func (r Route) NextHop() topology.ASN {
+	if len(r.Path) == 0 {
+		return -1
+	}
+	return r.Path[0]
+}
+
+func (r Route) hasLoop(asn topology.ASN) bool {
+	for _, a := range r.Path {
+		if a == asn {
+			return true
+		}
+	}
+	return false
+}
+
+// better reports whether a beats b under the decision process:
+// local-pref, then AS-path length, then lowest next hop.
+func better(a, b Route) bool {
+	if a.LocalPref != b.LocalPref {
+		return a.LocalPref > b.LocalPref
+	}
+	if len(a.Path) != len(b.Path) {
+		return len(a.Path) < len(b.Path)
+	}
+	return a.NextHop() < b.NextHop()
+}
+
+// origination is a prefix an AS injects into BGP.
+type origination struct {
+	prefix addr.Prefix
+	// exportTo, when non-nil, restricts the advert to the listed
+	// neighbours and tags it NO_EXPORT.
+	exportTo map[topology.ASN]bool
+}
+
+// System is the BGP of a whole internet.
+type System struct {
+	net *topology.Network
+	// originated[asn] lists the AS's injected prefixes in injection order.
+	originated map[topology.ASN][]origination
+	// best[asn] is the stable per-AS loc-RIB after Converge.
+	best map[topology.ASN]map[addr.Prefix]Route
+	// fib[asn] caches a longest-prefix-match view of best.
+	fib map[topology.ASN]*rib.Table4[Route]
+	// neighbors caches topology adjacency.
+	neighbors map[topology.ASN][]topology.ASNeighbor
+
+	converged bool
+	// Rounds records how many fixpoint rounds the last Converge took.
+	Rounds int
+}
+
+// NewSystem builds the BGP system; every domain originates its own
+// aggregate. Call Converge before queries.
+func NewSystem(net *topology.Network) *System {
+	s := &System{
+		net:        net,
+		originated: map[topology.ASN][]origination{},
+		best:       map[topology.ASN]map[addr.Prefix]Route{},
+		fib:        map[topology.ASN]*rib.Table4[Route]{},
+		neighbors:  map[topology.ASN][]topology.ASNeighbor{},
+	}
+	for _, asn := range net.ASNs() {
+		s.neighbors[asn] = net.Neighbors(asn)
+		s.Originate(asn, net.Domain(asn).Prefix)
+	}
+	return s
+}
+
+// Originate injects a prefix at asn with normal global propagation.
+func (s *System) Originate(asn topology.ASN, p addr.Prefix) {
+	s.converged = false
+	s.originated[asn] = append(s.originated[asn], origination{prefix: p})
+}
+
+// OriginateTo injects a prefix at asn advertised only to the given
+// neighbours, tagged NO_EXPORT — the paper's option-2 "peer to advertise
+// the anycast route" arrangement.
+func (s *System) OriginateTo(asn topology.ASN, p addr.Prefix, neighbors ...topology.ASN) {
+	s.converged = false
+	scope := map[topology.ASN]bool{}
+	for _, n := range neighbors {
+		scope[n] = true
+	}
+	s.originated[asn] = append(s.originated[asn], origination{prefix: p, exportTo: scope})
+}
+
+// Withdraw removes all originations of p at asn; it reports whether any
+// existed.
+func (s *System) Withdraw(asn topology.ASN, p addr.Prefix) bool {
+	out := s.originated[asn][:0]
+	removed := false
+	for _, o := range s.originated[asn] {
+		if o.prefix == p {
+			removed = true
+			continue
+		}
+		out = append(out, o)
+	}
+	s.originated[asn] = out
+	if removed {
+		s.converged = false
+	}
+	return removed
+}
+
+// Refresh re-reads the topology's inter-domain adjacency (after link
+// failures or repairs) and forces re-convergence on the next query.
+// Originations are preserved.
+func (s *System) Refresh() {
+	s.neighbors = map[topology.ASN][]topology.ASNeighbor{}
+	for _, asn := range s.net.ASNs() {
+		s.neighbors[asn] = s.net.Neighbors(asn)
+	}
+	s.converged = false
+}
+
+// SuspendOriginations temporarily removes every origination of p at asn
+// (normal and selective alike), returning a restore function that puts
+// them back verbatim. Used by the anycast bootstrap, which must observe
+// the routing state as it was before the suspending domain began
+// advertising.
+func (s *System) SuspendOriginations(asn topology.ASN, p addr.Prefix) (restore func(), found bool) {
+	var saved []origination
+	out := s.originated[asn][:0]
+	for _, o := range s.originated[asn] {
+		if o.prefix == p {
+			saved = append(saved, o)
+			continue
+		}
+		out = append(out, o)
+	}
+	s.originated[asn] = out
+	if len(saved) > 0 {
+		s.converged = false
+	}
+	return func() {
+		if len(saved) == 0 {
+			return
+		}
+		s.originated[asn] = append(s.originated[asn], saved...)
+		s.converged = false
+	}, len(saved) > 0
+}
+
+// exportsTo decides whether holder may advertise route r to the neighbour
+// with relationship rel (holder's relationship toward the neighbour),
+// under Gao-Rexford: customer-learned and self-originated routes go to
+// everyone; peer- and provider-learned routes go only to customers.
+func exportsTo(r Route, rel topology.Rel) bool {
+	if r.NoExport {
+		return false
+	}
+	if len(r.Path) == 0 || r.FromCustomer {
+		return true
+	}
+	// Routes from peers/providers: export only to customers, i.e. when we
+	// are the provider on this adjacency.
+	return rel == topology.RelProvider
+}
+
+// Converge runs the synchronous fixpoint. It is idempotent and must be
+// called after any Originate/OriginateTo/Withdraw.
+func (s *System) Converge() {
+	if s.converged {
+		return
+	}
+	asns := s.net.ASNs()
+	best := map[topology.ASN]map[addr.Prefix]Route{}
+	for _, asn := range asns {
+		best[asn] = map[addr.Prefix]Route{}
+	}
+	s.Rounds = 0
+	for {
+		s.Rounds++
+		changed := false
+		// Gather adverts destined to each AS from the previous round.
+		inbox := map[topology.ASN][]Route{}
+		for _, from := range asns {
+			// Self-originations advertise into one's own inbox at
+			// LocalPref prefSelf so they always win locally. Selective
+			// originations carry NO_EXPORT so the ordinary export loop
+			// below never re-advertises them; only the dedicated
+			// selective-advert loop does.
+			for _, o := range s.originated[from] {
+				inbox[from] = append(inbox[from], Route{
+					Prefix:    o.prefix,
+					LocalPref: prefSelf,
+					NoExport:  o.exportTo != nil,
+				})
+			}
+			for _, nb := range s.neighbors[from] {
+				rel := nb.Rel // from's relationship toward nb
+				// Ordinary best routes.
+				for _, r := range sortedRoutes(best[from]) {
+					if !exportsTo(r, rel) {
+						continue
+					}
+					adv := Route{
+						Prefix:       r.Prefix,
+						Path:         append([]topology.ASN{from}, r.Path...),
+						LocalPref:    prefFor(rel.Invert()),
+						FromCustomer: rel.Invert() == topology.RelProvider,
+					}
+					inbox[nb.ASN] = append(inbox[nb.ASN], adv)
+				}
+				// Selective originations.
+				for _, o := range s.originated[from] {
+					if o.exportTo == nil || !o.exportTo[nb.ASN] {
+						continue
+					}
+					adv := Route{
+						Prefix:       o.prefix,
+						Path:         []topology.ASN{from},
+						LocalPref:    prefFor(rel.Invert()),
+						NoExport:     true,
+						FromCustomer: rel.Invert() == topology.RelProvider,
+					}
+					inbox[nb.ASN] = append(inbox[nb.ASN], adv)
+				}
+			}
+		}
+		// Decision process per AS.
+		for _, asn := range asns {
+			next := map[addr.Prefix]Route{}
+			for _, cand := range inbox[asn] {
+				if cand.hasLoop(asn) {
+					continue
+				}
+				cur, ok := next[cand.Prefix]
+				if !ok || better(cand, cur) {
+					next[cand.Prefix] = cand
+				}
+			}
+			if !ribEqual(best[asn], next) {
+				best[asn] = next
+				changed = true
+			}
+		}
+		if !changed {
+			break
+		}
+		if s.Rounds > 4*len(asns)+8 {
+			// Gao-Rexford-safe configurations converge in O(diameter);
+			// this bound only trips on genuinely unsafe policy.
+			panic(fmt.Sprintf("bgp: no convergence after %d rounds", s.Rounds))
+		}
+	}
+	s.best = best
+	s.fib = map[topology.ASN]*rib.Table4[Route]{}
+	for _, asn := range asns {
+		t := &rib.Table4[Route]{}
+		for _, r := range best[asn] {
+			t.Insert(r.Prefix, r)
+		}
+		s.fib[asn] = t
+	}
+	s.converged = true
+}
+
+func sortedRoutes(m map[addr.Prefix]Route) []Route {
+	out := make([]Route, 0, len(m))
+	for _, r := range m {
+		out = append(out, r)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i].Prefix, out[j].Prefix
+		if a.Addr != b.Addr {
+			return a.Addr < b.Addr
+		}
+		return a.Len < b.Len
+	})
+	return out
+}
+
+func ribEqual(a, b map[addr.Prefix]Route) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for p, ra := range a {
+		rb, ok := b[p]
+		if !ok || !routeEqual(ra, rb) {
+			return false
+		}
+	}
+	return true
+}
+
+func routeEqual(a, b Route) bool {
+	if a.Prefix != b.Prefix || a.LocalPref != b.LocalPref ||
+		a.NoExport != b.NoExport || a.FromCustomer != b.FromCustomer ||
+		len(a.Path) != len(b.Path) {
+		return false
+	}
+	for i := range a.Path {
+		if a.Path[i] != b.Path[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// BestRoute returns asn's selected route for exactly prefix p.
+func (s *System) BestRoute(asn topology.ASN, p addr.Prefix) (Route, bool) {
+	s.Converge()
+	r, ok := s.best[asn][p]
+	return r, ok
+}
+
+// Lookup longest-prefix-matches dst in asn's FIB.
+func (s *System) Lookup(asn topology.ASN, dst addr.V4) (Route, bool) {
+	s.Converge()
+	t, ok := s.fib[asn]
+	if !ok {
+		return Route{}, false
+	}
+	r, _, ok := t.Lookup(dst)
+	return r, ok
+}
+
+// TableSize returns the number of prefixes in asn's loc-RIB (routing-state
+// experiments, §3.2 scalability discussion).
+func (s *System) TableSize(asn topology.ASN) int {
+	s.Converge()
+	return len(s.best[asn])
+}
+
+// ASPath returns the domain-level path a packet from inside `from`
+// follows toward dst, starting with from itself. ok is false when from
+// has no route.
+func (s *System) ASPath(from topology.ASN, dst addr.V4) ([]topology.ASN, bool) {
+	r, ok := s.Lookup(from, dst)
+	if !ok {
+		return nil, false
+	}
+	path := append([]topology.ASN{from}, r.Path...)
+	// Downstream ASes may match a more specific prefix than `from` did
+	// (e.g. a NO_EXPORT host route covering an aggregate another AS
+	// holds). Walk hop by hop and splice when the next AS diverges.
+	maxLen := 2*len(s.net.ASNs()) + 2 // guards against pathological splicing
+	for i := 0; i+1 < len(path) && len(path) <= maxLen; i++ {
+		cur := path[i+1]
+		if i+2 == len(path) {
+			break
+		}
+		nr, ok := s.Lookup(cur, dst)
+		if !ok {
+			return path[:i+2], true
+		}
+		want := nr.NextHop()
+		if want == -1 {
+			return path[:i+2], true
+		}
+		if want != path[i+2] {
+			// Splice in cur's actual continuation.
+			path = append(path[:i+2], nr.Path...)
+		}
+	}
+	return path, true
+}
+
+// LinksBetween returns every border link between adjacent domains a and
+// b, oriented From-in-a and deterministically sorted. Empty when not
+// adjacent.
+func (s *System) LinksBetween(a, b topology.ASN) []topology.InterLink {
+	for _, nb := range s.neighbors[a] {
+		if nb.ASN == b && len(nb.Links) > 0 {
+			links := append([]topology.InterLink(nil), nb.Links...)
+			sort.Slice(links, func(i, j int) bool {
+				if links[i].From != links[j].From {
+					return links[i].From < links[j].From
+				}
+				return links[i].To < links[j].To
+			})
+			return links
+		}
+	}
+	return nil
+}
+
+// LinkBetween returns the deterministic first border link between
+// adjacent domains a and b, oriented From-in-a. ok is false when they are
+// not adjacent. Forwarding walks prefer LinksBetween plus hot-potato
+// selection; this remains for callers needing any single representative
+// link.
+func (s *System) LinkBetween(a, b topology.ASN) (topology.InterLink, bool) {
+	links := s.LinksBetween(a, b)
+	if len(links) == 0 {
+		return topology.InterLink{}, false
+	}
+	return links[0], true
+}

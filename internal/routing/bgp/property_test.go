@@ -1,0 +1,166 @@
+package bgp
+
+import (
+	"testing"
+	"testing/quick"
+
+	"github.com/evolvable-net/evolve/internal/topology"
+)
+
+// relOf returns a's relationship toward b, or ok=false when not adjacent.
+func relOf(n *topology.Network, a, b topology.ASN) (topology.Rel, bool) {
+	for _, nb := range n.Neighbors(a) {
+		if nb.ASN == b {
+			return nb.Rel, true
+		}
+	}
+	return 0, false
+}
+
+// valleyFree checks the Gao-Rexford validity of an AS path: once the path
+// has traversed a peer link or gone provider→customer (downhill), it must
+// never go customer→provider (uphill) or cross another peer link.
+func valleyFree(n *topology.Network, path []topology.ASN) bool {
+	descending := false
+	for i := 0; i+1 < len(path); i++ {
+		rel, ok := relOf(n, path[i], path[i+1])
+		if !ok {
+			return false // non-adjacent hop
+		}
+		switch rel {
+		case topology.RelCustomer: // uphill: path[i] pays path[i+1]
+			if descending {
+				return false
+			}
+		case topology.RelPeer:
+			if descending {
+				return false
+			}
+			descending = true
+		case topology.RelProvider: // downhill
+			descending = true
+		}
+	}
+	return true
+}
+
+// TestAllPathsValleyFree property-tests the safety invariant: every
+// selected BGP path in every randomly generated internet is valley-free.
+// This is the global guarantee that no customer or peer is ever used for
+// transit it isn't paid for.
+func TestAllPathsValleyFree(t *testing.T) {
+	f := func(seed int64) bool {
+		n, err := topology.TransitStub(1+int(uint64(seed)%3), 2+int(uint64(seed)%3), 0.5,
+			topology.GenConfig{Seed: seed, RoutersPerDomain: 2})
+		if err != nil {
+			return false
+		}
+		s := NewSystem(n)
+		s.Converge()
+		for _, holder := range n.ASNs() {
+			for _, origin := range n.ASNs() {
+				r, ok := s.BestRoute(holder, n.Domain(origin).Prefix)
+				if !ok {
+					continue
+				}
+				full := append([]topology.ASN{holder}, r.Path...)
+				if !valleyFree(n, full) {
+					t.Logf("seed %d: valley in path %v (holder %d → origin %d)",
+						seed, full, holder, origin)
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestAllPathsValleyFreeBarabasiAlbert repeats the invariant on the
+// heavy-tailed hierarchy, where long provider chains exist.
+func TestAllPathsValleyFreeBarabasiAlbert(t *testing.T) {
+	f := func(seed int64) bool {
+		n, err := topology.BarabasiAlbert(8+int(uint64(seed)%8), 1+int(uint64(seed)%2),
+			topology.GenConfig{Seed: seed, RoutersPerDomain: 1})
+		if err != nil {
+			return false
+		}
+		s := NewSystem(n)
+		s.Converge()
+		for _, holder := range n.ASNs() {
+			for _, origin := range n.ASNs() {
+				r, ok := s.BestRoute(holder, n.Domain(origin).Prefix)
+				if !ok {
+					continue
+				}
+				full := append([]topology.ASN{holder}, r.Path...)
+				if !valleyFree(n, full) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPathsAreLoopFree: no AS ever appears twice in a selected path.
+func TestPathsAreLoopFree(t *testing.T) {
+	f := func(seed int64) bool {
+		n, err := topology.Waxman(10, 0.7, 0.5, topology.GenConfig{Seed: seed, RoutersPerDomain: 1})
+		if err != nil {
+			return false
+		}
+		s := NewSystem(n)
+		s.Converge()
+		for _, holder := range n.ASNs() {
+			for _, origin := range n.ASNs() {
+				r, ok := s.BestRoute(holder, n.Domain(origin).Prefix)
+				if !ok {
+					continue
+				}
+				seen := map[topology.ASN]bool{holder: true}
+				for _, a := range r.Path {
+					if seen[a] {
+						return false
+					}
+					seen[a] = true
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestCustomerRoutesAlwaysUsable: in a fully provider-connected hierarchy
+// (every stub has a provider path to every other), customer-originated
+// prefixes must be globally reachable — the reachability side of policy.
+func TestCustomerRoutesAlwaysUsable(t *testing.T) {
+	f := func(seed int64) bool {
+		n, err := topology.BarabasiAlbert(10, 1, topology.GenConfig{Seed: seed, RoutersPerDomain: 1})
+		if err != nil {
+			return false
+		}
+		// BA with m=1 builds a provider tree: full reachability expected.
+		s := NewSystem(n)
+		s.Converge()
+		for _, a := range n.ASNs() {
+			for _, b := range n.ASNs() {
+				if _, ok := s.BestRoute(a, n.Domain(b).Prefix); !ok {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,260 @@
+package bgp
+
+import (
+	"sort"
+
+	"github.com/evolvable-net/evolve/internal/addr"
+	"github.com/evolvable-net/evolve/internal/netsim"
+	"github.com/evolvable-net/evolve/internal/topology"
+)
+
+// This file provides the event-driven counterpart of the synchronous
+// fixpoint solver: per-AS speakers exchanging UPDATE messages over a
+// netsim fabric, with the same decision process and Gao-Rexford export
+// policy. For policy-safe configurations both converge to the same unique
+// stable routing, which the property tests assert; the session model
+// additionally measures convergence dynamics (messages, simulated time)
+// at the inter-domain level.
+
+// update is one BGP UPDATE: an advertisement (route != nil) or a
+// withdrawal for a prefix.
+type update struct {
+	prefix addr.Prefix
+	// path is the AS path as seen at the receiver (sender prepended),
+	// nil for withdrawals.
+	path     []topology.ASN
+	noExport bool
+}
+
+// Speaker is one AS's event-driven BGP process.
+type Speaker struct {
+	asn    topology.ASN
+	fabric *netsim.Fabric
+	// neighbors maps neighbour ASN → our relationship toward it.
+	neighbors map[topology.ASN]topology.Rel
+
+	// ribIn holds the latest route heard from each neighbour per prefix.
+	ribIn map[addr.Prefix]map[topology.ASN]Route
+	// loc is the selected best route per prefix.
+	loc map[addr.Prefix]Route
+	// originated are locally injected prefixes (exportTo scoping as in
+	// the fixpoint solver).
+	originated []origination
+
+	// Updates counts UPDATE messages sent (for the dynamics experiment).
+	Updates uint64
+}
+
+// NewSpeaker creates the speaker for asn and attaches it to the fabric
+// (node id = int(asn)).
+func NewSpeaker(asn topology.ASN, fabric *netsim.Fabric, neighbors map[topology.ASN]topology.Rel) *Speaker {
+	s := &Speaker{
+		asn:       asn,
+		fabric:    fabric,
+		neighbors: neighbors,
+		ribIn:     map[addr.Prefix]map[topology.ASN]Route{},
+		loc:       map[addr.Prefix]Route{},
+	}
+	fabric.Attach(int(asn), s)
+	return s
+}
+
+// Originate injects a locally originated prefix and announces it.
+func (s *Speaker) Originate(p addr.Prefix) {
+	s.originated = append(s.originated, origination{prefix: p})
+	s.loc[p] = Route{Prefix: p, LocalPref: prefSelf}
+	s.announce(p)
+}
+
+// OriginateTo injects a prefix advertised only to the listed neighbours
+// with NO_EXPORT.
+func (s *Speaker) OriginateTo(p addr.Prefix, neighbors ...topology.ASN) {
+	scope := map[topology.ASN]bool{}
+	for _, n := range neighbors {
+		scope[n] = true
+	}
+	s.originated = append(s.originated, origination{prefix: p, exportTo: scope})
+	if _, ok := s.loc[p]; !ok {
+		s.loc[p] = Route{Prefix: p, LocalPref: prefSelf, NoExport: scope != nil}
+	}
+	for _, nb := range s.sortedNeighbors() {
+		if scope[nb] {
+			s.sendAdvert(nb, p, Route{Prefix: p, LocalPref: prefSelf}, true)
+		}
+	}
+}
+
+// Withdraw removes a local origination and propagates the withdrawal.
+func (s *Speaker) Withdraw(p addr.Prefix) {
+	out := s.originated[:0]
+	removed := false
+	for _, o := range s.originated {
+		if o.prefix == p {
+			removed = true
+			continue
+		}
+		out = append(out, o)
+	}
+	s.originated = out
+	if !removed {
+		return
+	}
+	s.reselect(p)
+}
+
+// Best returns the speaker's selected route for p.
+func (s *Speaker) Best(p addr.Prefix) (Route, bool) {
+	r, ok := s.loc[p]
+	return r, ok
+}
+
+// TableSize returns the loc-RIB size.
+func (s *Speaker) TableSize() int { return len(s.loc) }
+
+func (s *Speaker) sortedNeighbors() []topology.ASN {
+	out := make([]topology.ASN, 0, len(s.neighbors))
+	for n := range s.neighbors {
+		out = append(out, n)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// announce advertises the current best for p to every eligible neighbour
+// (or withdraws it where no longer eligible/present).
+func (s *Speaker) announce(p addr.Prefix) {
+	best, have := s.loc[p]
+	for _, nb := range s.sortedNeighbors() {
+		rel := s.neighbors[nb]
+		if have && exportsTo(best, rel) && !best.hasLoop(nb) {
+			s.sendAdvert(nb, p, best, false)
+		} else {
+			s.sendWithdraw(nb, p)
+		}
+	}
+}
+
+func (s *Speaker) sendAdvert(nb topology.ASN, p addr.Prefix, r Route, noExport bool) {
+	s.Updates++
+	s.fabric.Send(int(s.asn), int(nb), update{
+		prefix:   p,
+		path:     append([]topology.ASN{s.asn}, r.Path...),
+		noExport: noExport || r.NoExport,
+	})
+}
+
+func (s *Speaker) sendWithdraw(nb topology.ASN, p addr.Prefix) {
+	s.Updates++
+	s.fabric.Send(int(s.asn), int(nb), update{prefix: p})
+}
+
+// Receive implements netsim.Handler.
+func (s *Speaker) Receive(from int, msg any) {
+	u, ok := msg.(update)
+	if !ok {
+		return
+	}
+	nbr := topology.ASN(from)
+	rel, adjacent := s.neighbors[nbr]
+	if !adjacent {
+		return
+	}
+	in := s.ribIn[u.prefix]
+	if in == nil {
+		in = map[topology.ASN]Route{}
+		s.ribIn[u.prefix] = in
+	}
+	if u.path == nil {
+		delete(in, nbr)
+	} else {
+		in[nbr] = Route{
+			Prefix:       u.prefix,
+			Path:         u.path,
+			LocalPref:    prefFor(rel),
+			NoExport:     u.noExport,
+			FromCustomer: rel == topology.RelProvider,
+		}
+	}
+	s.reselect(u.prefix)
+}
+
+// reselect re-runs the decision process for p and re-announces on change.
+func (s *Speaker) reselect(p addr.Prefix) {
+	var best Route
+	have := false
+	for _, o := range s.originated {
+		if o.prefix == p {
+			best = Route{Prefix: p, LocalPref: prefSelf, NoExport: o.exportTo != nil}
+			have = true
+		}
+	}
+	for _, cand := range s.ribInSorted(p) {
+		if cand.hasLoop(s.asn) {
+			continue
+		}
+		if !have || better(cand, best) {
+			best, have = cand, true
+		}
+	}
+	cur, had := s.loc[p]
+	switch {
+	case !have && !had:
+		return
+	case have && had && routeEqual(cur, best):
+		return
+	case have:
+		s.loc[p] = best
+	default:
+		delete(s.loc, p)
+	}
+	s.announce(p)
+}
+
+func (s *Speaker) ribInSorted(p addr.Prefix) []Route {
+	in := s.ribIn[p]
+	nbrs := make([]topology.ASN, 0, len(in))
+	for n := range in {
+		nbrs = append(nbrs, n)
+	}
+	sort.Slice(nbrs, func(i, j int) bool { return nbrs[i] < nbrs[j] })
+	out := make([]Route, 0, len(in))
+	for _, n := range nbrs {
+		out = append(out, in[n])
+	}
+	return out
+}
+
+// SessionSystem wires one Speaker per AS over a fabric whose node ids are
+// the ASNs, with link latencies from the first physical link between each
+// AS pair.
+type SessionSystem struct {
+	Speakers map[topology.ASN]*Speaker
+	net      *topology.Network
+}
+
+// NewSessionSystem builds the speakers and links; every domain originates
+// its aggregate (announcements flow once the engine runs).
+func NewSessionSystem(net *topology.Network, fabric *netsim.Fabric) *SessionSystem {
+	ss := &SessionSystem{Speakers: map[topology.ASN]*Speaker{}, net: net}
+	for _, asn := range net.ASNs() {
+		nbrs := map[topology.ASN]topology.Rel{}
+		for _, nb := range net.Neighbors(asn) {
+			nbrs[nb.ASN] = nb.Rel
+			fabric.Connect(int(asn), int(nb.ASN), netsim.Time(nb.Links[0].Latency))
+		}
+		ss.Speakers[asn] = NewSpeaker(asn, fabric, nbrs)
+	}
+	for _, asn := range net.ASNs() {
+		ss.Speakers[asn].Originate(net.Domain(asn).Prefix)
+	}
+	return ss
+}
+
+// TotalUpdates sums UPDATE messages across speakers.
+func (ss *SessionSystem) TotalUpdates() uint64 {
+	var n uint64
+	for _, s := range ss.Speakers {
+		n += s.Updates
+	}
+	return n
+}

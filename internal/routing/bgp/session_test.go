@@ -1,0 +1,193 @@
+package bgp
+
+import (
+	"testing"
+	"testing/quick"
+
+	"github.com/evolvable-net/evolve/internal/addr"
+	"github.com/evolvable-net/evolve/internal/netsim"
+	"github.com/evolvable-net/evolve/internal/topology"
+)
+
+// runSessions builds the event-driven system over net and runs it to
+// quiescence.
+func runSessions(net *topology.Network) (*SessionSystem, *netsim.Engine) {
+	eng := netsim.NewEngine()
+	fab := netsim.NewFabric(eng)
+	ss := NewSessionSystem(net, fab)
+	eng.Run(0)
+	return ss, eng
+}
+
+// TestSessionMatchesFixpoint: the asynchronous message-passing BGP and
+// the synchronous fixpoint solver converge to the same loc-RIBs on random
+// internets — policy-safe configurations have a unique stable routing.
+func TestSessionMatchesFixpoint(t *testing.T) {
+	f := func(seed int64) bool {
+		net, err := topology.TransitStub(1+int(uint64(seed)%3), 2+int(uint64(seed)%3), 0.4,
+			topology.GenConfig{Seed: seed, RoutersPerDomain: 2})
+		if err != nil {
+			return false
+		}
+		fix := NewSystem(net)
+		fix.Converge()
+		ss, _ := runSessions(net)
+		for _, holder := range net.ASNs() {
+			for _, origin := range net.ASNs() {
+				p := net.Domain(origin).Prefix
+				fr, fok := fix.BestRoute(holder, p)
+				sr, sok := ss.Speakers[holder].Best(p)
+				if fok != sok {
+					t.Logf("seed %d: AS%d→%s presence differs (fix %v session %v)",
+						seed, holder, p, fok, sok)
+					return false
+				}
+				if fok && !routeEqual(fr, sr) {
+					t.Logf("seed %d: AS%d→%s differs:\n fix %+v\n ses %+v",
+						seed, holder, p, fr, sr)
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSessionMatchesFixpointBA(t *testing.T) {
+	f := func(seed int64) bool {
+		net, err := topology.BarabasiAlbert(8+int(uint64(seed)%6), 2,
+			topology.GenConfig{Seed: seed, RoutersPerDomain: 1})
+		if err != nil {
+			return false
+		}
+		fix := NewSystem(net)
+		fix.Converge()
+		ss, _ := runSessions(net)
+		for _, holder := range net.ASNs() {
+			for _, origin := range net.ASNs() {
+				p := net.Domain(origin).Prefix
+				fr, fok := fix.BestRoute(holder, p)
+				sr, sok := ss.Speakers[holder].Best(p)
+				if fok != sok || (fok && !routeEqual(fr, sr)) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSessionAnycastMultiOrigin(t *testing.T) {
+	// Two stubs originate the same anycast host route asynchronously;
+	// every AS converges to the same choice the fixpoint makes.
+	net, err := topology.TransitStub(2, 3, 0, topology.GenConfig{Seed: 8, RoutersPerDomain: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, _ := addr.Option1Address(0)
+	hp := addr.HostPrefix(a)
+	o1 := net.DomainByName("S0.0").ASN
+	o2 := net.DomainByName("S1.2").ASN
+
+	fix := NewSystem(net)
+	fix.Originate(o1, hp)
+	fix.Originate(o2, hp)
+	fix.Converge()
+
+	eng := netsim.NewEngine()
+	fab := netsim.NewFabric(eng)
+	ss := NewSessionSystem(net, fab)
+	eng.Run(0)
+	ss.Speakers[o1].Originate(hp)
+	ss.Speakers[o2].Originate(hp)
+	eng.Run(0)
+
+	for _, asn := range net.ASNs() {
+		fr, fok := fix.BestRoute(asn, hp)
+		sr, sok := ss.Speakers[asn].Best(hp)
+		if fok != sok || (fok && !routeEqual(fr, sr)) {
+			t.Errorf("AS%d anycast differs: fix %+v(%v) session %+v(%v)", asn, fr, fok, sr, sok)
+		}
+	}
+}
+
+func TestSessionWithdrawPropagates(t *testing.T) {
+	net, err := topology.TransitStub(2, 2, 0, topology.GenConfig{Seed: 9, RoutersPerDomain: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, _ := addr.Option1Address(0)
+	hp := addr.HostPrefix(a)
+	origin := net.DomainByName("S1.1").ASN
+	other := net.DomainByName("S0.0").ASN
+
+	eng := netsim.NewEngine()
+	fab := netsim.NewFabric(eng)
+	ss := NewSessionSystem(net, fab)
+	eng.Run(0)
+	ss.Speakers[origin].Originate(hp)
+	eng.Run(0)
+	if _, ok := ss.Speakers[other].Best(hp); !ok {
+		t.Fatal("anycast route did not propagate")
+	}
+	ss.Speakers[origin].Withdraw(hp)
+	eng.Run(0)
+	if r, ok := ss.Speakers[other].Best(hp); ok {
+		t.Errorf("withdrawn route survives: %+v", r)
+	}
+	// Originals unaffected.
+	if _, ok := ss.Speakers[other].Best(net.Domain(origin).Prefix); !ok {
+		t.Error("aggregate lost during anycast withdrawal")
+	}
+}
+
+func TestSessionNoExportScoping(t *testing.T) {
+	// Chain T ← M ← S: S advertises a host route only to M with
+	// NO_EXPORT; T must never learn it, asynchronously too.
+	b := topology.NewBuilder()
+	dT := b.AddDomain("T")
+	dM := b.AddDomain("M")
+	dS := b.AddDomain("S")
+	rT := b.AddRouter(dT, "")
+	rM := b.AddRouter(dM, "")
+	rS := b.AddRouter(dS, "")
+	b.Provide(rT, rM, 10)
+	b.Provide(rM, rS, 10)
+	net, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := netsim.NewEngine()
+	fab := netsim.NewFabric(eng)
+	ss := NewSessionSystem(net, fab)
+	eng.Run(0)
+	p := addr.MustParsePrefix("200.0.0.1/32")
+	ss.Speakers[dS.ASN].OriginateTo(p, dM.ASN)
+	eng.Run(0)
+	if r, ok := ss.Speakers[dM.ASN].Best(p); !ok || !r.NoExport {
+		t.Errorf("M's scoped route = %+v ok %v", r, ok)
+	}
+	if _, ok := ss.Speakers[dT.ASN].Best(p); ok {
+		t.Error("NO_EXPORT leaked upstream asynchronously")
+	}
+}
+
+func TestSessionUpdateCounts(t *testing.T) {
+	net, err := topology.TransitStub(2, 4, 0.3, topology.GenConfig{Seed: 10, RoutersPerDomain: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ss, eng := runSessions(net)
+	if ss.TotalUpdates() == 0 {
+		t.Error("no updates counted")
+	}
+	if eng.Processed() == 0 {
+		t.Error("no events processed")
+	}
+}

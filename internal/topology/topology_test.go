@@ -1,0 +1,301 @@
+package topology
+
+import (
+	"testing"
+
+	"github.com/evolvable-net/evolve/internal/graph"
+)
+
+// buildPair returns a two-domain network: X (provider) — Z (customer),
+// two routers each.
+func buildPair(t *testing.T) (*Network, *Domain, *Domain) {
+	t.Helper()
+	b := NewBuilder()
+	x := b.AddDomain("X")
+	z := b.AddDomain("Z")
+	xr := b.AddRouters(x, 2)
+	zr := b.AddRouters(z, 2)
+	b.IntraLink(xr[0], xr[1], 5)
+	b.IntraLink(zr[0], zr[1], 5)
+	b.Provide(xr[1], zr[0], 20)
+	n, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return n, x, z
+}
+
+func TestBuilderBasics(t *testing.T) {
+	n, x, z := buildPair(t)
+	if len(n.ASNs()) != 2 {
+		t.Fatalf("ASNs = %v", n.ASNs())
+	}
+	if n.Domain(x.ASN).Name != "X" || n.DomainByName("Z").ASN != z.ASN {
+		t.Error("domain lookup broken")
+	}
+	if n.DomainByName("nope") != nil {
+		t.Error("missing domain should be nil")
+	}
+	if len(n.Routers) != 4 {
+		t.Errorf("routers = %d", len(n.Routers))
+	}
+	// Border flags: xr[1] and zr[0] terminate the inter link.
+	borders := n.BorderRouters(x.ASN)
+	if len(borders) != 1 || n.Router(borders[0]).Name != "X-r1" {
+		t.Errorf("X borders = %v", borders)
+	}
+}
+
+func TestRouterAddressesUniqueAndInPrefix(t *testing.T) {
+	n, _, _ := buildPair(t)
+	seen := map[string]bool{}
+	for _, r := range n.Routers {
+		d := n.Domain(r.Domain)
+		if !d.Prefix.Contains(r.Loopback) {
+			t.Errorf("router %s loopback %s outside %s", r.Name, r.Loopback, d.Prefix)
+		}
+		s := r.Loopback.String()
+		if seen[s] {
+			t.Errorf("duplicate loopback %s", s)
+		}
+		seen[s] = true
+	}
+}
+
+func TestNeighbors(t *testing.T) {
+	n, x, z := buildPair(t)
+	xn := n.Neighbors(x.ASN)
+	if len(xn) != 1 || xn[0].ASN != z.ASN || xn[0].Rel != RelProvider {
+		t.Fatalf("X neighbors = %+v", xn)
+	}
+	zn := n.Neighbors(z.ASN)
+	if len(zn) != 1 || zn[0].ASN != x.ASN || zn[0].Rel != RelCustomer {
+		t.Fatalf("Z neighbors = %+v", zn)
+	}
+	// Link orientation: From must be inside the subject domain.
+	if n.DomainOf(zn[0].Links[0].From) != z.ASN {
+		t.Error("neighbor link not reoriented")
+	}
+}
+
+func TestRelInvert(t *testing.T) {
+	if RelProvider.Invert() != RelCustomer || RelCustomer.Invert() != RelProvider || RelPeer.Invert() != RelPeer {
+		t.Error("Invert wrong")
+	}
+	if RelProvider.String() != "provider" || RelCustomer.String() != "customer" || RelPeer.String() != "peer" {
+		t.Error("String wrong")
+	}
+}
+
+func TestIntraGraphStaysInsideDomain(t *testing.T) {
+	n, x, z := buildPair(t)
+	reach := n.Intra.BFS(int(x.Routers[0]))
+	for _, rid := range z.Routers {
+		if reach[rid] < graph.Inf {
+			t.Error("intra graph leaks across domains")
+		}
+	}
+}
+
+func TestRouterGraphIncludesInterLinks(t *testing.T) {
+	n, x, z := buildPair(t)
+	g := n.RouterGraph()
+	spt := g.Dijkstra(int(x.Routers[0]))
+	// X-r0 →5→ X-r1 →20→ Z-r0 →5→ Z-r1
+	if spt.Dist[z.Routers[1]] != 30 {
+		t.Errorf("cross-domain dist = %d, want 30", spt.Dist[z.Routers[1]])
+	}
+}
+
+func TestHosts(t *testing.T) {
+	b := NewBuilder()
+	x := b.AddDomain("X")
+	rs := b.AddRouters(x, 1)
+	h := b.AddHost(x, rs[0], "c", 3)
+	n, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Addr == n.Router(rs[0]).Loopback {
+		t.Error("host shares router address")
+	}
+	if !x.Prefix.Contains(h.Addr) {
+		t.Error("host address outside domain prefix")
+	}
+	if got := n.FindHost(h.Addr); got == nil || got.ID != h.ID {
+		t.Error("FindHost failed")
+	}
+	if n.FindHost(0) != nil {
+		t.Error("FindHost on unknown address should be nil")
+	}
+	if got := n.RouterByLoopback(n.Router(rs[0]).Loopback); got == nil || got.ID != rs[0] {
+		t.Error("RouterByLoopback failed")
+	}
+	if hs := n.HostsIn(x.ASN); len(hs) != 1 || hs[0].Name != "c" {
+		t.Errorf("HostsIn = %v", hs)
+	}
+}
+
+func TestBuilderRejectsCrossDomainIntraLink(t *testing.T) {
+	b := NewBuilder()
+	x := b.AddDomain("X")
+	z := b.AddDomain("Z")
+	xr := b.AddRouter(x, "")
+	zr := b.AddRouter(z, "")
+	b.IntraLink(xr, zr, 1)
+	if _, err := b.Build(); err == nil {
+		t.Error("cross-domain intra link accepted")
+	}
+}
+
+func TestBuilderRejectsIntraDomainInterLink(t *testing.T) {
+	b := NewBuilder()
+	x := b.AddDomain("X")
+	rs := b.AddRouters(x, 2)
+	b.IntraLink(rs[0], rs[1], 1)
+	b.Peer(rs[0], rs[1], 1)
+	if _, err := b.Build(); err == nil {
+		t.Error("intra-domain inter link accepted")
+	}
+}
+
+func TestBuilderRejectsPartitionedDomain(t *testing.T) {
+	b := NewBuilder()
+	x := b.AddDomain("X")
+	b.AddRouters(x, 2) // no intra link between them
+	if _, err := b.Build(); err == nil {
+		t.Error("partitioned domain accepted")
+	}
+}
+
+func TestBuilderRejectsEmpty(t *testing.T) {
+	if _, err := NewBuilder().Build(); err == nil {
+		t.Error("empty network accepted")
+	}
+	b := NewBuilder()
+	b.AddDomain("X")
+	if _, err := b.Build(); err == nil {
+		t.Error("routerless domain accepted")
+	}
+}
+
+func TestDomainPrefixesDisjoint(t *testing.T) {
+	for a := ASN(1); a <= 50; a++ {
+		for b := a + 1; b <= 50; b++ {
+			if DomainPrefix(a).Overlaps(DomainPrefix(b)) {
+				t.Fatalf("prefixes of AS%d and AS%d overlap", a, b)
+			}
+		}
+	}
+}
+
+func checkGenerated(t *testing.T, n *Network, err error) {
+	t.Helper()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Whole-internet connectivity at the router level.
+	if !n.RouterGraph().Connected() {
+		t.Error("generated internet not connected")
+	}
+	// Every inter link terminates at border routers of distinct domains.
+	for _, l := range n.Inter {
+		if n.DomainOf(l.From) == n.DomainOf(l.To) {
+			t.Error("inter link inside a domain")
+		}
+		if !n.Router(l.From).Border || !n.Router(l.To).Border {
+			t.Error("inter link endpoint not marked border")
+		}
+	}
+}
+
+func TestRingOfDomains(t *testing.T) {
+	for _, style := range []IntraStyle{IntraRing, IntraStar, IntraGrid, IntraRandom} {
+		n, err := RingOfDomains(5, GenConfig{Seed: 7, RoutersPerDomain: 5, HostsPerDomain: 2, Intra: style})
+		checkGenerated(t, n, err)
+		if len(n.ASNs()) != 5 {
+			t.Errorf("style %d: domains = %d", style, len(n.ASNs()))
+		}
+		if len(n.Inter) != 5 {
+			t.Errorf("style %d: inter links = %d, want 5", style, len(n.Inter))
+		}
+		if len(n.Hosts) != 10 {
+			t.Errorf("style %d: hosts = %d", style, len(n.Hosts))
+		}
+	}
+	if _, err := RingOfDomains(1, GenConfig{}); err == nil {
+		t.Error("ring of 1 accepted")
+	}
+}
+
+func TestTransitStub(t *testing.T) {
+	n, err := TransitStub(3, 4, 0.5, GenConfig{Seed: 11, RoutersPerDomain: 3, HostsPerDomain: 1})
+	checkGenerated(t, n, err)
+	if len(n.ASNs()) != 3+12 {
+		t.Errorf("domains = %d", len(n.ASNs()))
+	}
+	// Stubs must not provide transit: every stub is a customer on all its
+	// inter-domain links.
+	for _, asn := range n.ASNs() {
+		d := n.Domain(asn)
+		if d.Name[0] != 'S' {
+			continue
+		}
+		for _, nb := range n.Neighbors(asn) {
+			if nb.Rel != RelCustomer {
+				t.Errorf("stub %s has non-customer relationship %s", d.Name, nb.Rel)
+			}
+		}
+	}
+	if _, err := TransitStub(0, 1, 0, GenConfig{}); err == nil {
+		t.Error("zero transits accepted")
+	}
+}
+
+func TestWaxman(t *testing.T) {
+	n, err := Waxman(12, 0.6, 0.4, GenConfig{Seed: 3, RoutersPerDomain: 2})
+	checkGenerated(t, n, err)
+	if len(n.ASNs()) != 12 {
+		t.Errorf("domains = %d", len(n.ASNs()))
+	}
+	if _, err := Waxman(1, 0.5, 0.5, GenConfig{}); err == nil {
+		t.Error("waxman of 1 accepted")
+	}
+}
+
+func TestBarabasiAlbert(t *testing.T) {
+	n, err := BarabasiAlbert(15, 2, GenConfig{Seed: 5, RoutersPerDomain: 2})
+	checkGenerated(t, n, err)
+	if len(n.ASNs()) != 15 {
+		t.Errorf("domains = %d", len(n.ASNs()))
+	}
+	// The first domain should have accumulated high degree (hub).
+	first := n.ASNs()[0]
+	if len(n.Neighbors(first)) < 2 {
+		t.Errorf("hub degree = %d", len(n.Neighbors(first)))
+	}
+	if _, err := BarabasiAlbert(1, 1, GenConfig{}); err == nil {
+		t.Error("BA of 1 accepted")
+	}
+}
+
+func TestGeneratorsDeterministic(t *testing.T) {
+	a, err1 := TransitStub(2, 3, 0.3, GenConfig{Seed: 42, HostsPerDomain: 1})
+	b, err2 := TransitStub(2, 3, 0.3, GenConfig{Seed: 42, HostsPerDomain: 1})
+	if err1 != nil || err2 != nil {
+		t.Fatal(err1, err2)
+	}
+	if len(a.Inter) != len(b.Inter) {
+		t.Fatal("different inter-link counts for same seed")
+	}
+	for i := range a.Inter {
+		if a.Inter[i] != b.Inter[i] {
+			t.Fatalf("inter link %d differs: %+v vs %+v", i, a.Inter[i], b.Inter[i])
+		}
+	}
+	for i := range a.Hosts {
+		if a.Hosts[i].Addr != b.Hosts[i].Addr || a.Hosts[i].Attach != b.Hosts[i].Attach {
+			t.Fatalf("host %d differs", i)
+		}
+	}
+}

@@ -1,0 +1,161 @@
+// Package tunnel manages IPvN-in-IPv(N-1) tunnels: the encapsulation an
+// endhost uses to reach the anycast-addressed IPvN ingress, and the
+// configured tunnels that stitch vN-Bone routers together across
+// non-participating infrastructure (§3.3, §3.4). It operates at the wire
+// level on the formats of internal/packet.
+package tunnel
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"github.com/evolvable-net/evolve/internal/addr"
+	"github.com/evolvable-net/evolve/internal/packet"
+)
+
+// Errors.
+var (
+	// ErrNotForUs is returned when decapsulating a packet whose outer
+	// destination is not the local endpoint.
+	ErrNotForUs = errors.New("tunnel: outer destination is not local")
+	// ErrHopLimit is returned when the inner hop limit expires.
+	ErrHopLimit = errors.New("tunnel: inner hop limit exceeded")
+	// ErrNoTunnel is returned when sending to an unconfigured remote.
+	ErrNoTunnel = errors.New("tunnel: no tunnel to remote")
+)
+
+// Tunnel is one configured point-to-point tunnel.
+type Tunnel struct {
+	// Name is a human label ("Q-to-D").
+	Name string
+	// Local and Remote are the underlay endpoints.
+	Local, Remote addr.V4
+	// TTL is the outer packet's hop limit (0 = default).
+	TTL uint8
+}
+
+// Stats counts per-endpoint tunnel activity.
+type Stats struct {
+	Encapsulated uint64
+	Decapsulated uint64
+	Rejected     uint64
+}
+
+// Endpoint is the tunnel machinery of one node (host or IPvN router).
+type Endpoint struct {
+	// Local is the node's underlay address.
+	Local addr.V4
+
+	tunnels map[addr.V4]*Tunnel
+	stats   Stats
+	buf     *packet.SerializeBuffer
+}
+
+// NewEndpoint returns the tunnel endpoint for a node.
+func NewEndpoint(local addr.V4) *Endpoint {
+	return &Endpoint{
+		Local:   local,
+		tunnels: map[addr.V4]*Tunnel{},
+		buf:     packet.NewSerializeBuffer(),
+	}
+}
+
+// Add configures a tunnel to remote, replacing any existing one.
+func (e *Endpoint) Add(name string, remote addr.V4, ttl uint8) *Tunnel {
+	t := &Tunnel{Name: name, Local: e.Local, Remote: remote, TTL: ttl}
+	e.tunnels[remote] = t
+	return t
+}
+
+// Remove tears down the tunnel to remote; it reports whether one existed.
+func (e *Endpoint) Remove(remote addr.V4) bool {
+	if _, ok := e.tunnels[remote]; !ok {
+		return false
+	}
+	delete(e.tunnels, remote)
+	return true
+}
+
+// Lookup returns the tunnel to remote.
+func (e *Endpoint) Lookup(remote addr.V4) (*Tunnel, bool) {
+	t, ok := e.tunnels[remote]
+	return t, ok
+}
+
+// List returns the configured tunnels sorted by remote address.
+func (e *Endpoint) List() []*Tunnel {
+	out := make([]*Tunnel, 0, len(e.tunnels))
+	for _, t := range e.tunnels {
+		out = append(out, t)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Remote < out[j].Remote })
+	return out
+}
+
+// Stats returns a copy of the endpoint's counters.
+func (e *Endpoint) Stats() Stats { return e.stats }
+
+// Encap wraps an IPvN packet for transmission through the tunnel to
+// remote. The inner hop limit is decremented (the tunnel transit is one
+// IPvN hop); ErrHopLimit is returned when it expires.
+func (e *Endpoint) Encap(remote addr.V4, inner packet.VNHeader, payload []byte) ([]byte, error) {
+	t, ok := e.tunnels[remote]
+	if !ok {
+		return nil, ErrNoTunnel
+	}
+	return e.encap(t.Remote, t.TTL, inner, payload)
+}
+
+// EncapTo wraps an IPvN packet toward an arbitrary underlay destination
+// without a configured tunnel — the endhost's "encapsulate toward the
+// anycast address" operation (§3.1), where no provisioning exists by
+// design.
+func (e *Endpoint) EncapTo(outerDst addr.V4, inner packet.VNHeader, payload []byte) ([]byte, error) {
+	return e.encap(outerDst, 0, inner, payload)
+}
+
+func (e *Endpoint) encap(outerDst addr.V4, ttl uint8, inner packet.VNHeader, payload []byte) ([]byte, error) {
+	if inner.HopLimit == 0 {
+		inner.HopLimit = packet.DefaultHopLimit
+	}
+	if inner.HopLimit <= 1 {
+		e.stats.Rejected++
+		return nil, ErrHopLimit
+	}
+	inner.HopLimit--
+	outer := packet.V4Header{
+		Proto: packet.ProtoVNEncap,
+		TTL:   ttl,
+		Src:   e.Local,
+		Dst:   outerDst,
+	}
+	if err := packet.Serialize(e.buf, payload, &outer, &inner); err != nil {
+		e.stats.Rejected++
+		return nil, err
+	}
+	e.stats.Encapsulated++
+	return append([]byte(nil), e.buf.Bytes()...), nil
+}
+
+// Decap unwraps a tunnelled packet addressed to this endpoint, returning
+// the outer source, the inner IPvN header and the innermost payload.
+func (e *Endpoint) Decap(wire []byte) (from addr.V4, inner packet.VNHeader, payload []byte, err error) {
+	outer, vn, pl, err := packet.DecapVN(wire)
+	if err != nil {
+		e.stats.Rejected++
+		return 0, packet.VNHeader{}, nil, err
+	}
+	if outer.Dst != e.Local {
+		e.stats.Rejected++
+		return 0, packet.VNHeader{}, nil, fmt.Errorf("%w: %s", ErrNotForUs, outer.Dst)
+	}
+	e.stats.Decapsulated++
+	return outer.Src, vn, pl, nil
+}
+
+// Relay re-encapsulates a just-decapsulated packet into the tunnel toward
+// next — the per-hop operation of a vN-Bone transit router.
+func (e *Endpoint) Relay(next addr.V4, inner packet.VNHeader, payload []byte) ([]byte, error) {
+	return e.Encap(next, inner, payload)
+}

@@ -1,0 +1,199 @@
+package tunnel
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"github.com/evolvable-net/evolve/internal/addr"
+	"github.com/evolvable-net/evolve/internal/packet"
+)
+
+var (
+	locA = addr.MustParseV4("10.0.0.1")
+	locB = addr.MustParseV4("20.0.0.1")
+	locC = addr.MustParseV4("30.0.0.1")
+)
+
+func vnHeader() packet.VNHeader {
+	return packet.VNHeader{
+		Version:  8,
+		HopLimit: 10,
+		Src:      addr.SelfAddress(locA),
+		Dst:      addr.VN{Hi: 7, Lo: 9},
+	}
+}
+
+func TestEncapDecapAcrossTunnel(t *testing.T) {
+	a := NewEndpoint(locA)
+	b := NewEndpoint(locB)
+	a.Add("a-b", locB, 0)
+
+	wire, err := a.Encap(locB, vnHeader(), []byte("data"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	from, inner, payload, err := b.Decap(wire)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if from != locA {
+		t.Errorf("from = %s", from)
+	}
+	if inner.HopLimit != 9 {
+		t.Errorf("hop limit = %d, want decremented 9", inner.HopLimit)
+	}
+	if !bytes.Equal(payload, []byte("data")) {
+		t.Errorf("payload = %q", payload)
+	}
+	if a.Stats().Encapsulated != 1 || b.Stats().Decapsulated != 1 {
+		t.Errorf("stats: %+v %+v", a.Stats(), b.Stats())
+	}
+}
+
+func TestEncapWithoutTunnelFails(t *testing.T) {
+	a := NewEndpoint(locA)
+	if _, err := a.Encap(locB, vnHeader(), nil); !errors.Is(err, ErrNoTunnel) {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestEncapToAnycastNeedsNoTunnel(t *testing.T) {
+	a := NewEndpoint(locA)
+	any, _ := addr.Option1Address(0)
+	wire, err := a.EncapTo(any, vnHeader(), []byte("x"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	outer, _, err := packet.DecodeV4(wire)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if outer.Dst != any || outer.Src != locA || outer.Proto != packet.ProtoVNEncap {
+		t.Errorf("outer = %+v", outer)
+	}
+}
+
+func TestDecapRejectsForeignDestination(t *testing.T) {
+	a := NewEndpoint(locA)
+	c := NewEndpoint(locC)
+	a.Add("a-b", locB, 0)
+	wire, err := a.Encap(locB, vnHeader(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, _, err := c.Decap(wire); !errors.Is(err, ErrNotForUs) {
+		t.Errorf("err = %v", err)
+	}
+	if c.Stats().Rejected != 1 {
+		t.Errorf("rejected = %d", c.Stats().Rejected)
+	}
+}
+
+func TestDecapRejectsGarbage(t *testing.T) {
+	a := NewEndpoint(locA)
+	if _, _, _, err := a.Decap([]byte{1, 2, 3}); err == nil {
+		t.Error("garbage decapped")
+	}
+}
+
+func TestHopLimitExpiresAcrossRelays(t *testing.T) {
+	// A three-node chain; hop limit 3 permits exactly two tunnel transits
+	// (decremented on each encap): A→B ok, B→C ok, C→… fails.
+	a := NewEndpoint(locA)
+	b := NewEndpoint(locB)
+	c := NewEndpoint(locC)
+	a.Add("", locB, 0)
+	b.Add("", locC, 0)
+	c.Add("", locA, 0)
+
+	h := vnHeader()
+	h.HopLimit = 3
+	wire, err := a.Encap(locB, h, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, inner, payload, err := b.Decap(wire)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wire, err = b.Relay(locC, inner, payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, inner, payload, err = c.Decap(wire)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inner.HopLimit != 1 {
+		t.Fatalf("hop limit = %d", inner.HopLimit)
+	}
+	if _, err := c.Relay(locA, inner, payload); !errors.Is(err, ErrHopLimit) {
+		t.Errorf("err = %v, want ErrHopLimit", err)
+	}
+}
+
+func TestTableOperations(t *testing.T) {
+	a := NewEndpoint(locA)
+	a.Add("to-b", locB, 32)
+	a.Add("to-c", locC, 0)
+	if got := a.List(); len(got) != 2 || got[0].Remote != locB || got[1].Remote != locC {
+		t.Errorf("List = %v", got)
+	}
+	tn, ok := a.Lookup(locB)
+	if !ok || tn.Name != "to-b" || tn.TTL != 32 {
+		t.Errorf("Lookup = %+v ok %v", tn, ok)
+	}
+	if !a.Remove(locB) || a.Remove(locB) {
+		t.Error("Remove semantics wrong")
+	}
+	if _, ok := a.Lookup(locB); ok {
+		t.Error("removed tunnel still present")
+	}
+	// Replacing a tunnel keeps one entry.
+	a.Add("to-c2", locC, 0)
+	if len(a.List()) != 1 {
+		t.Error("replacement duplicated tunnel")
+	}
+}
+
+func TestUnderlayDstOptionSurvivesTunnel(t *testing.T) {
+	a := NewEndpoint(locA)
+	b := NewEndpoint(locB)
+	a.Add("", locB, 0)
+	h := vnHeader().WithUnderlayDst(locC)
+	wire, err := a.Encap(locB, h, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, inner, _, err := b.Decap(wire)
+	if err != nil {
+		t.Fatal(err)
+	}
+	u, ok := inner.UnderlayDst()
+	if !ok || u != locC {
+		t.Errorf("UnderlayDst = %s ok %v", u, ok)
+	}
+}
+
+func BenchmarkEncapDecapRelay(b *testing.B) {
+	a := NewEndpoint(locA)
+	m := NewEndpoint(locB)
+	a.Add("", locB, 0)
+	m.Add("", locC, 0)
+	payload := make([]byte, 256)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		wire, err := a.Encap(locB, vnHeader(), payload)
+		if err != nil {
+			b.Fatal(err)
+		}
+		_, inner, pl, err := m.Decap(wire)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := m.Relay(locC, inner, pl); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

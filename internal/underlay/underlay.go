@@ -1,0 +1,138 @@
+// Package underlay provides cached shortest-path views over a topology:
+// converged-IGP distances inside each domain and ground-truth router-level
+// distances over the whole internet. The event-driven protocols in
+// internal/routing compute the same answers message by message; the
+// experiment harness uses these closed forms for speed, and tests assert
+// the two agree.
+package underlay
+
+import (
+	"github.com/evolvable-net/evolve/internal/graph"
+	"github.com/evolvable-net/evolve/internal/topology"
+)
+
+// View caches single-source shortest-path trees lazily.
+type View struct {
+	net  *topology.Network
+	full *graph.Graph
+
+	intraSPT map[topology.RouterID]*graph.SPT
+	fullSPT  map[topology.RouterID]*graph.SPT
+}
+
+// NewView returns a view over net.
+func NewView(net *topology.Network) *View {
+	return &View{
+		net:      net,
+		full:     net.RouterGraph(),
+		intraSPT: map[topology.RouterID]*graph.SPT{},
+		fullSPT:  map[topology.RouterID]*graph.SPT{},
+	}
+}
+
+// Network returns the underlying topology.
+func (v *View) Network() *topology.Network { return v.net }
+
+// Invalidate discards every cached shortest-path tree and re-snapshots
+// the router graph. Call it after mutating the topology (link failure or
+// repair); subsequent queries reflect the new converged state.
+func (v *View) Invalidate() {
+	v.full = v.net.RouterGraph()
+	v.intraSPT = map[topology.RouterID]*graph.SPT{}
+	v.fullSPT = map[topology.RouterID]*graph.SPT{}
+}
+
+func (v *View) intra(src topology.RouterID) *graph.SPT {
+	if t, ok := v.intraSPT[src]; ok {
+		return t
+	}
+	t := v.net.Intra.Dijkstra(int(src))
+	v.intraSPT[src] = t
+	return t
+}
+
+func (v *View) fullFrom(src topology.RouterID) *graph.SPT {
+	if t, ok := v.fullSPT[src]; ok {
+		return t
+	}
+	t := v.full.Dijkstra(int(src))
+	v.fullSPT[src] = t
+	return t
+}
+
+// IntraDist returns the converged-IGP distance between two routers of the
+// same domain, or graph.Inf if they are in different domains.
+func (v *View) IntraDist(a, b topology.RouterID) int64 {
+	if v.net.DomainOf(a) != v.net.DomainOf(b) {
+		return graph.Inf
+	}
+	return v.intra(a).Dist[b]
+}
+
+// IntraPath returns the intra-domain router path a..b, or nil.
+func (v *View) IntraPath(a, b topology.RouterID) []topology.RouterID {
+	if v.net.DomainOf(a) != v.net.DomainOf(b) {
+		return nil
+	}
+	return toRouterPath(v.intra(a).PathTo(int(b)))
+}
+
+func toRouterPath(p []int) []topology.RouterID {
+	if p == nil {
+		return nil
+	}
+	out := make([]topology.RouterID, len(p))
+	for i, x := range p {
+		out[i] = topology.RouterID(x)
+	}
+	return out
+}
+
+// ClosestIn returns the member closest to entry by IGP distance (entry and
+// members must share a domain); ties break to the lower router id because
+// members are scanned in order. ok is false when no member is reachable.
+func (v *View) ClosestIn(entry topology.RouterID, members []topology.RouterID) (topology.RouterID, int64, bool) {
+	best := topology.RouterID(-1)
+	bestDist := int64(graph.Inf)
+	for _, m := range members {
+		d := v.IntraDist(entry, m)
+		if d < bestDist {
+			best, bestDist = m, d
+		}
+	}
+	if best < 0 {
+		return -1, 0, false
+	}
+	return best, bestDist, true
+}
+
+// HotPotato implements early-exit border selection: among candidate
+// border links to a neighbouring domain, return the one whose local end
+// is cheapest to reach from cur by IGP (ties break toward the first
+// candidate), as real intra-domain routing does. ok is false for an
+// empty candidate list.
+func (v *View) HotPotato(cur topology.RouterID, links []topology.InterLink) (topology.InterLink, bool) {
+	if len(links) == 0 {
+		return topology.InterLink{}, false
+	}
+	best := links[0]
+	bestDist := v.IntraDist(cur, best.From)
+	for _, l := range links[1:] {
+		if d := v.IntraDist(cur, l.From); d < bestDist {
+			best, bestDist = l, d
+		}
+	}
+	return best, true
+}
+
+// GroundTruthDist returns the router-level shortest-path distance over the
+// whole internet, ignoring routing policy. This is the unreachable-in-
+// practice lower bound used in some stretch comparisons.
+func (v *View) GroundTruthDist(a, b topology.RouterID) int64 {
+	return v.fullFrom(a).Dist[b]
+}
+
+// GroundTruthPath returns the corresponding router path, or nil.
+func (v *View) GroundTruthPath(a, b topology.RouterID) []topology.RouterID {
+	return toRouterPath(v.fullFrom(a).PathTo(int(b)))
+}

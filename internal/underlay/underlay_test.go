@@ -1,0 +1,165 @@
+package underlay
+
+import (
+	"testing"
+
+	"github.com/evolvable-net/evolve/internal/graph"
+	"github.com/evolvable-net/evolve/internal/topology"
+)
+
+func build(t *testing.T) (*topology.Network, []topology.RouterID, []topology.RouterID) {
+	t.Helper()
+	b := topology.NewBuilder()
+	x := b.AddDomain("X")
+	y := b.AddDomain("Y")
+	xr := b.AddRouters(x, 3)
+	yr := b.AddRouters(y, 2)
+	b.IntraLink(xr[0], xr[1], 2)
+	b.IntraLink(xr[1], xr[2], 2)
+	b.IntraLink(xr[0], xr[2], 10)
+	b.IntraLink(yr[0], yr[1], 3)
+	b.Peer(xr[2], yr[0], 7)
+	n, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return n, xr, yr
+}
+
+func TestIntraDist(t *testing.T) {
+	n, xr, yr := build(t)
+	v := NewView(n)
+	if got := v.IntraDist(xr[0], xr[2]); got != 4 {
+		t.Errorf("intra dist = %d, want 4 (via middle)", got)
+	}
+	if got := v.IntraDist(xr[0], xr[0]); got != 0 {
+		t.Errorf("self dist = %d", got)
+	}
+	if v.IntraDist(xr[0], yr[0]) < graph.Inf {
+		t.Error("cross-domain intra dist should be Inf")
+	}
+}
+
+func TestIntraPath(t *testing.T) {
+	n, xr, _ := build(t)
+	v := NewView(n)
+	p := v.IntraPath(xr[0], xr[2])
+	if len(p) != 3 || p[0] != xr[0] || p[1] != xr[1] || p[2] != xr[2] {
+		t.Errorf("path = %v", p)
+	}
+	if v.IntraPath(xr[0], n.Domains[2].Routers[0]) != nil {
+		t.Error("cross-domain path should be nil")
+	}
+}
+
+func TestClosestIn(t *testing.T) {
+	n, xr, _ := build(t)
+	v := NewView(n)
+	m, d, ok := v.ClosestIn(xr[0], []topology.RouterID{xr[1], xr[2]})
+	if !ok || m != xr[1] || d != 2 {
+		t.Errorf("closest = %d dist %d ok %v", m, d, ok)
+	}
+	// Entry itself a member → distance 0.
+	m, d, ok = v.ClosestIn(xr[0], []topology.RouterID{xr[0], xr[1]})
+	if !ok || m != xr[0] || d != 0 {
+		t.Errorf("self member = %d dist %d ok %v", m, d, ok)
+	}
+	if _, _, ok := v.ClosestIn(xr[0], nil); ok {
+		t.Error("no members should not resolve")
+	}
+}
+
+func TestGroundTruth(t *testing.T) {
+	n, xr, yr := build(t)
+	v := NewView(n)
+	// x0 →2→ x1 →2→ x2 →7→ y0 →3→ y1
+	if got := v.GroundTruthDist(xr[0], yr[1]); got != 14 {
+		t.Errorf("ground truth = %d, want 14", got)
+	}
+	p := v.GroundTruthPath(xr[0], yr[1])
+	if len(p) != 5 || p[4] != yr[1] {
+		t.Errorf("path = %v", p)
+	}
+}
+
+func TestInvalidateReflectsTopologyChange(t *testing.T) {
+	n, xr, yr := build(t)
+	v := NewView(n)
+	if got := v.IntraDist(xr[0], xr[2]); got != 4 {
+		t.Fatalf("precondition dist = %d", got)
+	}
+	before := v.GroundTruthDist(xr[0], yr[1])
+	// Cut the cheap intra path; without Invalidate the caches are stale.
+	n.FailIntraLink(xr[0], xr[1])
+	if got := v.IntraDist(xr[0], xr[2]); got != 4 {
+		t.Fatalf("stale cache expected 4, got %d", got)
+	}
+	v.Invalidate()
+	if got := v.IntraDist(xr[0], xr[2]); got != 10 {
+		t.Errorf("post-invalidate dist = %d, want 10 (direct edge)", got)
+	}
+	if got := v.GroundTruthDist(xr[0], yr[1]); got <= before {
+		t.Errorf("ground truth did not worsen: %d → %d", before, got)
+	}
+	// Restore and invalidate again.
+	n.RestoreIntraLink(xr[0], xr[1], 2)
+	v.Invalidate()
+	if got := v.IntraDist(xr[0], xr[2]); got != 4 {
+		t.Errorf("post-restore dist = %d", got)
+	}
+}
+
+func TestHotPotatoTieBreak(t *testing.T) {
+	n, xr, yr := build(t)
+	v := NewView(n)
+	links := []topology.InterLink{
+		{From: xr[2], To: yr[0], Latency: 7},
+		{From: xr[1], To: yr[0], Latency: 9},
+	}
+	// From xr[1], the second link's local end is distance 0: it wins.
+	l, ok := v.HotPotato(xr[1], links)
+	if !ok || l.From != xr[1] {
+		t.Errorf("hot potato = %+v ok %v", l, ok)
+	}
+	// From xr[2], the first wins.
+	l, ok = v.HotPotato(xr[2], links)
+	if !ok || l.From != xr[2] {
+		t.Errorf("hot potato = %+v ok %v", l, ok)
+	}
+	// Equidistant candidates: first in list wins (deterministic).
+	l, _ = v.HotPotato(xr[0], []topology.InterLink{
+		{From: xr[2], To: yr[0], Latency: 7},
+		{From: xr[2], To: yr[1], Latency: 9},
+	})
+	if l.To != yr[0] {
+		t.Error("tie did not break toward the first candidate")
+	}
+}
+
+func TestGroundTruthPathEndpoints(t *testing.T) {
+	n, xr, yr := build(t)
+	v := NewView(n)
+	p := v.GroundTruthPath(xr[0], yr[1])
+	if len(p) == 0 || p[0] != xr[0] || p[len(p)-1] != yr[1] {
+		t.Errorf("path = %v", p)
+	}
+	// Unreachable (after cutting the only inter link) yields nil.
+	n.FailInterLink(xr[2], yr[0])
+	v.Invalidate()
+	if p := v.GroundTruthPath(xr[0], yr[1]); p != nil {
+		t.Errorf("unreachable path = %v", p)
+	}
+}
+
+func TestCachingConsistent(t *testing.T) {
+	n, xr, _ := build(t)
+	v := NewView(n)
+	a := v.IntraDist(xr[0], xr[2])
+	b := v.IntraDist(xr[0], xr[2])
+	if a != b {
+		t.Error("cached result differs")
+	}
+	if v.Network() != n {
+		t.Error("Network accessor broken")
+	}
+}
