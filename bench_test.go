@@ -12,6 +12,7 @@ import (
 
 	"github.com/evolvable-net/evolve/internal/anycast"
 	"github.com/evolvable-net/evolve/internal/core"
+	"github.com/evolvable-net/evolve/internal/experiments"
 	"github.com/evolvable-net/evolve/internal/routing/bgpvn"
 	"github.com/evolvable-net/evolve/internal/topology"
 )
@@ -157,6 +158,62 @@ func BenchmarkEgressPolicies(b *testing.B) {
 				mean = s.Mean
 			}
 			b.ReportMetric(mean, "mean-stretch")
+		})
+	}
+}
+
+// BenchmarkSendParallel measures the concurrent-send hot path: all
+// goroutines hammer one Evolution through the RWMutex read path. Compare
+// against BenchmarkSendEndToEnd for the scaling factor.
+func BenchmarkSendParallel(b *testing.B) {
+	net, err := TransitStub(3, 4, 0.4, GenConfig{Seed: 42, RoutersPerDomain: 3, HostsPerDomain: 2})
+	if err != nil {
+		b.Fatal(err)
+	}
+	evo, err := core.New(net, core.Config{Option: anycast.Option2, DefaultAS: net.ASNs()[0]})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, asn := range net.ASNs() {
+		evo.DeployDomain(asn, 0)
+	}
+	src := net.Hosts[0]
+	dst := net.Hosts[len(net.Hosts)-1]
+	payload := make([]byte, 256)
+	if _, err := evo.Send(src, dst, payload); err != nil { // warm caches
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			if _, err := evo.Send(src, dst, payload); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkSweepParallel runs the E5 deployment-spread sweep at several
+// worker counts; the acceptance bar is ≥ 2× speedup at 4 workers with
+// byte-identical tables (determinism is asserted, not just hoped for).
+func BenchmarkSweepParallel(b *testing.B) {
+	serial, err := experiments.UAStretchVsDeploymentWorkers(42, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	want := serial.String()
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run("workers="+strconv.Itoa(workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				tbl, err := experiments.UAStretchVsDeploymentWorkers(42, workers)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if got := tbl.String(); got != want {
+					b.Fatalf("workers=%d diverged from serial output:\n%s", workers, got)
+				}
+			}
 		})
 	}
 }

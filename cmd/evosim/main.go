@@ -9,7 +9,7 @@
 //	evosim [-topology transit-stub|ring|waxman|ba] [-seed N]
 //	       [-transits N] [-stubs N] [-domains N]
 //	       [-option 1|2] [-egress exit-early|path-informed|proxy-informed]
-//	       [-steps N] [-pairs N]
+//	       [-steps N] [-pairs N] [-workers N]
 package main
 
 import (
@@ -17,6 +17,7 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"runtime"
 	"text/tabwriter"
 
 	"github.com/evolvable-net/evolve"
@@ -35,9 +36,13 @@ func main() {
 	egress := flag.String("egress", "path-informed", "egress policy: exit-early, path-informed, proxy-informed")
 	steps := flag.Int("steps", 4, "adoption steps to simulate")
 	pairs := flag.Int("pairs", 500, "max host pairs per measurement (0 = all)")
+	workers := flag.Int("workers", 0, "goroutines for the pair sweep (0 = GOMAXPROCS)")
 	failLinks := flag.Bool("fail", false, "after full adoption, fail an inter-domain link and re-measure")
 	catchment := flag.Bool("catchment", false, "print each participant's anycast catchment after every step")
 	flag.Parse()
+	if *workers <= 0 {
+		*workers = runtime.GOMAXPROCS(0)
+	}
 
 	cfg := evolve.GenConfig{Seed: *seed, RoutersPerDomain: 3, HostsPerDomain: 2}
 	var (
@@ -105,7 +110,7 @@ func main() {
 			evo.DeployDomain(asns[deployed], 0)
 			deployed++
 		}
-		sample, failures, err := evo.StretchSample(*pairs)
+		sample, failures, err := evo.StretchSampleParallel(*pairs, *workers)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -119,11 +124,14 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
+		// Break share ties by name so the report is deterministic (map
+		// iteration order would otherwise pick an arbitrary winner).
 		topName, topShare := "-", 0.0
 		for asn, f := range share {
-			if f > topShare {
+			name := net.Domain(asn).Name
+			if f > topShare || (f == topShare && topName != "-" && name < topName) {
 				topShare = f
-				topName = net.Domain(asn).Name
+				topName = name
 			}
 		}
 		fmt.Fprintf(w, "%d\t%d/%d\t%.1f%%\t%.3f\t%.3f\t%d\t%s %.0f%%\n",
@@ -155,7 +163,7 @@ func main() {
 		if _, ok := evo.FailInterLink(l.From, l.To); !ok {
 			log.Fatal("link not found")
 		}
-		sample, failures, err := evo.StretchSample(*pairs)
+		sample, failures, err := evo.StretchSampleParallel(*pairs, *workers)
 		if err != nil {
 			log.Fatalf("after failure: %v (the bone may be policy-partitioned)", err)
 		}

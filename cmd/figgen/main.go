@@ -3,8 +3,8 @@
 //
 // Usage:
 //
-//	figgen [-seed N] [-e E3]          # all experiments, or just one
-//	figgen -list                      # list experiment ids
+//	figgen [-seed N] [-e E3] [-workers N]   # all experiments, or just one
+//	figgen -list                            # list experiment ids
 package main
 
 import (
@@ -21,7 +21,9 @@ func main() {
 	list := flag.Bool("list", false, "list experiment ids and exit")
 	md := flag.Bool("md", false, "emit GitHub-flavoured markdown (for EXPERIMENTS.md)")
 	seeds := flag.Int("seeds", 1, "run each experiment across N seeds and report PASS rates")
+	workers := flag.Int("workers", 0, "goroutines for sweep experiments (0 = GOMAXPROCS)")
 	flag.Parse()
+	evolve.SetExperimentWorkers(*workers)
 
 	if *list {
 		for _, id := range evolve.Experiments() {

@@ -226,6 +226,11 @@ func DomainVNPrefix(asn ASN) VNPrefix { return addr.DomainVNPrefix(int(asn)) }
 // ParseV4 parses a dotted-quad underlay address.
 func ParseV4(s string) (V4, error) { return addr.ParseV4(s) }
 
+// SetExperimentWorkers sets the goroutine count the sweep-style
+// experiments fan out over (0 or negative = GOMAXPROCS). Results are
+// deterministic regardless of the worker count.
+func SetExperimentWorkers(n int) { experiments.SetWorkers(n) }
+
 // Experiments lists every reproduction experiment (DESIGN.md §4) in id
 // order.
 func Experiments() []string {

@@ -12,6 +12,8 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"sync"
+	"sync/atomic"
 
 	"github.com/evolvable-net/evolve/internal/addr"
 	"github.com/evolvable-net/evolve/internal/anycast"
@@ -51,6 +53,14 @@ type Config struct {
 var ErrNotDeployed = errors.New("core: IPvN has no deployed routers")
 
 // Evolution is one IPvN deployment over one internet.
+//
+// Concurrency: any number of goroutines may Send (and SendVia, HostVNAddr,
+// Bone, VN, IngressShare, StretchSample) against one Evolution while
+// membership and topology mutations (DeployRouter, UndeployRouter,
+// DeployDomain, RegisterEndhost, Fail*/Restore* links, ...) serialize
+// against them behind a write lock. Direct access to the exported routing
+// substrate fields (Net, BGP, IGP, Anycast, Fwd, Dep) bypasses that lock
+// and is only safe while no other goroutine is mutating the Evolution.
 type Evolution struct {
 	Net     *topology.Network
 	BGP     *bgp.System
@@ -59,7 +69,12 @@ type Evolution struct {
 	Fwd     *forward.Engine
 	Dep     *anycast.Deployment
 
-	cfg  Config
+	cfg Config
+
+	// mu guards every field below plus the membership maps inside Dep and
+	// the provider deployments: Sends hold it for read, membership and
+	// topology changes for write.
+	mu   sync.RWMutex
 	bone *vnbone.Bone
 	vn   *bgpvn.System
 	// dirty marks the bone/vn stale after membership changes.
@@ -76,8 +91,9 @@ type Evolution struct {
 	// user-choice-of-provider extension; membership stays in sync with
 	// the main deployment.
 	providerDeps map[topology.ASN]*anycast.Deployment
-	// sendSeq stamps each delivery's trace tag.
-	sendSeq uint32
+	// sendSeq stamps each delivery's trace tag; atomic so concurrent
+	// Sends each draw a unique tag.
+	sendSeq atomic.Uint32
 }
 
 // New creates an Evolution with no routers deployed yet.
@@ -138,6 +154,12 @@ func (e *Evolution) AnycastAddr() addr.V4 { return e.Dep.Addr }
 
 // DeployRouter turns one router into an IPvN router.
 func (e *Evolution) DeployRouter(id topology.RouterID) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.deployRouterLocked(id)
+}
+
+func (e *Evolution) deployRouterLocked(id topology.RouterID) {
 	e.Anycast.AddMember(e.Dep, id)
 	if pd, ok := e.providerDeps[e.Net.DomainOf(id)]; ok {
 		e.Anycast.AddMember(pd, id)
@@ -147,6 +169,8 @@ func (e *Evolution) DeployRouter(id topology.RouterID) {
 
 // UndeployRouter withdraws one router from the deployment.
 func (e *Evolution) UndeployRouter(id topology.RouterID) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
 	e.Anycast.RemoveMember(e.Dep, id)
 	if pd, ok := e.providerDeps[e.Net.DomainOf(id)]; ok {
 		e.Anycast.RemoveMember(pd, id)
@@ -161,6 +185,8 @@ func (e *Evolution) UndeployRouter(id topology.RouterID) {
 // that only the chosen provider's routers accept it; use SendVia to route
 // through it. Idempotent per provider.
 func (e *Evolution) EnableProviderChoice(asn topology.ASN) (addr.V4, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
 	if pd, ok := e.providerDeps[asn]; ok {
 		return pd.Addr, nil
 	}
@@ -187,9 +213,10 @@ func (e *Evolution) EnableProviderChoice(asn topology.ASN) (addr.V4, error) {
 // so its ingress is guaranteed to be one of that provider's routers
 // regardless of proximity.
 func (e *Evolution) SendVia(src, dst *topology.Host, provider topology.ASN, payload []byte) (Delivery, error) {
-	if err := e.rebuild(); err != nil {
+	if err := e.rlockReady(); err != nil {
 		return Delivery{}, err
 	}
+	defer e.mu.RUnlock()
 	pd, ok := e.providerDeps[provider]
 	if !ok {
 		return Delivery{}, fmt.Errorf("core: provider choice not enabled for AS%d", provider)
@@ -207,33 +234,76 @@ func (e *Evolution) DeployDomain(asn topology.ASN, count int) {
 	if count <= 0 || count > len(d.Routers) {
 		count = len(d.Routers)
 	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
 	for _, rid := range d.Routers[:count] {
-		e.DeployRouter(rid)
+		e.deployRouterLocked(rid)
 	}
 }
 
 // Participates reports whether a domain has any IPvN routers.
 func (e *Evolution) Participates(asn topology.ASN) bool {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return e.participatesLocked(asn)
+}
+
+func (e *Evolution) participatesLocked(asn topology.ASN) bool {
 	return len(e.Dep.MembersIn(asn)) > 0
 }
 
 // Bone returns the current vN-Bone, rebuilding it if deployment changed.
 func (e *Evolution) Bone() (*vnbone.Bone, error) {
-	if err := e.rebuild(); err != nil {
+	if err := e.rlockReady(); err != nil {
 		return nil, err
 	}
+	defer e.mu.RUnlock()
 	return e.bone, nil
 }
 
 // VN returns the current BGPvN system, rebuilding if needed.
 func (e *Evolution) VN() (*bgpvn.System, error) {
-	if err := e.rebuild(); err != nil {
+	if err := e.rlockReady(); err != nil {
 		return nil, err
 	}
+	defer e.mu.RUnlock()
 	return e.vn, nil
 }
 
-func (e *Evolution) rebuild() error {
+// Ready forces any pending rebuild, so subsequent concurrent Sends start
+// from converged routing state. It is the cheap way to surface
+// ErrNotDeployed before fanning out goroutines.
+func (e *Evolution) Ready() error {
+	if err := e.rlockReady(); err != nil {
+		return err
+	}
+	e.mu.RUnlock()
+	return nil
+}
+
+// rlockReady returns with the read lock held and every derived cache
+// (bone, vn, host addresses) rebuilt. On error no lock is held. Writers
+// may slip in between the rebuild and the read re-acquisition, hence the
+// loop.
+func (e *Evolution) rlockReady() error {
+	for {
+		e.mu.RLock()
+		if !e.dirty {
+			return nil
+		}
+		e.mu.RUnlock()
+		e.mu.Lock()
+		err := e.rebuildLocked()
+		e.mu.Unlock()
+		if err != nil {
+			return err
+		}
+	}
+}
+
+// rebuildLocked refreshes the bone/vn/address caches; callers must hold
+// the write lock.
+func (e *Evolution) rebuildLocked() error {
 	if !e.dirty {
 		return nil
 	}
@@ -267,7 +337,9 @@ func (e *Evolution) rebuild() error {
 // routing instead of egress-policy guesswork. Registration renews
 // automatically whenever deployment changes.
 func (e *Evolution) RegisterEndhost(h *topology.Host) error {
-	if err := e.rebuild(); err != nil {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if err := e.rebuildLocked(); err != nil {
 		return err
 	}
 	e.registered[h.ID] = h
@@ -276,6 +348,8 @@ func (e *Evolution) RegisterEndhost(h *topology.Host) error {
 
 // UnregisterEndhost withdraws a host's advertised route.
 func (e *Evolution) UnregisterEndhost(h *topology.Host) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
 	if _, ok := e.registered[h.ID]; !ok {
 		return
 	}
@@ -312,7 +386,7 @@ func (e *Evolution) relabelHosts() {
 }
 
 func (e *Evolution) addressFor(h *topology.Host) addr.VN {
-	if !e.Participates(h.Domain) {
+	if !e.participatesLocked(h.Domain) {
 		return addr.SelfAddress(h.Addr)
 	}
 	cur, ok := e.vnAddrs[h.ID]
@@ -335,9 +409,10 @@ func (e *Evolution) addressFor(h *topology.Host) addr.VN {
 // HostVNAddr returns a host's current IPvN address: native when its
 // access provider participates, self-derived otherwise (§3.3.2).
 func (e *Evolution) HostVNAddr(h *topology.Host) (addr.VN, error) {
-	if err := e.rebuild(); err != nil {
+	if err := e.rlockReady(); err != nil {
 		return addr.VN{}, err
 	}
+	defer e.mu.RUnlock()
 	return e.vnAddrs[h.ID], nil
 }
 
@@ -374,11 +449,12 @@ type Delivery struct {
 
 // Send delivers an IPvN packet with the given payload from src to dst,
 // running the actual wire-level encapsulation at every stage, and returns
-// the full accounting.
+// the full accounting. Send is safe for concurrent use.
 func (e *Evolution) Send(src, dst *topology.Host, payload []byte) (Delivery, error) {
-	if err := e.rebuild(); err != nil {
+	if err := e.rlockReady(); err != nil {
 		return Delivery{}, err
 	}
+	defer e.mu.RUnlock()
 	return e.send(src, dst, payload, e.Dep.Addr)
 }
 
@@ -400,10 +476,11 @@ func (e *Evolution) send(src, dst *topology.Host, payload []byte, ingressAddr ad
 		hdr = hdr.WithUnderlayDst(dst.Addr)
 	}
 	// Tag the packet so the harness can assert the header options survive
-	// every encap/decap stage bit-for-bit.
-	e.sendSeq++
+	// every encap/decap stage bit-for-bit. The expected tag stays local to
+	// this delivery; concurrent sends each draw their own.
+	seq := e.sendSeq.Add(1)
 	tag := make([]byte, 4)
-	binary.BigEndian.PutUint32(tag, e.sendSeq)
+	binary.BigEndian.PutUint32(tag, seq)
 	hdr.Options = append(hdr.Options, packet.Option{Type: packet.OptTraceTag, Value: tag})
 	hostEP := tunnel.NewEndpoint(src.Addr)
 	wire, err := hostEP.EncapTo(ingressAddr, hdr, payload)
@@ -509,8 +586,8 @@ func (e *Evolution) send(src, dst *topology.Host, payload []byte, ingressAddr ad
 			d.TraceTag = binary.BigEndian.Uint32(o.Value)
 		}
 	}
-	if d.TraceTag != e.sendSeq {
-		return Delivery{}, fmt.Errorf("core: trace tag corrupted in transit (%d != %d)", d.TraceTag, e.sendSeq)
+	if d.TraceTag != seq {
+		return Delivery{}, fmt.Errorf("core: trace tag corrupted in transit (%d != %d)", d.TraceTag, seq)
 	}
 
 	d.TotalCost = ing.Cost + eg.BoneCost + d.TailCost
@@ -558,39 +635,48 @@ func (e *Evolution) DescribeDelivery(d Delivery) string {
 // FailIntraLink injects an intra-domain link failure and reconverges the
 // whole stack (IGP views, bone). It reports whether the link existed.
 func (e *Evolution) FailIntraLink(a, b topology.RouterID) bool {
+	e.mu.Lock()
+	defer e.mu.Unlock()
 	if !e.Net.FailIntraLink(a, b) {
 		return false
 	}
-	e.reconverge()
+	e.reconvergeLocked()
 	return true
 }
 
 // RestoreIntraLink repairs an intra-domain link.
 func (e *Evolution) RestoreIntraLink(a, b topology.RouterID, latency int64) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
 	e.Net.RestoreIntraLink(a, b, latency)
-	e.reconverge()
+	e.reconvergeLocked()
 }
 
 // FailInterLink injects an inter-domain link failure; BGP re-converges
 // around it. The removed link is returned for later restoration.
 func (e *Evolution) FailInterLink(a, b topology.RouterID) (topology.InterLink, bool) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
 	l, ok := e.Net.FailInterLink(a, b)
 	if !ok {
 		return topology.InterLink{}, false
 	}
-	e.reconverge()
+	e.reconvergeLocked()
 	return l, true
 }
 
 // RestoreInterLink repairs a previously failed inter-domain link.
 func (e *Evolution) RestoreInterLink(l topology.InterLink) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
 	e.Net.RestoreInterLink(l)
-	e.reconverge()
+	e.reconvergeLocked()
 }
 
-// reconverge invalidates every routing-derived cache after a topology
-// mutation — the simulated analogue of protocols reacting to the event.
-func (e *Evolution) reconverge() {
+// reconvergeLocked invalidates every routing-derived cache after a
+// topology mutation — the simulated analogue of protocols reacting to the
+// event. Callers must hold the write lock.
+func (e *Evolution) reconvergeLocked() {
 	e.IGP.Invalidate()
 	e.BGP.Refresh()
 	e.dirty = true
@@ -600,9 +686,10 @@ func (e *Evolution) reconverge() {
 // hosts whose anycast ingress lands there — the "attracted traffic" that
 // assumption A4 converts into revenue.
 func (e *Evolution) IngressShare() (map[topology.ASN]float64, error) {
-	if err := e.rebuild(); err != nil {
+	if err := e.rlockReady(); err != nil {
 		return nil, err
 	}
+	defer e.mu.RUnlock()
 	counts := map[topology.ASN]int{}
 	total := 0
 	for _, h := range e.Net.Hosts {
@@ -627,26 +714,72 @@ func (e *Evolution) IngressShare() (map[topology.ASN]float64, error) {
 // 0 = unlimited) and returns the stretch sample. Failed deliveries are
 // counted in failures.
 func (e *Evolution) StretchSample(maxPairs int) (sample []float64, failures int, err error) {
-	if err := e.rebuild(); err != nil {
+	return e.StretchSampleParallel(maxPairs, 1)
+}
+
+// StretchSampleParallel is StretchSample fanned out over workers
+// goroutines (≤ 0 or 1 means serial). The returned sample is in the same
+// deterministic pair order regardless of worker count.
+func (e *Evolution) StretchSampleParallel(maxPairs, workers int) (sample []float64, failures int, err error) {
+	// Surface ErrNotDeployed (and force the one rebuild) before fanning
+	// out, so a dead deployment is an error rather than all-failures.
+	if err := e.Ready(); err != nil {
 		return nil, 0, err
 	}
-	pairs := 0
+	type pair struct{ src, dst *topology.Host }
+	var pairs []pair
 	for _, src := range e.Net.Hosts {
 		for _, dst := range e.Net.Hosts {
 			if src.ID == dst.ID {
 				continue
 			}
-			if maxPairs > 0 && pairs >= maxPairs {
-				return sample, failures, nil
+			if maxPairs > 0 && len(pairs) >= maxPairs {
+				goto enumerated
 			}
-			pairs++
-			d, err := e.Send(src, dst, nil)
+			pairs = append(pairs, pair{src, dst})
+		}
+	}
+enumerated:
+	results := make([]float64, len(pairs))
+	failed := make([]bool, len(pairs))
+	if workers <= 1 {
+		for i, p := range pairs {
+			d, err := e.Send(p.src, p.dst, nil)
 			if err != nil {
-				failures++
+				failed[i] = true
 				continue
 			}
-			sample = append(sample, d.Stretch)
+			results[i] = d.Stretch
 		}
+	} else {
+		var next atomic.Int64
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					i := int(next.Add(1)) - 1
+					if i >= len(pairs) {
+						return
+					}
+					d, err := e.Send(pairs[i].src, pairs[i].dst, nil)
+					if err != nil {
+						failed[i] = true
+						continue
+					}
+					results[i] = d.Stretch
+				}
+			}()
+		}
+		wg.Wait()
+	}
+	for i := range pairs {
+		if failed[i] {
+			failures++
+			continue
+		}
+		sample = append(sample, results[i])
 	}
 	return sample, failures, nil
 }

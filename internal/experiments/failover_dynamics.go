@@ -1,7 +1,9 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
+	"math/rand"
 
 	"github.com/evolvable-net/evolve/internal/addr"
 	"github.com/evolvable-net/evolve/internal/netsim"
@@ -23,64 +25,89 @@ func AnycastFailoverDynamics(seed int64) (*Table, error) {
 			"internet", "phase", "sim time", "updates", "re-homed",
 		},
 	}
+	// Each internet size runs its own event engine and topology — fully
+	// independent, one job per size.
+	sizes := []int{10, 20, 40}
+	type result struct {
+		rows [][]string
+		ok   bool
+	}
+	jobs := make([]Job[result], len(sizes))
+	for i, nAS := range sizes {
+		nAS := nAS
+		jobs[i] = Job[result]{Seed: seed, Run: func(_ *rand.Rand) (result, error) {
+			r := result{ok: true}
+			net, err := topology.BarabasiAlbert(nAS, 2, topology.GenConfig{
+				Seed: seed, RoutersPerDomain: 1,
+			})
+			if err != nil {
+				return result{}, err
+			}
+			eng := netsim.NewEngine()
+			fab := netsim.NewFabric(eng)
+			ss := bgp.NewSessionSystem(net, fab)
+			eng.Run(0)
+			coldUpdates := ss.TotalUpdates()
+			r.rows = append(r.rows, []string{fmt.Sprintf("%d AS", nAS), "cold start",
+				eng.Now().String(), fmt.Sprintf("%d", coldUpdates), "-"})
+
+			// Two anycast origins: the hub and a leaf.
+			a, err := addr.Option1Address(0)
+			if err != nil {
+				return result{}, err
+			}
+			hp := addr.HostPrefix(a)
+			hub := net.ASNs()[0]
+			leaf := net.ASNs()[len(net.ASNs())-1]
+			ss.Speakers[hub].Originate(hp)
+			ss.Speakers[leaf].Originate(hp)
+			eng.Run(0)
+			preUpdates := ss.TotalUpdates()
+
+			// The leaf origin withdraws (its ISP un-deploys).
+			start := eng.Now()
+			ss.Speakers[leaf].Withdraw(hp)
+			eng.Run(0)
+			failTime := eng.Now() - start
+			failUpdates := ss.TotalUpdates() - preUpdates
+
+			// Every AS must now route the anycast address to the hub.
+			rehomed := 0
+			for _, asn := range net.ASNs() {
+				best, ok := ss.Speakers[asn].Best(hp)
+				if !ok {
+					continue
+				}
+				origin := best.Origin()
+				if origin == -1 {
+					origin = asn
+				}
+				if origin == hub {
+					rehomed++
+				}
+			}
+			r.rows = append(r.rows, []string{fmt.Sprintf("%d AS", nAS), "origin withdrawal",
+				failTime.String(), fmt.Sprintf("%d", failUpdates),
+				fmt.Sprintf("%d/%d", rehomed, nAS)})
+			if rehomed != nAS {
+				r.ok = false
+			}
+			if failUpdates >= coldUpdates {
+				r.ok = false
+			}
+			return r, nil
+		}}
+	}
+	results, err := RunParallel(context.Background(), CurrentWorkers(), jobs)
+	if err != nil {
+		return nil, err
+	}
 	okAll := true
-	for _, nAS := range []int{10, 20, 40} {
-		net, err := topology.BarabasiAlbert(nAS, 2, topology.GenConfig{
-			Seed: seed, RoutersPerDomain: 1,
-		})
-		if err != nil {
-			return nil, err
+	for _, r := range results {
+		for _, row := range r.rows {
+			t.AddRow(row...)
 		}
-		eng := netsim.NewEngine()
-		fab := netsim.NewFabric(eng)
-		ss := bgp.NewSessionSystem(net, fab)
-		eng.Run(0)
-		coldUpdates := ss.TotalUpdates()
-		t.AddRow(fmt.Sprintf("%d AS", nAS), "cold start",
-			eng.Now().String(), fmt.Sprintf("%d", coldUpdates), "-")
-
-		// Two anycast origins: the hub and a leaf.
-		a, err := addr.Option1Address(0)
-		if err != nil {
-			return nil, err
-		}
-		hp := addr.HostPrefix(a)
-		hub := net.ASNs()[0]
-		leaf := net.ASNs()[len(net.ASNs())-1]
-		ss.Speakers[hub].Originate(hp)
-		ss.Speakers[leaf].Originate(hp)
-		eng.Run(0)
-		preUpdates := ss.TotalUpdates()
-
-		// The leaf origin withdraws (its ISP un-deploys).
-		start := eng.Now()
-		ss.Speakers[leaf].Withdraw(hp)
-		eng.Run(0)
-		failTime := eng.Now() - start
-		failUpdates := ss.TotalUpdates() - preUpdates
-
-		// Every AS must now route the anycast address to the hub.
-		rehomed := 0
-		for _, asn := range net.ASNs() {
-			r, ok := ss.Speakers[asn].Best(hp)
-			if !ok {
-				continue
-			}
-			origin := r.Origin()
-			if origin == -1 {
-				origin = asn
-			}
-			if origin == hub {
-				rehomed++
-			}
-		}
-		t.AddRow(fmt.Sprintf("%d AS", nAS), "origin withdrawal",
-			failTime.String(), fmt.Sprintf("%d", failUpdates),
-			fmt.Sprintf("%d/%d", rehomed, nAS))
-		if rehomed != nAS {
-			okAll = false
-		}
-		if failUpdates >= coldUpdates {
+		if !r.ok {
 			okAll = false
 		}
 	}

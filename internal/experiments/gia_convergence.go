@@ -1,7 +1,9 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
+	"math/rand"
 
 	"github.com/evolvable-net/evolve/internal/addr"
 	"github.com/evolvable-net/evolve/internal/anycast"
@@ -52,48 +54,70 @@ func GIAComparison(seed int64) (*Table, error) {
 		{"GIA + search", anycast.OptionGIA, true},
 	}
 
+	// Each variant's Evolution is private; the shared topology is only
+	// read. One job per variant.
+	type result struct {
+		okN  int
+		mean float64
+		grew int
+	}
+	jobs := make([]Job[result], len(variants))
+	for i, v := range variants {
+		v := v
+		jobs[i] = Job[result]{Seed: seed + int64(i), Run: func(_ *rand.Rand) (result, error) {
+			evo, err := core.New(net, core.Config{Option: v.option, DefaultAS: anchor})
+			if err != nil {
+				return result{}, err
+			}
+			baseTable := evo.BGP.TableSize(asns[0])
+			for _, asn := range participants {
+				evo.DeployDomain(asn, 0)
+			}
+			if v.widen {
+				for _, asn := range participants {
+					var nbrs []topology.ASN
+					for _, nb := range net.Neighbors(asn) {
+						nbrs = append(nbrs, nb.ASN)
+					}
+					if err := evo.Anycast.AdvertiseToNeighbors(evo.Dep, asn, nbrs...); err != nil {
+						return result{}, err
+					}
+				}
+			}
+			var sum int64
+			okN := 0
+			for _, h := range net.Hosts {
+				res, err := evo.Anycast.ResolveFromHost(h, evo.Dep.Addr)
+				if err != nil {
+					continue
+				}
+				okN++
+				sum += res.Cost
+			}
+			return result{
+				okN:  okN,
+				mean: float64(sum) / float64(okN),
+				grew: evo.BGP.TableSize(asns[0]) - baseTable,
+			}, nil
+		}}
+	}
+	results, err := RunParallel(context.Background(), CurrentWorkers(), jobs)
+	if err != nil {
+		return nil, err
+	}
+
 	means := map[string]float64{}
 	okAll := true
-	for _, v := range variants {
-		evo, err := core.New(net, core.Config{Option: v.option, DefaultAS: anchor})
-		if err != nil {
-			return nil, err
-		}
-		baseTable := evo.BGP.TableSize(asns[0])
-		for _, asn := range participants {
-			evo.DeployDomain(asn, 0)
-		}
-		if v.widen {
-			for _, asn := range participants {
-				var nbrs []topology.ASN
-				for _, nb := range net.Neighbors(asn) {
-					nbrs = append(nbrs, nb.ASN)
-				}
-				if err := evo.Anycast.AdvertiseToNeighbors(evo.Dep, asn, nbrs...); err != nil {
-					return nil, err
-				}
-			}
-		}
-		var sum int64
-		okN := 0
-		for _, h := range net.Hosts {
-			res, err := evo.Anycast.ResolveFromHost(h, evo.Dep.Addr)
-			if err != nil {
-				continue
-			}
-			okN++
-			sum += res.Cost
-		}
-		if okN != len(net.Hosts) {
+	for i, v := range variants {
+		r := results[i]
+		if r.okN != len(net.Hosts) {
 			okAll = false
 		}
-		mean := float64(sum) / float64(okN)
-		means[v.name] = mean
-		grew := evo.BGP.TableSize(asns[0]) - baseTable
+		means[v.name] = r.mean
 		t.AddRow(v.name,
-			fmt.Sprintf("%d/%d", okN, len(net.Hosts)),
-			fmt.Sprintf("%.1f", mean),
-			fmt.Sprintf("%d", grew))
+			fmt.Sprintf("%d/%d", r.okN, len(net.Hosts)),
+			fmt.Sprintf("%.1f", r.mean),
+			fmt.Sprintf("%d", r.grew))
 	}
 
 	// Mechanism identities are exact: GIA without search routes exactly
@@ -133,34 +157,56 @@ func ConvergenceDynamics(seed int64) (*Table, error) {
 		},
 	}
 	sizes := []int{8, 16, 32}
-	lastCold := map[string]uint64{}
-	okAll := true
 
-	for _, n := range sizes {
+	// Each (protocol, size) block runs its own private event engine, and
+	// the BGP-session blocks build their own topologies — all independent,
+	// so the blocks fan out as jobs; rows come back in the serial order.
+	type block struct {
+		rows [][]string
+		ok   bool
+		// coldMsgs is the link-state cold-start message count (growth
+		// check); zero for other protocols.
+		coldMsgs uint64
+	}
+	ringEdges := func(n int) (out []struct {
+		a, b int
+		w    int64
+	}) {
 		// Ring + near- and far-chords, same topology for both protocols.
 		// The near-chords keep failure detours short: RIP's Infinity of
 		// 16 cannot express the 2·(n−1) metric of walking a large ring
 		// the long way round (a genuine distance-vector limitation the
 		// paper's intra-domain-only use of RIP sidesteps).
-		type edge struct {
-			a, b int
-			w    int64
-		}
-		var edges []edge
 		for i := 0; i < n; i++ {
-			edges = append(edges, edge{i, (i + 1) % n, 2})
-			edges = append(edges, edge{i, (i + 2) % n, 3})
+			out = append(out, struct {
+				a, b int
+				w    int64
+			}{i, (i + 1) % n, 2})
+			out = append(out, struct {
+				a, b int
+				w    int64
+			}{i, (i + 2) % n, 3})
 			if i%4 == 0 {
-				edges = append(edges, edge{i, (i + n/2) % n, 5})
+				out = append(out, struct {
+					a, b int
+					w    int64
+				}{i, (i + n/2) % n, 5})
 			}
 		}
+		return out
+	}
 
-		// Link-state.
-		{
+	var jobs []Job[block]
+	var lsIdx []int // job index of each link-state block, in size order
+	for _, n := range sizes {
+		n := n
+		lsIdx = append(lsIdx, len(jobs))
+		jobs = append(jobs, Job[block]{Seed: seed, Run: func(_ *rand.Rand) (block, error) {
+			b := block{ok: true}
 			eng := netsim.NewEngine()
 			fab := netsim.NewFabric(eng)
 			adj := map[int][]linkstate.Link{}
-			for _, e := range edges {
+			for _, e := range ringEdges(n) {
 				adj[e.a] = append(adj[e.a], linkstate.Link{To: e.b, Cost: e.w})
 				adj[e.b] = append(adj[e.b], linkstate.Link{To: e.a, Cost: e.w})
 			}
@@ -169,12 +215,11 @@ func ConvergenceDynamics(seed int64) (*Table, error) {
 			eng.Run(0)
 			coldTime, coldMsgs := eng.Now(), fab.Sent
 			if dom.Routers[0].DistanceTo(n/2) <= 0 {
-				okAll = false
+				b.ok = false
 			}
-			t.AddRow("link-state", fmt.Sprintf("%d", n), "cold start",
-				coldTime.String(), fmt.Sprintf("%d", coldMsgs))
-			key := fmt.Sprintf("ls-%d", n)
-			lastCold[key] = coldMsgs
+			b.rows = append(b.rows, []string{"link-state", fmt.Sprintf("%d", n), "cold start",
+				coldTime.String(), fmt.Sprintf("%d", coldMsgs)})
+			b.coldMsgs = coldMsgs
 
 			// Fail the ring link 0–1 and re-converge.
 			dom.Routers[0].SetLinkCost(1, -1)
@@ -182,15 +227,15 @@ func ConvergenceDynamics(seed int64) (*Table, error) {
 			fab.FailLink(0, 1)
 			before := fab.Sent
 			eng.Run(0)
-			t.AddRow("link-state", fmt.Sprintf("%d", n), "after failure",
-				eng.Now().String(), fmt.Sprintf("%d", fab.Sent-before))
+			b.rows = append(b.rows, []string{"link-state", fmt.Sprintf("%d", n), "after failure",
+				eng.Now().String(), fmt.Sprintf("%d", fab.Sent-before)})
 			if dom.Routers[0].DistanceTo(1) <= 0 {
-				okAll = false // detour must exist around the ring
+				b.ok = false // detour must exist around the ring
 			}
-		}
-
-		// Distance-vector.
-		{
+			return b, nil
+		}})
+		jobs = append(jobs, Job[block]{Seed: seed, Run: func(_ *rand.Rand) (block, error) {
+			b := block{ok: true}
 			eng := netsim.NewEngine()
 			fab := netsim.NewFabric(eng)
 			adj := map[int]map[int]int{}
@@ -199,7 +244,7 @@ func ConvergenceDynamics(seed int64) (*Table, error) {
 				adj[i] = map[int]int{}
 				loops[i] = addr.V4FromOctets(10, 9, byte(i>>8), byte(i))
 			}
-			for _, e := range edges {
+			for _, e := range ringEdges(n) {
 				adj[e.a][e.b] = int(e.w)
 				adj[e.b][e.a] = int(e.w)
 			}
@@ -207,55 +252,79 @@ func ConvergenceDynamics(seed int64) (*Table, error) {
 			dom.Start()
 			eng.Run(0)
 			if dom.Routers[0].DistanceTo(loops[n/2]) >= distvec.Infinity {
-				okAll = false
+				b.ok = false
 			}
-			t.AddRow("distance-vector", fmt.Sprintf("%d", n), "cold start",
-				eng.Now().String(), fmt.Sprintf("%d", fab.Sent))
+			b.rows = append(b.rows, []string{"distance-vector", fmt.Sprintf("%d", n), "cold start",
+				eng.Now().String(), fmt.Sprintf("%d", fab.Sent)})
 
 			dom.Routers[0].SetLinkDown(1)
 			dom.Routers[1].SetLinkDown(0)
 			fab.FailLink(0, 1)
 			before := fab.Sent
 			eng.Run(0)
-			t.AddRow("distance-vector", fmt.Sprintf("%d", n), "after failure",
-				eng.Now().String(), fmt.Sprintf("%d", fab.Sent-before))
+			b.rows = append(b.rows, []string{"distance-vector", fmt.Sprintf("%d", n), "after failure",
+				eng.Now().String(), fmt.Sprintf("%d", fab.Sent-before)})
 			if dom.Routers[0].DistanceTo(loops[1]) >= distvec.Infinity {
-				okAll = false
+				b.ok = false
 			}
-		}
+			return b, nil
+		}})
 	}
 	// Inter-domain: event-driven BGP speakers over Barabási–Albert
 	// internets — cold start, then an anycast origination rippling in.
 	for _, nAS := range []int{10, 20, 40} {
-		net, err := topology.BarabasiAlbert(nAS, 2, topology.GenConfig{
-			Seed: seed, RoutersPerDomain: 1,
-		})
-		if err != nil {
-			return nil, err
-		}
-		eng := netsim.NewEngine()
-		fab := netsim.NewFabric(eng)
-		ss := bgp.NewSessionSystem(net, fab)
-		eng.Run(0)
-		cold := ss.TotalUpdates()
-		t.AddRow("BGP (sessions)", fmt.Sprintf("%d AS", nAS), "cold start",
-			eng.Now().String(), fmt.Sprintf("%d", cold))
-		// A new anycast origination at a leaf: incremental convergence.
-		a, err := addr.Option1Address(0)
-		if err != nil {
-			return nil, err
-		}
-		leaf := net.ASNs()[len(net.ASNs())-1]
-		ss.Speakers[leaf].Originate(addr.HostPrefix(a))
-		eng.Run(0)
-		t.AddRow("BGP (sessions)", fmt.Sprintf("%d AS", nAS), "anycast origination",
-			eng.Now().String(), fmt.Sprintf("%d", ss.TotalUpdates()-cold))
-		// Everyone must hold the anycast route (provider tree reachability).
-		for _, asn := range net.ASNs() {
-			if _, ok := ss.Speakers[asn].Best(addr.HostPrefix(a)); !ok {
-				okAll = false
+		nAS := nAS
+		jobs = append(jobs, Job[block]{Seed: seed, Run: func(_ *rand.Rand) (block, error) {
+			b := block{ok: true}
+			net, err := topology.BarabasiAlbert(nAS, 2, topology.GenConfig{
+				Seed: seed, RoutersPerDomain: 1,
+			})
+			if err != nil {
+				return block{}, err
 			}
+			eng := netsim.NewEngine()
+			fab := netsim.NewFabric(eng)
+			ss := bgp.NewSessionSystem(net, fab)
+			eng.Run(0)
+			cold := ss.TotalUpdates()
+			b.rows = append(b.rows, []string{"BGP (sessions)", fmt.Sprintf("%d AS", nAS), "cold start",
+				eng.Now().String(), fmt.Sprintf("%d", cold)})
+			// A new anycast origination at a leaf: incremental convergence.
+			a, err := addr.Option1Address(0)
+			if err != nil {
+				return block{}, err
+			}
+			leaf := net.ASNs()[len(net.ASNs())-1]
+			ss.Speakers[leaf].Originate(addr.HostPrefix(a))
+			eng.Run(0)
+			b.rows = append(b.rows, []string{"BGP (sessions)", fmt.Sprintf("%d AS", nAS), "anycast origination",
+				eng.Now().String(), fmt.Sprintf("%d", ss.TotalUpdates()-cold)})
+			// Everyone must hold the anycast route (provider tree reachability).
+			for _, asn := range net.ASNs() {
+				if _, ok := ss.Speakers[asn].Best(addr.HostPrefix(a)); !ok {
+					b.ok = false
+				}
+			}
+			return b, nil
+		}})
+	}
+
+	blocks, err := RunParallel(context.Background(), CurrentWorkers(), jobs)
+	if err != nil {
+		return nil, err
+	}
+	okAll := true
+	lastCold := map[string]uint64{}
+	for _, b := range blocks {
+		for _, row := range b.rows {
+			t.AddRow(row...)
 		}
+		if !b.ok {
+			okAll = false
+		}
+	}
+	for i, n := range sizes {
+		lastCold[fmt.Sprintf("ls-%d", n)] = blocks[lsIdx[i]].coldMsgs
 	}
 
 	// Message cost must grow with size for link-state cold starts.

@@ -1,0 +1,107 @@
+// Worker-pool fan-out for the sweep-style experiments. The deployment /
+// convergence / failover sweeps are embarrassingly parallel across their
+// (variant × parameter) grid; RunParallel gives them a deterministic
+// harness: results come back in job order and every job derives its
+// randomness from its own seeded *rand.Rand, so the output is identical
+// at any worker count.
+package experiments
+
+import (
+	"context"
+	"math/rand"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Job is one unit of sweep work. Run receives a private *rand.Rand seeded
+// with Seed, so concurrent jobs never share a randomness source and a
+// job's outcome is independent of scheduling.
+type Job[T any] struct {
+	Seed int64
+	Run  func(rng *rand.Rand) (T, error)
+}
+
+// workers is the package-wide worker count for experiment sweeps
+// (0 = GOMAXPROCS). It is a package variable because the Runner
+// signature — func(seed int64) (*Table, error) — is fixed by cmd/figgen
+// and the bench harness.
+var workers atomic.Int64
+
+// SetWorkers sets the worker count used by the sweep experiments;
+// n ≤ 0 restores the default (GOMAXPROCS).
+func SetWorkers(n int) {
+	if n < 0 {
+		n = 0
+	}
+	workers.Store(int64(n))
+}
+
+// CurrentWorkers returns the effective worker count.
+func CurrentWorkers() int {
+	if n := int(workers.Load()); n > 0 {
+		return n
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// RunParallel executes jobs on a pool of the given size (≤ 0 means
+// GOMAXPROCS) and returns their results in job order. The first error (by
+// lowest job index) aborts the sweep: queued jobs are skipped, in-flight
+// ones finish, and ctx cancellation is honoured between jobs.
+func RunParallel[T any](ctx context.Context, poolSize int, jobs []Job[T]) ([]T, error) {
+	if poolSize <= 0 {
+		poolSize = runtime.GOMAXPROCS(0)
+	}
+	if poolSize > len(jobs) {
+		poolSize = len(jobs)
+	}
+	results := make([]T, len(jobs))
+	errs := make([]error, len(jobs))
+	if poolSize <= 1 {
+		for i, j := range jobs {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+			results[i], errs[i] = j.Run(rand.New(rand.NewSource(j.Seed)))
+			if errs[i] != nil {
+				return nil, errs[i]
+			}
+		}
+		return results, nil
+	}
+	var (
+		next   atomic.Int64
+		failed atomic.Bool
+		wg     sync.WaitGroup
+	)
+	for w := 0; w < poolSize; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				if failed.Load() || ctx.Err() != nil {
+					return
+				}
+				i := int(next.Add(1)) - 1
+				if i >= len(jobs) {
+					return
+				}
+				results[i], errs[i] = jobs[i].Run(rand.New(rand.NewSource(jobs[i].Seed)))
+				if errs[i] != nil {
+					failed.Store(true)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return results, nil
+}

@@ -1,8 +1,10 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math"
+	"math/rand"
 
 	"github.com/evolvable-net/evolve/internal/anycast"
 	"github.com/evolvable-net/evolve/internal/core"
@@ -25,6 +27,13 @@ func sweepNetwork(seed int64) (*topology.Network, error) {
 // UAStretchVsDeployment is E5: universal access and redirection stretch as
 // a function of deployment fraction, for the §3.2 anycast options.
 func UAStretchVsDeployment(seed int64) (*Table, error) {
+	return UAStretchVsDeploymentWorkers(seed, CurrentWorkers())
+}
+
+// UAStretchVsDeploymentWorkers is E5 with an explicit worker count; the
+// (fraction × option) grid cells run as independent jobs and the output
+// is identical at any worker count.
+func UAStretchVsDeploymentWorkers(seed int64, nWorkers int) (*Table, error) {
 	t := &Table{
 		ID:    "E5",
 		Title: "universal access and stretch vs deployment fraction",
@@ -60,45 +69,69 @@ func UAStretchVsDeployment(seed int64) (*Table, error) {
 		{"option 2 + peering", anycast.Option2, true},
 	}
 
-	okAll := true
-	meansAtFull := map[string]float64{}
-	meansAtMid := map[string]float64{}
-	meansAtOne := map[string]float64{}
+	// One job per (deployment count, option) grid cell. Each builds its
+	// own Evolution over the shared (read-only) topology, so the cells are
+	// independent and safe to fan out.
+	type cell struct {
+		count   int
+		v       variant
+		success float64
+		stats   metrics.Summary
+		ingress float64
+		// failures counts failed deliveries; resolveOK is false when an
+		// ingress resolution failed.
+		failures  int
+		resolveOK bool
+	}
+	type gridJob struct {
+		count int
+		v     variant
+	}
+	var grid []gridJob
 	for _, count := range fractions {
 		if count < 1 {
 			count = 1
 		}
 		for _, v := range variants {
+			grid = append(grid, gridJob{count, v})
+		}
+	}
+	jobs := make([]Job[cell], len(grid))
+	for i, g := range grid {
+		g := g
+		jobs[i] = Job[cell]{Seed: seed + int64(i), Run: func(_ *rand.Rand) (cell, error) {
+			c := cell{count: g.count, v: g.v, resolveOK: true}
 			evo, err := core.New(net, core.Config{
-				Option:    v.option,
+				Option:    g.v.option,
 				DefaultAS: order[0],
 			})
 			if err != nil {
-				return nil, err
+				return cell{}, err
 			}
-			for i := 0; i < count; i++ {
+			for i := 0; i < g.count; i++ {
 				evo.DeployDomain(order[i], 0)
 			}
-			if v.peering {
+			if g.v.peering {
 				// Every participant advertises the anycast host route to
 				// all its neighbours.
-				for i := 0; i < count; i++ {
+				for i := 0; i < g.count; i++ {
 					var nbrs []topology.ASN
 					for _, nb := range net.Neighbors(order[i]) {
 						nbrs = append(nbrs, nb.ASN)
 					}
 					if err := evo.Anycast.AdvertiseToNeighbors(evo.Dep, order[i], nbrs...); err != nil {
-						return nil, err
+						return cell{}, err
 					}
 				}
 			}
 			sample, failures, err := evo.StretchSample(0)
 			if err != nil {
-				return nil, err
+				return cell{}, err
 			}
+			c.failures = failures
 			total := len(sample) + failures
-			success := float64(len(sample)) / float64(total) * 100
-			s := metrics.Summarize(sample)
+			c.success = float64(len(sample)) / float64(total) * 100
+			c.stats = metrics.Summarize(sample)
 			// Redirection proximity: mean anycast resolution cost over
 			// all hosts — the §3.2 quantity the options differ on.
 			var ingressSum int64
@@ -106,33 +139,45 @@ func UAStretchVsDeployment(seed int64) (*Table, error) {
 			for _, h := range net.Hosts {
 				res, err := evo.Anycast.ResolveFromHost(h, evo.Dep.Addr)
 				if err != nil {
-					okAll = false
+					c.resolveOK = false
 					continue
 				}
 				ingressSum += res.Cost
 				ingressN++
 			}
-			ingressMean := float64(ingressSum) / float64(ingressN)
-			t.AddRow(
-				fmt.Sprintf("%d/%d", count, len(asns)),
-				v.name,
-				fmt.Sprintf("%.1f%%", success),
-				fmt.Sprintf("%.3f", s.Mean),
-				fmt.Sprintf("%.3f", s.P95),
-				fmt.Sprintf("%.1f", ingressMean),
-			)
-			if failures > 0 {
-				okAll = false
-			}
-			if count == 1 {
-				meansAtOne[v.name] = s.Mean
-			}
-			if count == len(asns)/2 {
-				meansAtMid[v.name] = ingressMean
-			}
-			if count == len(asns) {
-				meansAtFull[v.name] = s.Mean
-			}
+			c.ingress = float64(ingressSum) / float64(ingressN)
+			return c, nil
+		}}
+	}
+	cells, err := RunParallel(context.Background(), nWorkers, jobs)
+	if err != nil {
+		return nil, err
+	}
+
+	okAll := true
+	meansAtFull := map[string]float64{}
+	meansAtMid := map[string]float64{}
+	meansAtOne := map[string]float64{}
+	for _, c := range cells {
+		t.AddRow(
+			fmt.Sprintf("%d/%d", c.count, len(asns)),
+			c.v.name,
+			fmt.Sprintf("%.1f%%", c.success),
+			fmt.Sprintf("%.3f", c.stats.Mean),
+			fmt.Sprintf("%.3f", c.stats.P95),
+			fmt.Sprintf("%.1f", c.ingress),
+		)
+		if c.failures > 0 || !c.resolveOK {
+			okAll = false
+		}
+		if c.count == 1 {
+			meansAtOne[c.v.name] = c.stats.Mean
+		}
+		if c.count == len(asns)/2 {
+			meansAtMid[c.v.name] = c.ingress
+		}
+		if c.count == len(asns) {
+			meansAtFull[c.v.name] = c.stats.Mean
 		}
 	}
 	for _, v := range variants {

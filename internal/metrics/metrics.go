@@ -37,14 +37,16 @@ func Summarize(xs []float64) Summary {
 	s := make([]float64, len(xs))
 	copy(s, xs)
 	sort.Float64s(s)
-	var sum, sumSq float64
-	for _, x := range s {
-		sum += x
-		sumSq += x * x
+	// Welford's online algorithm: the textbook sumSq/n − mean² form
+	// cancels catastrophically when the mean dwarfs the spread (cost
+	// samples around 1e8 would report Stddev 0).
+	var mean, m2 float64
+	for i, x := range s {
+		delta := x - mean
+		mean += delta / float64(i+1)
+		m2 += delta * (x - mean)
 	}
-	n := float64(len(s))
-	mean := sum / n
-	variance := sumSq/n - mean*mean
+	variance := m2 / float64(len(s))
 	if variance < 0 {
 		variance = 0
 	}

@@ -41,6 +41,26 @@ func TestSummarize(t *testing.T) {
 	}
 }
 
+func TestSummarizeLargeOffset(t *testing.T) {
+	// Samples with a huge common offset and a small spread: the naive
+	// sumSq/n − mean² variance cancels to 0 at this magnitude; Welford's
+	// recurrence must keep the true stddev.
+	base := []float64{1, 2, 3, 4, 5}
+	want := Summarize(base).Stddev // √2
+	const offset = 1e8
+	shifted := make([]float64, len(base))
+	for i, x := range base {
+		shifted[i] = x + offset
+	}
+	s := Summarize(shifted)
+	if math.Abs(s.Stddev-want) > 1e-6 {
+		t.Errorf("Stddev at offset %g = %v, want %v", offset, s.Stddev, want)
+	}
+	if math.Abs(s.Mean-(3+offset)) > 1e-6 {
+		t.Errorf("Mean at offset %g = %v", offset, s.Mean)
+	}
+}
+
 func TestSummarizeDoesNotMutateInput(t *testing.T) {
 	xs := []float64{3, 1, 2}
 	Summarize(xs)

@@ -92,6 +92,13 @@ type BrokerRedirector struct {
 // fixes which ISPs cooperate. Call Refresh to take the initial directory
 // snapshot.
 func NewBroker(net *topology.Network, fwd *forward.Engine, dep *anycast.Deployment, coverage float64, seed int64) *BrokerRedirector {
+	return NewBrokerWithRand(net, fwd, dep, coverage, rand.New(rand.NewSource(seed)))
+}
+
+// NewBrokerWithRand is NewBroker with the randomness source injected —
+// never the global math/rand, so broker behaviour stays deterministic and
+// free of cross-instance contention.
+func NewBrokerWithRand(net *topology.Network, fwd *forward.Engine, dep *anycast.Deployment, coverage float64, rng *rand.Rand) *BrokerRedirector {
 	if coverage < 0 {
 		coverage = 0
 	}
@@ -103,7 +110,7 @@ func NewBroker(net *topology.Network, fwd *forward.Engine, dep *anycast.Deployme
 		fwd:      fwd,
 		net:      net,
 		coverage: coverage,
-		rng:      rand.New(rand.NewSource(seed)),
+		rng:      rng,
 	}
 }
 

@@ -2,6 +2,7 @@ package redirect
 
 import (
 	"errors"
+	"math/rand"
 	"testing"
 
 	"github.com/evolvable-net/evolve/internal/anycast"
@@ -205,5 +206,50 @@ func TestBrokerCoverageClamped(t *testing.T) {
 	// Tiny but nonzero coverage still yields at least one cooperator.
 	if b.DirectorySize() == 0 {
 		t.Error("nonzero coverage yielded empty directory")
+	}
+}
+
+func TestBrokerDeterministicAcrossRuns(t *testing.T) {
+	// Same seed → same cooperating-ISP sample → identical directory and
+	// referrals, run after run. Different seeds are free to differ.
+	e := world(t)
+	// Partial coverage so the rng actually decides something.
+	snapshot := func(b *BrokerRedirector) []topology.RouterID {
+		b.Refresh()
+		out := make([]topology.RouterID, 0, b.DirectorySize())
+		for _, h := range e.net.Hosts {
+			res, err := b.Redirect(h)
+			if err != nil {
+				out = append(out, -1)
+				continue
+			}
+			out = append(out, res.Member)
+		}
+		return out
+	}
+	a := snapshot(NewBroker(e.net, e.fwd, e.dep, 0.5, 99))
+	b := snapshot(NewBroker(e.net, e.fwd, e.dep, 0.5, 99))
+	if len(a) != len(b) {
+		t.Fatalf("referral counts differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at host %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestBrokerWithInjectedRand(t *testing.T) {
+	e := world(t)
+	b1 := NewBrokerWithRand(e.net, e.fwd, e.dep, 0.5, rand.New(rand.NewSource(99)))
+	b2 := NewBroker(e.net, e.fwd, e.dep, 0.5, 99)
+	b1.Refresh()
+	b2.Refresh()
+	if b1.DirectorySize() != b2.DirectorySize() {
+		t.Errorf("injected rng built a different directory: %d vs %d",
+			b1.DirectorySize(), b2.DirectorySize())
+	}
+	if NewBrokerWithRand(e.net, e.fwd, e.dep, -1, rand.New(rand.NewSource(1))).coverage != 0 {
+		t.Error("negative coverage not clamped")
 	}
 }

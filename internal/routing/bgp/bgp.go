@@ -23,6 +23,7 @@ package bgp
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"github.com/evolvable-net/evolve/internal/addr"
 	"github.com/evolvable-net/evolve/internal/rib"
@@ -115,9 +116,16 @@ type origination struct {
 	exportTo map[topology.ASN]bool
 }
 
-// System is the BGP of a whole internet.
+// System is the BGP of a whole internet. Queries are safe for concurrent
+// use (the lazy re-convergence they trigger serializes internally);
+// origination changes and Refresh serialize against them.
 type System struct {
 	net *topology.Network
+
+	// mu guards everything below: queries hold it for read (after an
+	// upgrade-to-write pass when re-convergence is pending), mutators for
+	// write.
+	mu sync.RWMutex
 	// originated[asn] lists the AS's injected prefixes in injection order.
 	originated map[topology.ASN][]origination
 	// best[asn] is the stable per-AS loc-RIB after Converge.
@@ -128,7 +136,8 @@ type System struct {
 	neighbors map[topology.ASN][]topology.ASNeighbor
 
 	converged bool
-	// Rounds records how many fixpoint rounds the last Converge took.
+	// Rounds records how many fixpoint rounds the last Converge took; read
+	// it only after convergence, not while queries are in flight.
 	Rounds int
 }
 
@@ -151,6 +160,8 @@ func NewSystem(net *topology.Network) *System {
 
 // Originate injects a prefix at asn with normal global propagation.
 func (s *System) Originate(asn topology.ASN, p addr.Prefix) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	s.converged = false
 	s.originated[asn] = append(s.originated[asn], origination{prefix: p})
 }
@@ -159,6 +170,8 @@ func (s *System) Originate(asn topology.ASN, p addr.Prefix) {
 // neighbours, tagged NO_EXPORT — the paper's option-2 "peer to advertise
 // the anycast route" arrangement.
 func (s *System) OriginateTo(asn topology.ASN, p addr.Prefix, neighbors ...topology.ASN) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	s.converged = false
 	scope := map[topology.ASN]bool{}
 	for _, n := range neighbors {
@@ -170,6 +183,8 @@ func (s *System) OriginateTo(asn topology.ASN, p addr.Prefix, neighbors ...topol
 // Withdraw removes all originations of p at asn; it reports whether any
 // existed.
 func (s *System) Withdraw(asn topology.ASN, p addr.Prefix) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	out := s.originated[asn][:0]
 	removed := false
 	for _, o := range s.originated[asn] {
@@ -190,6 +205,8 @@ func (s *System) Withdraw(asn topology.ASN, p addr.Prefix) bool {
 // failures or repairs) and forces re-convergence on the next query.
 // Originations are preserved.
 func (s *System) Refresh() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	s.neighbors = map[topology.ASN][]topology.ASNeighbor{}
 	for _, asn := range s.net.ASNs() {
 		s.neighbors[asn] = s.net.Neighbors(asn)
@@ -203,6 +220,8 @@ func (s *System) Refresh() {
 // the routing state as it was before the suspending domain began
 // advertising.
 func (s *System) SuspendOriginations(asn topology.ASN, p addr.Prefix) (restore func(), found bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	var saved []origination
 	out := s.originated[asn][:0]
 	for _, o := range s.originated[asn] {
@@ -220,6 +239,8 @@ func (s *System) SuspendOriginations(asn topology.ASN, p addr.Prefix) (restore f
 		if len(saved) == 0 {
 			return
 		}
+		s.mu.Lock()
+		defer s.mu.Unlock()
 		s.originated[asn] = append(s.originated[asn], saved...)
 		s.converged = false
 	}, len(saved) > 0
@@ -242,8 +263,31 @@ func exportsTo(r Route, rel topology.Rel) bool {
 }
 
 // Converge runs the synchronous fixpoint. It is idempotent and must be
-// called after any Originate/OriginateTo/Withdraw.
+// called after any Originate/OriginateTo/Withdraw (queries also trigger
+// it lazily).
 func (s *System) Converge() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.convergeLocked()
+}
+
+// rlockConverged returns with the read lock held and the routing
+// converged; the loop re-checks because a mutator may slip in between the
+// upgrade and the read re-acquisition.
+func (s *System) rlockConverged() {
+	for {
+		s.mu.RLock()
+		if s.converged {
+			return
+		}
+		s.mu.RUnlock()
+		s.mu.Lock()
+		s.convergeLocked()
+		s.mu.Unlock()
+	}
+}
+
+func (s *System) convergeLocked() {
 	if s.converged {
 		return
 	}
@@ -384,14 +428,20 @@ func routeEqual(a, b Route) bool {
 
 // BestRoute returns asn's selected route for exactly prefix p.
 func (s *System) BestRoute(asn topology.ASN, p addr.Prefix) (Route, bool) {
-	s.Converge()
+	s.rlockConverged()
+	defer s.mu.RUnlock()
 	r, ok := s.best[asn][p]
 	return r, ok
 }
 
 // Lookup longest-prefix-matches dst in asn's FIB.
 func (s *System) Lookup(asn topology.ASN, dst addr.V4) (Route, bool) {
-	s.Converge()
+	s.rlockConverged()
+	defer s.mu.RUnlock()
+	return s.lookupLocked(asn, dst)
+}
+
+func (s *System) lookupLocked(asn topology.ASN, dst addr.V4) (Route, bool) {
 	t, ok := s.fib[asn]
 	if !ok {
 		return Route{}, false
@@ -403,7 +453,8 @@ func (s *System) Lookup(asn topology.ASN, dst addr.V4) (Route, bool) {
 // TableSize returns the number of prefixes in asn's loc-RIB (routing-state
 // experiments, §3.2 scalability discussion).
 func (s *System) TableSize(asn topology.ASN) int {
-	s.Converge()
+	s.rlockConverged()
+	defer s.mu.RUnlock()
 	return len(s.best[asn])
 }
 
@@ -411,7 +462,9 @@ func (s *System) TableSize(asn topology.ASN) int {
 // follows toward dst, starting with from itself. ok is false when from
 // has no route.
 func (s *System) ASPath(from topology.ASN, dst addr.V4) ([]topology.ASN, bool) {
-	r, ok := s.Lookup(from, dst)
+	s.rlockConverged()
+	defer s.mu.RUnlock()
+	r, ok := s.lookupLocked(from, dst)
 	if !ok {
 		return nil, false
 	}
@@ -425,7 +478,7 @@ func (s *System) ASPath(from topology.ASN, dst addr.V4) ([]topology.ASN, bool) {
 		if i+2 == len(path) {
 			break
 		}
-		nr, ok := s.Lookup(cur, dst)
+		nr, ok := s.lookupLocked(cur, dst)
 		if !ok {
 			return path[:i+2], true
 		}
@@ -445,6 +498,12 @@ func (s *System) ASPath(from topology.ASN, dst addr.V4) ([]topology.ASN, bool) {
 // b, oriented From-in-a and deterministically sorted. Empty when not
 // adjacent.
 func (s *System) LinksBetween(a, b topology.ASN) []topology.InterLink {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.linksBetweenLocked(a, b)
+}
+
+func (s *System) linksBetweenLocked(a, b topology.ASN) []topology.InterLink {
 	for _, nb := range s.neighbors[a] {
 		if nb.ASN == b && len(nb.Links) > 0 {
 			links := append([]topology.InterLink(nil), nb.Links...)
@@ -466,7 +525,9 @@ func (s *System) LinksBetween(a, b topology.ASN) []topology.InterLink {
 // selection; this remains for callers needing any single representative
 // link.
 func (s *System) LinkBetween(a, b topology.ASN) (topology.InterLink, bool) {
-	links := s.LinksBetween(a, b)
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	links := s.linksBetweenLocked(a, b)
 	if len(links) == 0 {
 		return topology.InterLink{}, false
 	}

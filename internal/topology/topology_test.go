@@ -299,3 +299,38 @@ func TestGeneratorsDeterministic(t *testing.T) {
 		}
 	}
 }
+
+func TestWaxmanAndBADeterministic(t *testing.T) {
+	// Every generator draws randomness only from cfg.Seed: equal seeds
+	// must reproduce the topology exactly; a different seed must be free
+	// to wire the internet differently.
+	interLinks := func(n *Network) []InterLink { return n.Inter }
+
+	w1, err1 := Waxman(8, 0.6, 0.4, GenConfig{Seed: 7, HostsPerDomain: 1})
+	w2, err2 := Waxman(8, 0.6, 0.4, GenConfig{Seed: 7, HostsPerDomain: 1})
+	if err1 != nil || err2 != nil {
+		t.Fatal(err1, err2)
+	}
+	if len(interLinks(w1)) != len(interLinks(w2)) {
+		t.Fatal("waxman: same seed, different link counts")
+	}
+	for i := range w1.Inter {
+		if w1.Inter[i] != w2.Inter[i] {
+			t.Fatalf("waxman: inter link %d differs", i)
+		}
+	}
+
+	b1, err1 := BarabasiAlbert(10, 2, GenConfig{Seed: 7, HostsPerDomain: 1})
+	b2, err2 := BarabasiAlbert(10, 2, GenConfig{Seed: 7, HostsPerDomain: 1})
+	if err1 != nil || err2 != nil {
+		t.Fatal(err1, err2)
+	}
+	if len(b1.Inter) != len(b2.Inter) {
+		t.Fatal("ba: same seed, different link counts")
+	}
+	for i := range b1.Inter {
+		if b1.Inter[i] != b2.Inter[i] {
+			t.Fatalf("ba: inter link %d differs", i)
+		}
+	}
+}

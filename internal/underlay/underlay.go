@@ -7,15 +7,22 @@
 package underlay
 
 import (
+	"sync"
+
 	"github.com/evolvable-net/evolve/internal/graph"
 	"github.com/evolvable-net/evolve/internal/topology"
 )
 
-// View caches single-source shortest-path trees lazily.
+// View caches single-source shortest-path trees lazily. Queries are safe
+// for concurrent use; Invalidate must not race with queries (serialize it
+// with the same write lock that guards the topology mutation).
 type View struct {
-	net  *topology.Network
-	full *graph.Graph
+	net *topology.Network
 
+	// mu guards the cache maps and the full-graph snapshot, which queries
+	// populate lazily.
+	mu       sync.Mutex
+	full     *graph.Graph
 	intraSPT map[topology.RouterID]*graph.SPT
 	fullSPT  map[topology.RouterID]*graph.SPT
 }
@@ -37,12 +44,16 @@ func (v *View) Network() *topology.Network { return v.net }
 // the router graph. Call it after mutating the topology (link failure or
 // repair); subsequent queries reflect the new converged state.
 func (v *View) Invalidate() {
+	v.mu.Lock()
+	defer v.mu.Unlock()
 	v.full = v.net.RouterGraph()
 	v.intraSPT = map[topology.RouterID]*graph.SPT{}
 	v.fullSPT = map[topology.RouterID]*graph.SPT{}
 }
 
 func (v *View) intra(src topology.RouterID) *graph.SPT {
+	v.mu.Lock()
+	defer v.mu.Unlock()
 	if t, ok := v.intraSPT[src]; ok {
 		return t
 	}
@@ -52,6 +63,8 @@ func (v *View) intra(src topology.RouterID) *graph.SPT {
 }
 
 func (v *View) fullFrom(src topology.RouterID) *graph.SPT {
+	v.mu.Lock()
+	defer v.mu.Unlock()
 	if t, ok := v.fullSPT[src]; ok {
 		return t
 	}

@@ -20,6 +20,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"sync"
 
 	"github.com/evolvable-net/evolve/internal/anycast"
 	"github.com/evolvable-net/evolve/internal/graph"
@@ -96,7 +97,10 @@ type Bone struct {
 	idx     map[topology.RouterID]int
 	links   []Link
 	g       *graph.Graph
-	spt     map[topology.RouterID]*graph.SPT
+	// sptMu guards the lazily-populated spt cache, so distance/path
+	// queries are safe from concurrent Sends.
+	sptMu sync.Mutex
+	spt   map[topology.RouterID]*graph.SPT
 }
 
 // Build constructs the vN-Bone for a deployment's current membership.
@@ -417,6 +421,8 @@ func (b *Bone) sptFrom(m topology.RouterID) (*graph.SPT, bool) {
 	if _, ok := b.idx[m]; !ok {
 		return nil, false
 	}
+	b.sptMu.Lock()
+	defer b.sptMu.Unlock()
 	if t, ok := b.spt[m]; ok {
 		return t, true
 	}
