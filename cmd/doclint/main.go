@@ -1,0 +1,95 @@
+// Command doclint enforces the repository's documentation floor: every
+// Go package under the given roots must carry a package-level doc
+// comment on at least one of its non-test files. CI runs it as
+//
+//	go run ./cmd/doclint internal cmd .
+//
+// and fails the build listing each undocumented package. Package
+// comments are the map from code to the paper (each internal package
+// states which section it implements), so a missing one is treated as a
+// build break, not a style nit.
+package main
+
+import (
+	"fmt"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+func main() {
+	roots := os.Args[1:]
+	if len(roots) == 0 {
+		roots = []string{"internal", "cmd", "."}
+	}
+	var undocumented []string
+	seen := map[string]bool{}
+	for _, root := range roots {
+		err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+			if err != nil {
+				return err
+			}
+			if !d.IsDir() {
+				return nil
+			}
+			name := d.Name()
+			if path != root && (strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") || name == "testdata") {
+				return filepath.SkipDir
+			}
+			// "." as a root must not recurse into the other roots twice.
+			if root == "." && path != "." {
+				return filepath.SkipDir
+			}
+			if seen[path] {
+				return nil
+			}
+			seen[path] = true
+			ok, hasGo, err := packageDocumented(path)
+			if err != nil {
+				return err
+			}
+			if hasGo && !ok {
+				undocumented = append(undocumented, path)
+			}
+			return nil
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "doclint: %v\n", err)
+			os.Exit(2)
+		}
+	}
+	if len(undocumented) > 0 {
+		for _, p := range undocumented {
+			fmt.Fprintf(os.Stderr, "doclint: package %s has no package doc comment\n", p)
+		}
+		os.Exit(1)
+	}
+}
+
+// packageDocumented reports whether dir contains Go files (tests
+// excluded) and whether any of them carries a package doc comment.
+func packageDocumented(dir string) (documented, hasGo bool, err error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return false, false, err
+	}
+	fset := token.NewFileSet()
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		hasGo = true
+		f, err := parser.ParseFile(fset, filepath.Join(dir, name), nil, parser.ParseComments|parser.PackageClauseOnly)
+		if err != nil {
+			return false, true, err
+		}
+		if f.Doc != nil && strings.TrimSpace(f.Doc.Text()) != "" {
+			return true, true, nil
+		}
+	}
+	return false, hasGo, nil
+}

@@ -5,6 +5,12 @@
 //
 //	figgen [-seed N] [-e E3] [-workers N]   # all experiments, or just one
 //	figgen -list                            # list experiment ids
+//	figgen -e E5 -trace-sample 3            # + 3 per-hop path traces
+//
+// -trace-sample N makes the trace-aware experiments (E5, E6, E14, E15)
+// replay up to N cross-AS deliveries with a recorder attached and print
+// the per-hop path traces after each table; see OBSERVABILITY.md for how
+// to read one. Tables themselves are byte-identical with or without it.
 package main
 
 import (
@@ -22,8 +28,10 @@ func main() {
 	md := flag.Bool("md", false, "emit GitHub-flavoured markdown (for EXPERIMENTS.md)")
 	seeds := flag.Int("seeds", 1, "run each experiment across N seeds and report PASS rates")
 	workers := flag.Int("workers", 0, "goroutines for sweep experiments (0 = GOMAXPROCS)")
+	traceN := flag.Int("trace-sample", 0, "print N sampled per-hop path traces after each trace-aware experiment (0 = off)")
 	flag.Parse()
 	evolve.SetExperimentWorkers(*workers)
+	evolve.SetTraceSample(*traceN)
 
 	if *list {
 		for _, id := range evolve.Experiments() {
@@ -73,6 +81,9 @@ func main() {
 			fmt.Println(tbl.Markdown())
 		} else {
 			fmt.Println(tbl)
+		}
+		for _, tr := range tbl.Traces {
+			fmt.Println(tr)
 		}
 		if !tbl.OK {
 			failed++

@@ -6,12 +6,26 @@
 // Usage:
 //
 //	overlayd [-routers N] [-messages N]
+//	overlayd -debug-addr localhost:6060 -hold 1m
+//
+// With -debug-addr, overlayd serves live introspection over HTTP while
+// the demo runs (see OBSERVABILITY.md):
+//
+//	/debug/counters  per-node forwarding counters, expvar-style text
+//	/debug/vars      standard expvar JSON (includes the "overlay" map)
+//	/debug/pprof/    net/http/pprof profiles of the running daemon
+//
+// -hold keeps the nodes (and the debug server) alive after the ping
+// workload finishes so the endpoints can be inspected at leisure.
 package main
 
 import (
+	"expvar"
 	"flag"
 	"fmt"
 	"log"
+	"net/http"
+	_ "net/http/pprof"
 	"time"
 
 	"github.com/evolvable-net/evolve"
@@ -22,6 +36,8 @@ func main() {
 	log.SetPrefix("overlayd: ")
 	routers := flag.Int("routers", 4, "vN routers in the bone chain")
 	messages := flag.Int("messages", 10, "IPvN packets to send end to end")
+	debugAddr := flag.String("debug-addr", "", "serve live introspection on this HTTP address (/debug/counters, /debug/vars, /debug/pprof/)")
+	hold := flag.Duration("hold", 0, "keep nodes and the debug server alive this long after the pings finish")
 	flag.Parse()
 	if *routers < 1 {
 		log.Fatal("need at least one router")
@@ -83,6 +99,47 @@ func main() {
 		fmt.Printf("  router %d: underlay %s udp %s\n", i+1, n.Underlay, ep)
 	}
 
+	if *debugAddr != "" {
+		all := map[string]*evolve.OverlayNode{
+			"hostA": hostA,
+			"hostB": hostB,
+		}
+		for i, n := range bone {
+			all[fmt.Sprintf("router%d", i+1)] = n
+		}
+		// Standard expvar JSON at /debug/vars (plus cmdline/memstats),
+		// pprof at /debug/pprof/ — both register on the default mux.
+		expvar.Publish("overlay", expvar.Func(func() any {
+			out := map[string]evolve.OverlayStats{}
+			for name, n := range all {
+				out[name] = n.Stats()
+			}
+			return out
+		}))
+		// A plain-text counter dump mirroring Snapshot.String's
+		// "key value" line format, for curl without jq.
+		names := []string{"hostA", "hostB"}
+		for i := range bone {
+			names = append(names, fmt.Sprintf("router%d", i+1))
+		}
+		http.HandleFunc("/debug/counters", func(w http.ResponseWriter, _ *http.Request) {
+			w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+			for _, name := range names {
+				s := all[name].Stats()
+				fmt.Fprintf(w, "%s.delivered %d\n", name, s.Delivered)
+				fmt.Fprintf(w, "%s.forwarded %d\n", name, s.Forwarded)
+				fmt.Fprintf(w, "%s.exited %d\n", name, s.Exited)
+				fmt.Fprintf(w, "%s.dropped %d\n", name, s.Dropped)
+			}
+		})
+		go func() {
+			log.Printf("debug server on http://%s (/debug/counters, /debug/vars, /debug/pprof/)", *debugAddr)
+			if err := http.ListenAndServe(*debugAddr, nil); err != nil {
+				log.Printf("debug server: %v", err)
+			}
+		}()
+	}
+
 	// Host B answers pings; RTTs traverse the bone twice.
 	hostB.EnableEcho(anycastAddr)
 
@@ -116,5 +173,9 @@ func main() {
 		s := n.Stats()
 		fmt.Printf("  router %d: forwarded=%d exited=%d dropped=%d\n",
 			i+1, s.Forwarded, s.Exited, s.Dropped)
+	}
+	if *hold > 0 {
+		fmt.Printf("holding for %v (debug endpoints stay live; ^C to quit)\n", *hold)
+		time.Sleep(*hold)
 	}
 }

@@ -45,6 +45,7 @@ import (
 	"github.com/evolvable-net/evolve/internal/overlaynet"
 	"github.com/evolvable-net/evolve/internal/routing/bgpvn"
 	"github.com/evolvable-net/evolve/internal/topology"
+	"github.com/evolvable-net/evolve/internal/trace"
 	"github.com/evolvable-net/evolve/internal/vnbone"
 	"github.com/evolvable-net/evolve/internal/vncast"
 )
@@ -120,12 +121,32 @@ type (
 	AdoptionModel = econ.Model
 )
 
+// Observability (OBSERVABILITY.md). A Tracer attached to an Evolution
+// (SetTracer, or per-delivery via SendTraced) receives span events for
+// every leg of a delivery; Counters tally evolution-wide totals whether
+// or not a tracer is attached.
+type (
+	// Tracer receives per-delivery span events.
+	Tracer = trace.Tracer
+	// TraceEvent is one span event of a delivery.
+	TraceEvent = trace.Event
+	// TraceRecorder is a Tracer that appends events into memory.
+	TraceRecorder = trace.Recorder
+	// DropReason classifies why a delivery failed.
+	DropReason = trace.DropReason
+	// CounterSnapshot is a point-in-time copy of an Evolution's counters
+	// (Evolution.Snapshot).
+	CounterSnapshot = trace.Snapshot
+)
+
 // Live overlay prototype.
 type (
 	// OverlayRegistry maps underlay addresses to live UDP endpoints.
 	OverlayRegistry = overlaynet.Registry
 	// OverlayNode is a live vN router or endhost on a real socket.
 	OverlayNode = overlaynet.Node
+	// OverlayStats are one live node's forwarding counters.
+	OverlayStats = overlaynet.Stats
 	// LiveOverlay is a UDP overlay provisioned from a simulated
 	// Evolution (simulator = control plane, sockets = data plane).
 	LiveOverlay = livebridge.Overlay
@@ -230,6 +251,15 @@ func ParseV4(s string) (V4, error) { return addr.ParseV4(s) }
 // experiments fan out over (0 or negative = GOMAXPROCS). Results are
 // deterministic regardless of the worker count.
 func SetExperimentWorkers(n int) { experiments.SetWorkers(n) }
+
+// NewTraceRecorder creates an in-memory Tracer for use with
+// Evolution.SendTraced or Evolution.SetTracer.
+func NewTraceRecorder() *TraceRecorder { return trace.NewRecorder() }
+
+// SetTraceSample makes trace-aware experiments sample up to n per-hop
+// path traces into Table.Traces (figgen's -trace-sample flag; 0
+// disables, the default). Tables' rows and verdicts are unaffected.
+func SetTraceSample(n int) { experiments.SetTraceSample(n) }
 
 // Experiments lists every reproduction experiment (DESIGN.md §4) in id
 // order.

@@ -101,6 +101,41 @@ func ExampleNewMulticast() {
 	// Output: reached 23 subscribers; multicast beat repeated unicast: true
 }
 
+// A Tracer captures one delivery's span: the anycast redirect decision,
+// every vN-Bone hop, the egress selection and each tunnel operation.
+// Attach one per delivery with SendTraced (or evolution-wide with
+// SetTracer); evolution-wide counters are always on via Snapshot. See
+// OBSERVABILITY.md for how to read the full per-hop rendering.
+func ExampleTracer() {
+	net, _ := evolve.TransitStub(2, 3, 0.3, evolve.GenConfig{Seed: 1, HostsPerDomain: 2})
+	evo, _ := evolve.New(net, evolve.Config{
+		Option:    evolve.Option2,
+		DefaultAS: net.DomainByName("T0").ASN,
+	})
+	evo.DeployDomain(net.DomainByName("T0").ASN, 0)
+
+	src := net.HostsIn(net.DomainByName("S0.0").ASN)[0]
+	dst := net.HostsIn(net.DomainByName("S1.2").ASN)[0]
+	rec := evolve.NewTraceRecorder()
+	if _, err := evo.SendTraced(src, dst, []byte("hi"), rec); err != nil {
+		panic(err)
+	}
+	for _, ev := range rec.Events() {
+		fmt.Println(ev.Kind)
+	}
+	s := evo.Snapshot()
+	fmt.Printf("counters: sends=%d deliveries=%d drops=%d\n", s.Sends, s.Deliveries, s.Drops)
+	// Output:
+	// send
+	// encap
+	// redirect
+	// egress
+	// encap
+	// decap
+	// deliver
+	// counters: sends=1 deliveries=1 drops=0
+}
+
 // RunExperiment regenerates any of the paper-reproduction tables.
 func ExampleRunExperiment() {
 	tbl, err := evolve.RunExperiment("E1", 42)

@@ -23,6 +23,7 @@ import (
 	"github.com/evolvable-net/evolve/internal/routing/bgp"
 	"github.com/evolvable-net/evolve/internal/routing/bgpvn"
 	"github.com/evolvable-net/evolve/internal/topology"
+	"github.com/evolvable-net/evolve/internal/trace"
 	"github.com/evolvable-net/evolve/internal/tunnel"
 	"github.com/evolvable-net/evolve/internal/underlay"
 	"github.com/evolvable-net/evolve/internal/vnbone"
@@ -94,6 +95,16 @@ type Evolution struct {
 	// sendSeq stamps each delivery's trace tag; atomic so concurrent
 	// Sends each draw a unique tag.
 	sendSeq atomic.Uint32
+
+	// counters is the always-on observability tally (atomic; see
+	// internal/trace). tracer is the optional default span receiver for
+	// Sends, guarded by mu like the other derived state. resolveCache
+	// memoises anycast resolutions per (host, anycast address) until the
+	// next rebuild; reads happen under the read lock, the swap under the
+	// write lock.
+	counters     trace.Counters
+	tracer       trace.Tracer
+	resolveCache *sync.Map
 }
 
 // New creates an Evolution with no routers deployed yet.
@@ -142,8 +153,26 @@ func New(net *topology.Network, cfg Config) (*Evolution, error) {
 		pools:        map[topology.ASN]*addr.VNPool{},
 		registered:   map[topology.HostID]*topology.Host{},
 		providerDeps: map[topology.ASN]*anycast.Deployment{},
+		resolveCache: &sync.Map{},
 	}, nil
 }
+
+// SetTracer installs the default Tracer every Send reports its span
+// events to (nil disables tracing, the default). Use SendTraced for a
+// per-delivery tracer instead. Safe to call concurrently with Sends.
+func (e *Evolution) SetTracer(tr trace.Tracer) {
+	e.mu.Lock()
+	e.tracer = tr
+	e.mu.Unlock()
+}
+
+// Counters returns the evolution-wide observability counters. They are
+// always on; reading them via Snapshot is safe at any time, including
+// while Sends are in flight.
+func (e *Evolution) Counters() *trace.Counters { return &e.counters }
+
+// Snapshot returns a point-in-time copy of the evolution-wide counters.
+func (e *Evolution) Snapshot() trace.Snapshot { return e.counters.Snapshot() }
 
 // Config returns the deployment configuration.
 func (e *Evolution) Config() Config { return e.cfg }
@@ -214,6 +243,8 @@ func (e *Evolution) EnableProviderChoice(asn topology.ASN) (addr.V4, error) {
 // regardless of proximity.
 func (e *Evolution) SendVia(src, dst *topology.Host, provider topology.ASN, payload []byte) (Delivery, error) {
 	if err := e.rlockReady(); err != nil {
+		e.counters.Send()
+		e.counters.Drop(trace.DropNotDeployed)
 		return Delivery{}, err
 	}
 	defer e.mu.RUnlock()
@@ -221,7 +252,7 @@ func (e *Evolution) SendVia(src, dst *topology.Host, provider topology.ASN, payl
 	if !ok {
 		return Delivery{}, fmt.Errorf("core: provider choice not enabled for AS%d", provider)
 	}
-	return e.send(src, dst, payload, pd.Addr)
+	return e.send(src, dst, payload, pd.Addr, e.tracer)
 }
 
 // DeployDomain deploys IPvN in count routers of a domain (all when count
@@ -310,7 +341,13 @@ func (e *Evolution) rebuildLocked() error {
 	if len(e.Dep.Members()) == 0 {
 		return ErrNotDeployed
 	}
-	bone, err := vnbone.Build(e.Anycast, e.IGP, e.Dep, e.cfg.Bone)
+	// A rebuild invalidates every memoised anycast resolution: routing
+	// (and therefore every redirect decision) may have changed.
+	e.resolveCache = &sync.Map{}
+	e.counters.BoneRebuild()
+	boneCfg := e.cfg.Bone
+	boneCfg.Trace = e.tracer
+	bone, err := vnbone.Build(e.Anycast, e.IGP, e.Dep, boneCfg)
 	if err != nil {
 		return err
 	}
@@ -449,21 +486,77 @@ type Delivery struct {
 
 // Send delivers an IPvN packet with the given payload from src to dst,
 // running the actual wire-level encapsulation at every stage, and returns
-// the full accounting. Send is safe for concurrent use.
+// the full accounting. Send is safe for concurrent use. Span events go to
+// the Tracer installed with SetTracer, if any.
 func (e *Evolution) Send(src, dst *topology.Host, payload []byte) (Delivery, error) {
 	if err := e.rlockReady(); err != nil {
+		e.counters.Send()
+		e.counters.Drop(trace.DropNotDeployed)
 		return Delivery{}, err
 	}
 	defer e.mu.RUnlock()
-	return e.send(src, dst, payload, e.Dep.Addr)
+	return e.send(src, dst, payload, e.Dep.Addr, e.tracer)
+}
+
+// SendTraced is Send with a per-delivery Tracer: tr receives this
+// delivery's span events (redirect decision, every vN-Bone hop, egress
+// selection, each encap/decap) regardless of the default tracer. A fresh
+// trace.Recorder per call yields exactly one delivery's path trace.
+func (e *Evolution) SendTraced(src, dst *topology.Host, payload []byte, tr trace.Tracer) (Delivery, error) {
+	if err := e.rlockReady(); err != nil {
+		e.counters.Send()
+		e.counters.Drop(trace.DropNotDeployed)
+		return Delivery{}, err
+	}
+	defer e.mu.RUnlock()
+	return e.send(src, dst, payload, e.Dep.Addr, tr)
+}
+
+// resolveIngress is the redirect decision of the send path: the anycast
+// resolution from src toward a, memoised until the next rebuild (routing
+// is deterministic between reconvergences, so the cache is exact, not a
+// heuristic). Callers must hold the read lock.
+func (e *Evolution) resolveIngress(src *topology.Host, a addr.V4) (anycast.Resolution, error) {
+	type key struct {
+		host topology.HostID
+		a    addr.V4
+	}
+	cache := e.resolveCache
+	k := key{src.ID, a}
+	if v, ok := cache.Load(k); ok {
+		e.counters.Redirect(true)
+		return *v.(*anycast.Resolution), nil
+	}
+	res, err := e.Anycast.ResolveFromHost(src, a)
+	if err != nil {
+		return anycast.Resolution{}, err
+	}
+	e.counters.Redirect(false)
+	cache.Store(k, &res)
+	return res, nil
 }
 
 // send runs the delivery with the given ingress anycast address (the
-// shared deployment address, or a provider-specific one).
-func (e *Evolution) send(src, dst *topology.Host, payload []byte, ingressAddr addr.V4) (Delivery, error) {
+// shared deployment address, or a provider-specific one) and optional
+// tracer.
+func (e *Evolution) send(src, dst *topology.Host, payload []byte, ingressAddr addr.V4, tr trace.Tracer) (Delivery, error) {
+	e.counters.Send()
+	seq := e.sendSeq.Add(1)
+	// drop closes the span as a failure, counted under its stage.
+	drop := func(reason trace.DropReason, err error) (Delivery, error) {
+		e.counters.Drop(reason)
+		if tr != nil {
+			tr.Event(trace.Event{Kind: trace.KindDrop, Seq: seq, Router: -1, Reason: reason})
+		}
+		return Delivery{}, err
+	}
+
 	srcVN := e.vnAddrs[src.ID]
 	dstVN := e.vnAddrs[dst.ID]
 	d := Delivery{SrcVN: srcVN, DstVN: dstVN}
+	if tr != nil {
+		tr.Event(trace.Event{Kind: trace.KindSend, Seq: seq, Router: src.Attach, AS: src.Domain})
+	}
 
 	// Leg 1 — universal access: the host encapsulates toward the
 	// deployment's anycast address; routing finds the ingress (§3.1).
@@ -478,30 +571,39 @@ func (e *Evolution) send(src, dst *topology.Host, payload []byte, ingressAddr ad
 	// Tag the packet so the harness can assert the header options survive
 	// every encap/decap stage bit-for-bit. The expected tag stays local to
 	// this delivery; concurrent sends each draw their own.
-	seq := e.sendSeq.Add(1)
 	tag := make([]byte, 4)
 	binary.BigEndian.PutUint32(tag, seq)
 	hdr.Options = append(hdr.Options, packet.Option{Type: packet.OptTraceTag, Value: tag})
 	hostEP := tunnel.NewEndpoint(src.Addr)
+	hostEP.Observe(tr, &e.counters, seq)
 	wire, err := hostEP.EncapTo(ingressAddr, hdr, payload)
 	if err != nil {
-		return Delivery{}, err
+		return drop(trace.DropEncap, err)
 	}
-	ing, err := e.Anycast.ResolveFromHost(src, ingressAddr)
+	ing, err := e.resolveIngress(src, ingressAddr)
 	if err != nil {
-		return Delivery{}, fmt.Errorf("core: ingress: %w", err)
+		return drop(trace.DropNoIngress, fmt.Errorf("core: ingress: %w", err))
 	}
 	d.Ingress = ing
+	ingressAS := e.Net.DomainOf(ing.Member)
+	e.counters.Ingress(ingressAS)
+	if tr != nil {
+		tr.Event(trace.Event{
+			Kind: trace.KindRedirect, Seq: seq,
+			Router: ing.Member, AS: ingressAS, Cost: ing.Cost,
+		})
+	}
 
 	ingressEP := tunnel.NewEndpoint(e.Net.Router(ing.Member).Loopback)
+	ingressEP.Observe(tr, &e.counters, seq)
 	// The ingress accepts anycast-addressed packets: decapsulate there.
 	// (Outer dst is the anycast address the member serves.)
 	outer, inner, pl, err := packet.DecapVN(wire)
 	if err != nil {
-		return Delivery{}, fmt.Errorf("core: ingress decap: %w", err)
+		return drop(trace.DropDecap, fmt.Errorf("core: ingress decap: %w", err))
 	}
 	if outer.Dst != ingressAddr {
-		return Delivery{}, fmt.Errorf("core: ingress got packet for %s", outer.Dst)
+		return drop(trace.DropDecap, fmt.Errorf("core: ingress got packet for %s", outer.Dst))
 	}
 
 	// Leg 2 — vN-Bone transit and egress selection (§3.3.2). A
@@ -509,36 +611,56 @@ func (e *Evolution) send(src, dst *topology.Host, payload []byte, ingressAddr ad
 	// IPvN fabric (RegisterEndhost); native routing then takes
 	// precedence over egress-policy guesswork.
 	var eg bgpvn.Egress
+	egDetail := trace.EgressNative
 	if dstVN.IsSelf() {
 		eg, err = e.vn.RouteNative(ing.Member, dstVN)
+		egDetail = trace.EgressRegistered
 		if errors.Is(err, bgpvn.ErrNoVNRoute) {
 			eg, err = e.vn.SelectEgress(ing.Member, dst.Addr, e.cfg.Egress)
+			egDetail = eg.Policy.String()
 		}
 	} else {
 		eg, err = e.vn.RouteNative(ing.Member, dstVN)
 	}
 	if err != nil {
-		return Delivery{}, fmt.Errorf("core: vn routing: %w", err)
+		return drop(trace.DropNoVNRoute, fmt.Errorf("core: vn routing: %w", err))
 	}
 	d.Egress = eg
 	d.VNHops = len(eg.BonePath) - 1
 	if d.VNHops < 0 {
 		d.VNHops = 0
 	}
+	e.counters.BoneHops(d.VNHops)
+	if tr != nil {
+		tr.Event(trace.Event{
+			Kind: trace.KindEgress, Seq: seq,
+			Router: eg.Member, AS: e.Net.DomainOf(eg.Member),
+			Cost: eg.BoneCost, Detail: egDetail,
+		})
+	}
 
 	// Relay the wire packet member-to-member along the bone path.
 	curEP := ingressEP
 	for i := 1; i < len(eg.BonePath); i++ {
-		nextLoop := e.Net.Router(eg.BonePath[i]).Loopback
+		hop := eg.BonePath[i]
+		nextLoop := e.Net.Router(hop).Loopback
 		curEP.Add("bone-hop", nextLoop, 0)
 		wire, err = curEP.Relay(nextLoop, inner, pl)
 		if err != nil {
-			return Delivery{}, fmt.Errorf("core: bone relay %d: %w", i, err)
+			return drop(trace.DropRelay, fmt.Errorf("core: bone relay %d: %w", i, err))
 		}
 		nextEP := tunnel.NewEndpoint(nextLoop)
+		nextEP.Observe(tr, &e.counters, seq)
 		_, inner, pl, err = nextEP.Decap(wire)
 		if err != nil {
-			return Delivery{}, fmt.Errorf("core: bone decap %d: %w", i, err)
+			return drop(trace.DropRelay, fmt.Errorf("core: bone decap %d: %w", i, err))
+		}
+		if tr != nil {
+			tr.Event(trace.Event{
+				Kind: trace.KindBoneHop, Seq: seq,
+				Router: hop, AS: e.Net.DomainOf(hop),
+				Cost: e.bone.Dist(eg.BonePath[i-1], hop),
+			})
 		}
 		curEP = nextEP
 	}
@@ -547,11 +669,11 @@ func (e *Evolution) send(src, dst *topology.Host, payload []byte, ingressAddr ad
 	if dstVN.IsSelf() {
 		under, ok := inner.UnderlayDst()
 		if !ok {
-			return Delivery{}, fmt.Errorf("core: self-addressed destination without underlay address")
+			return drop(trace.DropTail, fmt.Errorf("core: self-addressed destination without underlay address"))
 		}
 		tail, err := e.Fwd.FromRouter(eg.Member, under)
 		if err != nil {
-			return Delivery{}, fmt.Errorf("core: tail: %w", err)
+			return drop(trace.DropTail, fmt.Errorf("core: tail: %w", err))
 		}
 		d.TailCost = tail.Cost
 		d.TailPath = tail.Routers
@@ -560,10 +682,11 @@ func (e *Evolution) send(src, dst *topology.Host, payload []byte, ingressAddr ad
 		wire, err = curEP.EncapTo(under, inner, pl)
 		if err == nil {
 			dstEP := tunnel.NewEndpoint(dst.Addr)
+			dstEP.Observe(tr, &e.counters, seq)
 			_, _, pl, err = dstEP.Decap(wire)
 		}
 		if err != nil {
-			return Delivery{}, fmt.Errorf("core: final tunnel: %w", err)
+			return drop(trace.DropTail, fmt.Errorf("core: final tunnel: %w", err))
 		}
 	} else {
 		// Egress is in dst's own (participating) domain: IGP delivers.
@@ -571,12 +694,13 @@ func (e *Evolution) send(src, dst *topology.Host, payload []byte, ingressAddr ad
 		d.TailPath = e.IGP.IntraPath(eg.Member, dst.Attach)
 		wire, err = curEP.EncapTo(dst.Addr, inner, pl)
 		if err != nil {
-			return Delivery{}, fmt.Errorf("core: native delivery encap: %w", err)
+			return drop(trace.DropTail, fmt.Errorf("core: native delivery encap: %w", err))
 		}
 		dstEP := tunnel.NewEndpoint(dst.Addr)
+		dstEP.Observe(tr, &e.counters, seq)
 		_, _, pl, err = dstEP.Decap(wire)
 		if err != nil {
-			return Delivery{}, fmt.Errorf("core: native delivery decap: %w", err)
+			return drop(trace.DropTail, fmt.Errorf("core: native delivery decap: %w", err))
 		}
 	}
 	d.Payload = pl
@@ -587,17 +711,32 @@ func (e *Evolution) send(src, dst *topology.Host, payload []byte, ingressAddr ad
 		}
 	}
 	if d.TraceTag != seq {
-		return Delivery{}, fmt.Errorf("core: trace tag corrupted in transit (%d != %d)", d.TraceTag, seq)
+		return drop(trace.DropIntegrity, fmt.Errorf("core: trace tag corrupted in transit (%d != %d)", d.TraceTag, seq))
 	}
 
 	d.TotalCost = ing.Cost + eg.BoneCost + d.TailCost
 	base, err := e.Fwd.HostToHost(src, dst)
 	if err != nil {
-		return Delivery{}, fmt.Errorf("core: baseline: %w", err)
+		return drop(trace.DropNoBaseline, fmt.Errorf("core: baseline: %w", err))
 	}
 	d.BaselineCost = base.Cost
 	d.Stretch = metrics.Stretch(d.TotalCost, d.BaselineCost)
+	e.counters.Deliver()
+	if tr != nil {
+		tr.Event(trace.Event{
+			Kind: trace.KindDeliver, Seq: seq,
+			Router: dst.Attach, AS: dst.Domain, Cost: d.TotalCost,
+		})
+	}
 	return d, nil
+}
+
+// FormatTrace renders a recorded event sequence as a per-hop path trace
+// with router names resolved against this Evolution's topology.
+func (e *Evolution) FormatTrace(events []trace.Event) string {
+	return trace.Format(events, func(id topology.RouterID) string {
+		return e.Net.Router(id).Name
+	})
 }
 
 // DescribeDelivery renders a delivery as a human-readable hop-by-hop

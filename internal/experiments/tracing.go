@@ -1,0 +1,73 @@
+package experiments
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"github.com/evolvable-net/evolve/internal/core"
+	"github.com/evolvable-net/evolve/internal/topology"
+	"github.com/evolvable-net/evolve/internal/trace"
+)
+
+// traceSample is the number of per-hop path traces trace-aware
+// experiments sample into Table.Traces. Zero (the default) disables
+// sampling entirely; experiments then never touch the tracing machinery
+// and their hot paths stay on the nil-tracer fast path.
+var traceSample atomic.Int64
+
+// SetTraceSample sets how many per-hop path traces each trace-aware
+// experiment samples into its Table.Traces (0 disables, the default).
+// Sampling never alters an experiment's rows or verdict: traced
+// deliveries run after the measured workload, on deterministic host
+// pairs, and land in a field the table renderers ignore.
+func SetTraceSample(n int) {
+	if n < 0 {
+		n = 0
+	}
+	traceSample.Store(int64(n))
+}
+
+// TraceSample returns the current sampling count.
+func TraceSample() int { return int(traceSample.Load()) }
+
+// sampleTraces re-sends between up to TraceSample() cross-AS host pairs
+// of evo's network with a per-delivery trace.Recorder and appends the
+// formatted paths to t.Traces. Pair choice is deterministic: for each
+// host in network order, the next host in a different domain. label
+// names the scenario the traces come from (experiments often probe
+// several configurations; only one is sampled).
+func sampleTraces(t *Table, label string, evo *core.Evolution, net *topology.Network) {
+	n := TraceSample()
+	if n <= 0 || evo == nil || net == nil {
+		return
+	}
+	rec := trace.NewRecorder()
+	count := 0
+	for i := 0; count < n && i < len(net.Hosts); i++ {
+		src := net.Hosts[i]
+		var dst *topology.Host
+		for j := i + 1; j < len(net.Hosts); j++ {
+			if net.Hosts[j].Domain != src.Domain {
+				dst = net.Hosts[j]
+				break
+			}
+		}
+		if dst == nil {
+			continue
+		}
+		rec.Reset()
+		header := fmt.Sprintf("%s: %s (%s) → %s (%s)",
+			label,
+			src.Name, net.Domain(src.Domain).Name,
+			dst.Name, net.Domain(dst.Domain).Name)
+		d, err := evo.SendTraced(src, dst, []byte("trace-sample"), rec)
+		if err != nil {
+			header += fmt.Sprintf("  [FAILED: %v]", err)
+		} else {
+			header += fmt.Sprintf("  [cost %d, stretch %.3f, vN hops %d]",
+				d.TotalCost, d.Stretch, d.VNHops)
+		}
+		t.Traces = append(t.Traces, header+"\n"+evo.FormatTrace(rec.Events()))
+		count++
+	}
+}

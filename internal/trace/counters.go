@@ -1,0 +1,241 @@
+package trace
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"github.com/evolvable-net/evolve/internal/topology"
+)
+
+// DropReason classifies why a delivery failed, by the stage that killed
+// it. The taxonomy follows the legs of a delivery (OBSERVABILITY.md):
+// ingress (anycast), vN-Bone transit, egress/tail, plus wire-level
+// failures that can occur at any stage.
+type DropReason uint8
+
+const (
+	// DropNone: not a drop (the zero value, never counted).
+	DropNone DropReason = iota
+	// DropNotDeployed: the deployment has no IPvN routers at all.
+	DropNotDeployed
+	// DropNoIngress: anycast resolution found no ingress (no route, dead
+	// end at the default domain, or a forwarding loop).
+	DropNoIngress
+	// DropEncap: a tunnel encapsulation failed (hop limit exhausted,
+	// serialization error).
+	DropEncap
+	// DropDecap: a tunnel decapsulation failed (malformed wire bytes, or
+	// a packet that arrived at the wrong endpoint).
+	DropDecap
+	// DropNoVNRoute: BGPvN had no route — no native prefix covers the
+	// destination and no egress policy produced an exit.
+	DropNoVNRoute
+	// DropRelay: a member-to-member relay along the bone path failed.
+	DropRelay
+	// DropTail: the final leg from the egress router to the destination
+	// host failed (no underlay path, missing carried underlay address).
+	DropTail
+	// DropIntegrity: the per-delivery trace tag did not survive the wire
+	// path bit-for-bit.
+	DropIntegrity
+	// DropNoBaseline: the IPv(N-1) baseline path between the hosts does
+	// not exist, so the delivery cannot be accounted.
+	DropNoBaseline
+
+	numDropReasons
+)
+
+func (r DropReason) String() string {
+	switch r {
+	case DropNone:
+		return "none"
+	case DropNotDeployed:
+		return "not-deployed"
+	case DropNoIngress:
+		return "no-ingress"
+	case DropEncap:
+		return "encap"
+	case DropDecap:
+		return "decap"
+	case DropNoVNRoute:
+		return "no-vn-route"
+	case DropRelay:
+		return "relay"
+	case DropTail:
+		return "tail"
+	case DropIntegrity:
+		return "integrity"
+	case DropNoBaseline:
+		return "no-baseline"
+	default:
+		return fmt.Sprintf("reason(%d)", uint8(r))
+	}
+}
+
+// DropReasons lists every countable reason, for documentation and
+// introspection dumps.
+func DropReasons() []DropReason {
+	out := make([]DropReason, 0, numDropReasons-1)
+	for r := DropNotDeployed; r < numDropReasons; r++ {
+		out = append(out, r)
+	}
+	return out
+}
+
+// Counters is the evolution-wide tally set. All methods are safe for
+// concurrent use and never allocate on the hot path except the first
+// time a given AS appears as an ingress. The zero value is ready to use.
+type Counters struct {
+	sends        atomic.Uint64
+	deliveries   atomic.Uint64
+	redirects    atomic.Uint64
+	redirectHits atomic.Uint64
+	encaps       atomic.Uint64
+	decaps       atomic.Uint64
+	boneHops     atomic.Uint64
+	boneRebuilds atomic.Uint64
+	drops        [numDropReasons]atomic.Uint64
+	// ingressByAS maps topology.ASN → *atomic.Uint64 (per-AS ingress
+	// load: how many deliveries entered the bone in that domain).
+	ingressByAS sync.Map
+}
+
+// Send counts one delivery attempt entering the send path.
+func (c *Counters) Send() { c.sends.Add(1) }
+
+// Deliver counts one successful end-to-end delivery.
+func (c *Counters) Deliver() { c.deliveries.Add(1) }
+
+// Drop counts one failed delivery under its reason.
+func (c *Counters) Drop(r DropReason) {
+	if r == DropNone || r >= numDropReasons {
+		return
+	}
+	c.drops[r].Add(1)
+}
+
+// Redirect counts one anycast redirect resolution; hit reports whether
+// it was served from the redirect cache.
+func (c *Counters) Redirect(hit bool) {
+	c.redirects.Add(1)
+	if hit {
+		c.redirectHits.Add(1)
+	}
+}
+
+// Ingress counts one delivery entering the deployment in domain as.
+func (c *Counters) Ingress(as topology.ASN) {
+	if v, ok := c.ingressByAS.Load(as); ok {
+		v.(*atomic.Uint64).Add(1)
+		return
+	}
+	v, _ := c.ingressByAS.LoadOrStore(as, new(atomic.Uint64))
+	v.(*atomic.Uint64).Add(1)
+}
+
+// Encap counts one tunnel encapsulation.
+func (c *Counters) Encap() { c.encaps.Add(1) }
+
+// Decap counts one tunnel decapsulation.
+func (c *Counters) Decap() { c.decaps.Add(1) }
+
+// BoneHops counts n vN-Bone virtual hops traversed by one delivery.
+func (c *Counters) BoneHops(n int) {
+	if n > 0 {
+		c.boneHops.Add(uint64(n))
+	}
+}
+
+// BoneRebuild counts one vN-Bone reconstruction (deployment change or
+// topology reconvergence).
+func (c *Counters) BoneRebuild() { c.boneRebuilds.Add(1) }
+
+// Snapshot is a point-in-time copy of a Counters. Each field is read
+// atomically; the set as a whole is not a global atomic snapshot (see
+// the package comment), but every counter is monotonic across snapshots.
+type Snapshot struct {
+	// Sends is the number of delivery attempts; Sends = Deliveries +
+	// Drops once all in-flight deliveries settle.
+	Sends uint64
+	// Deliveries is the number of successful end-to-end deliveries.
+	Deliveries uint64
+	// Drops is the total failed deliveries; DropsByReason breaks it down
+	// (only non-zero reasons appear).
+	Drops         uint64
+	DropsByReason map[DropReason]uint64
+	// Redirects counts anycast redirect resolutions on the send path;
+	// RedirectCacheHits of them were served from the redirect cache
+	// without re-walking the BGP/IGP trajectory.
+	Redirects, RedirectCacheHits uint64
+	// Encaps/Decaps count tunnel operations across all stages.
+	Encaps, Decaps uint64
+	// BoneHops is the total vN-Bone virtual hops traversed.
+	BoneHops uint64
+	// BoneRebuilds counts vN-Bone reconstructions.
+	BoneRebuilds uint64
+	// IngressByAS is the per-AS ingress load: deliveries that entered
+	// the deployment in each participating domain.
+	IngressByAS map[topology.ASN]uint64
+}
+
+// Snapshot returns a point-in-time copy of the counters.
+func (c *Counters) Snapshot() Snapshot {
+	s := Snapshot{
+		Sends:             c.sends.Load(),
+		Deliveries:        c.deliveries.Load(),
+		Redirects:         c.redirects.Load(),
+		RedirectCacheHits: c.redirectHits.Load(),
+		Encaps:            c.encaps.Load(),
+		Decaps:            c.decaps.Load(),
+		BoneHops:          c.boneHops.Load(),
+		BoneRebuilds:      c.boneRebuilds.Load(),
+		DropsByReason:     map[DropReason]uint64{},
+		IngressByAS:       map[topology.ASN]uint64{},
+	}
+	for r := DropNotDeployed; r < numDropReasons; r++ {
+		if n := c.drops[r].Load(); n > 0 {
+			s.DropsByReason[r] = n
+			s.Drops += n
+		}
+	}
+	c.ingressByAS.Range(func(k, v any) bool {
+		s.IngressByAS[k.(topology.ASN)] = v.(*atomic.Uint64).Load()
+		return true
+	})
+	return s
+}
+
+// String renders the snapshot as sorted expvar-style "key value" lines —
+// the format cmd/overlayd serves on its debug address.
+func (s Snapshot) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "sends %d\n", s.Sends)
+	fmt.Fprintf(&b, "deliveries %d\n", s.Deliveries)
+	fmt.Fprintf(&b, "drops %d\n", s.Drops)
+	reasons := make([]DropReason, 0, len(s.DropsByReason))
+	for r := range s.DropsByReason {
+		reasons = append(reasons, r)
+	}
+	sort.Slice(reasons, func(i, j int) bool { return reasons[i] < reasons[j] })
+	for _, r := range reasons {
+		fmt.Fprintf(&b, "drops.%s %d\n", r, s.DropsByReason[r])
+	}
+	fmt.Fprintf(&b, "redirects %d\n", s.Redirects)
+	fmt.Fprintf(&b, "redirects.cache_hits %d\n", s.RedirectCacheHits)
+	fmt.Fprintf(&b, "tunnel.encaps %d\n", s.Encaps)
+	fmt.Fprintf(&b, "tunnel.decaps %d\n", s.Decaps)
+	fmt.Fprintf(&b, "bone.hops %d\n", s.BoneHops)
+	fmt.Fprintf(&b, "bone.rebuilds %d\n", s.BoneRebuilds)
+	ases := make([]topology.ASN, 0, len(s.IngressByAS))
+	for as := range s.IngressByAS {
+		ases = append(ases, as)
+	}
+	sort.Slice(ases, func(i, j int) bool { return ases[i] < ases[j] })
+	for _, as := range ases {
+		fmt.Fprintf(&b, "ingress.as%d %d\n", as, s.IngressByAS[as])
+	}
+	return b.String()
+}

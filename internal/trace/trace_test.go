@@ -1,0 +1,185 @@
+package trace
+
+import (
+	"strings"
+	"sync"
+	"testing"
+
+	"github.com/evolvable-net/evolve/internal/topology"
+)
+
+// TestKindStrings pins every Kind to a stable label (the labels appear
+// verbatim in path traces quoted by OBSERVABILITY.md).
+func TestKindStrings(t *testing.T) {
+	want := map[Kind]string{
+		KindSend:     "send",
+		KindRedirect: "redirect",
+		KindBoneHop:  "bone-hop",
+		KindBoneLink: "bone-link",
+		KindEgress:   "egress",
+		KindEncap:    "encap",
+		KindDecap:    "decap",
+		KindDeliver:  "deliver",
+		KindDrop:     "drop",
+	}
+	for k, s := range want {
+		if k.String() != s {
+			t.Errorf("Kind(%d).String() = %q, want %q", k, k.String(), s)
+		}
+	}
+	if got := Kind(200).String(); !strings.Contains(got, "200") {
+		t.Errorf("unknown kind rendered %q", got)
+	}
+}
+
+// TestDropReasonStrings checks every countable reason has a real label
+// and DropReasons enumerates them all exactly once.
+func TestDropReasonStrings(t *testing.T) {
+	reasons := DropReasons()
+	if len(reasons) != int(numDropReasons)-1 {
+		t.Fatalf("DropReasons() lists %d reasons, want %d", len(reasons), numDropReasons-1)
+	}
+	seen := map[string]bool{}
+	for _, r := range reasons {
+		s := r.String()
+		if s == "none" || strings.HasPrefix(s, "reason(") {
+			t.Errorf("reason %d has no label: %q", r, s)
+		}
+		if seen[s] {
+			t.Errorf("duplicate reason label %q", s)
+		}
+		seen[s] = true
+	}
+}
+
+// TestRecorder exercises record/copy/reset semantics.
+func TestRecorder(t *testing.T) {
+	r := NewRecorder()
+	r.Event(Event{Kind: KindSend, Seq: 7})
+	r.Event(Event{Kind: KindDeliver, Seq: 7, Cost: 42})
+	evs := r.Events()
+	if len(evs) != 2 || evs[0].Kind != KindSend || evs[1].Cost != 42 {
+		t.Fatalf("events = %+v", evs)
+	}
+	// The returned slice is a copy: mutating it must not affect the
+	// recorder.
+	evs[0].Kind = KindDrop
+	if r.Events()[0].Kind != KindSend {
+		t.Error("Events() aliases internal storage")
+	}
+	r.Reset()
+	if len(r.Events()) != 0 {
+		t.Error("Reset did not clear events")
+	}
+}
+
+// TestRecorderConcurrent hammers one Recorder from many goroutines
+// (meaningful under -race via the CI race job's core tests, and the
+// plain test still checks nothing is lost).
+func TestRecorderConcurrent(t *testing.T) {
+	r := NewRecorder()
+	const writers, each = 16, 100
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < each; i++ {
+				r.Event(Event{Kind: KindBoneHop})
+			}
+		}()
+	}
+	wg.Wait()
+	if got := len(r.Events()); got != writers*each {
+		t.Errorf("recorded %d events, want %d", got, writers*each)
+	}
+}
+
+// TestCountersSnapshot exercises every counter method and the snapshot
+// totals.
+func TestCountersSnapshot(t *testing.T) {
+	var c Counters
+	c.Send()
+	c.Send()
+	c.Send()
+	c.Deliver()
+	c.Drop(DropNoIngress)
+	c.Drop(DropTail)
+	c.Drop(DropNone)        // never counted
+	c.Drop(DropReason(200)) // out of range: ignored
+	c.Redirect(false)
+	c.Redirect(true)
+	c.Ingress(topology.ASN(3))
+	c.Ingress(topology.ASN(3))
+	c.Ingress(topology.ASN(9))
+	c.Encap()
+	c.Decap()
+	c.BoneHops(4)
+	c.BoneHops(0) // no-op
+	c.BoneRebuild()
+
+	s := c.Snapshot()
+	if s.Sends != 3 || s.Deliveries != 1 {
+		t.Errorf("sends/deliveries = %d/%d, want 3/1", s.Sends, s.Deliveries)
+	}
+	if s.Drops != 2 || s.DropsByReason[DropNoIngress] != 1 || s.DropsByReason[DropTail] != 1 {
+		t.Errorf("drops = %d %v, want 2 split over no-ingress and tail", s.Drops, s.DropsByReason)
+	}
+	if len(s.DropsByReason) != 2 {
+		t.Errorf("zero-count reasons leaked into the snapshot: %v", s.DropsByReason)
+	}
+	if s.Redirects != 2 || s.RedirectCacheHits != 1 {
+		t.Errorf("redirects = %d hits %d, want 2/1", s.Redirects, s.RedirectCacheHits)
+	}
+	if s.IngressByAS[3] != 2 || s.IngressByAS[9] != 1 {
+		t.Errorf("ingress by AS = %v", s.IngressByAS)
+	}
+	if s.Encaps != 1 || s.Decaps != 1 || s.BoneHops != 4 || s.BoneRebuilds != 1 {
+		t.Errorf("encaps/decaps/hops/rebuilds = %d/%d/%d/%d",
+			s.Encaps, s.Decaps, s.BoneHops, s.BoneRebuilds)
+	}
+}
+
+// TestSnapshotString pins the expvar-style line format overlayd serves.
+func TestSnapshotString(t *testing.T) {
+	var c Counters
+	c.Send()
+	c.Deliver()
+	c.Drop(DropTail)
+	c.Ingress(topology.ASN(2))
+	out := c.Snapshot().String()
+	for _, line := range []string{
+		"sends 1\n", "deliveries 1\n", "drops 1\n", "drops.tail 1\n",
+		"redirects 0\n", "redirects.cache_hits 0\n",
+		"tunnel.encaps 0\n", "tunnel.decaps 0\n",
+		"bone.hops 0\n", "bone.rebuilds 0\n", "ingress.as2 1\n",
+	} {
+		if !strings.Contains(out, line) {
+			t.Errorf("snapshot output missing %q:\n%s", line, out)
+		}
+	}
+}
+
+// TestFormat checks the numbered per-hop rendering, including the nil
+// name fallback.
+func TestFormat(t *testing.T) {
+	evs := []Event{
+		{Kind: KindSend, Router: 4, AS: 1},
+		{Kind: KindEncap, Router: -1, Src: 258, Dst: 513},
+		{Kind: KindBoneHop, Router: 6, AS: 2, Cost: 9},
+		{Kind: KindEgress, Router: 6, AS: 2, Detail: EgressNative},
+		{Kind: KindDrop, Router: -1, Reason: DropTail},
+	}
+	out := Format(evs, func(id topology.RouterID) string { return "R" })
+	for _, want := range []string{
+		"0  send", "R (AS1)", "outer ", "bone-hop R (AS2) cost=9",
+		"[native]", "reason=tail",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("formatted trace missing %q:\n%s", want, out)
+		}
+	}
+	if got := Format(evs[:1], nil); !strings.Contains(got, "router-4") {
+		t.Errorf("nil name fallback produced %q", got)
+	}
+}

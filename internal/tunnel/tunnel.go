@@ -12,6 +12,7 @@ import (
 
 	"github.com/evolvable-net/evolve/internal/addr"
 	"github.com/evolvable-net/evolve/internal/packet"
+	"github.com/evolvable-net/evolve/internal/trace"
 )
 
 // Errors.
@@ -50,6 +51,21 @@ type Endpoint struct {
 	tunnels map[addr.V4]*Tunnel
 	stats   Stats
 	buf     *packet.SerializeBuffer
+
+	// Observability hooks, set by Observe. Both are optional and nil by
+	// default; the encap/decap hot path only pays a nil check then.
+	tracer   trace.Tracer
+	counters *trace.Counters
+	seq      uint32
+}
+
+// Observe attaches observability to the endpoint: every encap/decap is
+// counted in c and, when tr is non-nil, emitted as a span event stamped
+// with the delivery sequence number seq. Either argument may be nil.
+func (e *Endpoint) Observe(tr trace.Tracer, c *trace.Counters, seq uint32) {
+	e.tracer = tr
+	e.counters = c
+	e.seq = seq
 }
 
 // NewEndpoint returns the tunnel endpoint for a node.
@@ -135,6 +151,15 @@ func (e *Endpoint) encap(outerDst addr.V4, ttl uint8, inner packet.VNHeader, pay
 		return nil, err
 	}
 	e.stats.Encapsulated++
+	if e.counters != nil {
+		e.counters.Encap()
+	}
+	if e.tracer != nil {
+		e.tracer.Event(trace.Event{
+			Kind: trace.KindEncap, Seq: e.seq, Router: -1,
+			Src: e.Local, Dst: outerDst,
+		})
+	}
 	return append([]byte(nil), e.buf.Bytes()...), nil
 }
 
@@ -151,6 +176,15 @@ func (e *Endpoint) Decap(wire []byte) (from addr.V4, inner packet.VNHeader, payl
 		return 0, packet.VNHeader{}, nil, fmt.Errorf("%w: %s", ErrNotForUs, outer.Dst)
 	}
 	e.stats.Decapsulated++
+	if e.counters != nil {
+		e.counters.Decap()
+	}
+	if e.tracer != nil {
+		e.tracer.Event(trace.Event{
+			Kind: trace.KindDecap, Seq: e.seq, Router: -1,
+			Src: outer.Src, Dst: e.Local,
+		})
+	}
 	return outer.Src, vn, pl, nil
 }
 

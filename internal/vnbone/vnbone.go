@@ -25,6 +25,7 @@ import (
 	"github.com/evolvable-net/evolve/internal/anycast"
 	"github.com/evolvable-net/evolve/internal/graph"
 	"github.com/evolvable-net/evolve/internal/topology"
+	"github.com/evolvable-net/evolve/internal/trace"
 	"github.com/evolvable-net/evolve/internal/underlay"
 )
 
@@ -80,6 +81,10 @@ type Config struct {
 	// to its closest predecessor (join order = router id), yielding a
 	// tree instead of the k-closest mesh.
 	BlindIntra bool
+	// Trace, when non-nil, receives one KindBoneLink event per virtual
+	// link the construction establishes (intra adjacency, peering
+	// tunnel, or bootstrap tunnel).
+	Trace trace.Tracer
 }
 
 // ErrPartitioned is returned when construction finishes without a
@@ -142,6 +147,15 @@ func Build(svc *anycast.Service, igp *underlay.View, dep *anycast.Deployment, cf
 	}
 	if !b.Connected() && !cfg.DisableRepair && !cfg.DisableBootstrap {
 		return nil, ErrPartitioned
+	}
+	if cfg.Trace != nil {
+		for _, l := range b.links {
+			cfg.Trace.Event(trace.Event{
+				Kind: trace.KindBoneLink, Router: l.A,
+				AS: net.DomainOf(l.A), Cost: l.Cost,
+				Detail: l.Kind.String(),
+			})
+		}
 	}
 	return b, nil
 }
