@@ -1,0 +1,102 @@
+package addr
+
+import (
+	"strings"
+	"testing"
+)
+
+// Fuzz targets: the address parsers must never panic on arbitrary
+// strings, and anything they accept must round-trip — format the parsed
+// value and parse it again, landing on the identical value. Round-trip
+// is on the *value*, not the input string: both grammars admit
+// non-canonical spellings (leading zeros, short hex groups) that
+// formatting canonicalizes.
+
+func FuzzParseV4(f *testing.F) {
+	for _, s := range []string{
+		"0.0.0.0", "255.255.255.255", "10.0.0.1", "1.2.3.4",
+		"256.1.1.1", "1.2.3", "1.2.3.4.5", "a.b.c.d", "", "....",
+		"01.02.03.04", " 1.2.3.4", "1.2.3.4 ",
+	} {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		a, err := ParseV4(s)
+		if err != nil {
+			return
+		}
+		back, err := ParseV4(a.String())
+		if err != nil {
+			t.Fatalf("canonical form %q of accepted input %q rejected: %v", a.String(), s, err)
+		}
+		if back != a {
+			t.Fatalf("round trip diverged: %q → %v → %q → %v", s, a, a.String(), back)
+		}
+	})
+}
+
+func FuzzParseVN(f *testing.F) {
+	for _, s := range []string{
+		"self:10.0.0.1", "self:0.0.0.0", "self:255.255.255.255",
+		"0:0:0:0", "ffff:ffff:ffff:ffff", "1:2:3:4", "dead:beef:0:1",
+		"0000000000000001:0:0:0", "self:", "self:1.2.3", ":::", "", "g:0:0:0",
+		"1:2:3", "1:2:3:4:5",
+	} {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		v, err := ParseVN(s)
+		if err != nil {
+			return
+		}
+		back, err := ParseVN(v.String())
+		if err != nil {
+			t.Fatalf("canonical form %q of accepted input %q rejected: %v", v.String(), s, err)
+		}
+		if back != v {
+			t.Fatalf("round trip diverged: %q → %v → %q → %v", s, v, v.String(), back)
+		}
+		// Flag classification must survive the round trip too.
+		if back.IsSelf() != v.IsSelf() || back.IsMulticast() != v.IsMulticast() {
+			t.Fatalf("flags diverged for %q: self %v→%v mcast %v→%v",
+				s, v.IsSelf(), back.IsSelf(), v.IsMulticast(), back.IsMulticast())
+		}
+	})
+}
+
+func FuzzParsePrefix(f *testing.F) {
+	for _, s := range []string{
+		"10.0.0.0/8", "0.0.0.0/0", "255.255.255.255/32", "10.1.2.3/24",
+		"10.0.0.0/33", "10.0.0.0/", "/8", "10.0.0.0", "1.2.3.4/ 8", "",
+	} {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		p, err := ParsePrefix(s)
+		if err != nil {
+			return
+		}
+		if p.Len > 32 {
+			t.Fatalf("accepted prefix %q has impossible length %d", s, p.Len)
+		}
+		// MakePrefix canonicalizes by masking; an accepted prefix must
+		// already be canonical and contain its own address.
+		if p.Addr&p.Mask() != p.Addr {
+			t.Fatalf("accepted prefix %q not canonical: %v", s, p)
+		}
+		if !p.Contains(p.Addr) {
+			t.Fatalf("prefix %v does not contain its own address", p)
+		}
+		back, err := ParsePrefix(p.String())
+		if err != nil {
+			t.Fatalf("canonical form %q of accepted input %q rejected: %v", p.String(), s, err)
+		}
+		if back != p {
+			t.Fatalf("round trip diverged: %q → %v → %q → %v", s, p, p.String(), back)
+		}
+		// The formatted form always carries an explicit length.
+		if !strings.Contains(p.String(), "/") {
+			t.Fatalf("formatted prefix %q lacks a length", p.String())
+		}
+	})
+}

@@ -204,7 +204,14 @@ func (s *Service) AddMember(d *Deployment, id topology.RouterID) {
 	asn := s.net.DomainOf(id)
 	firstInAS := len(d.membersByAS[asn]) == 0
 	d.members[id] = true
-	d.membersByAS[asn] = append(d.membersByAS[asn], id)
+	// Keep the per-domain slice in id order: capture resolution breaks
+	// IGP-distance ties toward the first member scanned (ClosestIn), so
+	// the slice order is routing-visible and must not depend on the
+	// deployment sequence — a deployment reached by different histories
+	// must resolve identically.
+	ms := append(d.membersByAS[asn], id)
+	sort.Slice(ms, func(i, j int) bool { return ms[i] < ms[j] })
+	d.membersByAS[asn] = ms
 	if d.Option == Option1 && firstInAS {
 		s.bgp.Originate(asn, addr.HostPrefix(d.Addr))
 	}

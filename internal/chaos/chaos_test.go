@@ -1,0 +1,226 @@
+package chaos
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/evolvable-net/evolve/internal/topology"
+)
+
+// Fixed seeds for tier-1: small enough to stay fast under -race, varied
+// enough to exercise every event kind. The nightly CI job explores fresh
+// seeds; these pin the deterministic baseline.
+var tier1Seeds = []int64{1, 2, 3}
+
+func TestChaosStockTopologyHoldsInvariants(t *testing.T) {
+	sc := StockScenario(42)
+	for _, seed := range tier1Seeds {
+		rep, err := Run(sc, seed, 30, Options{})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if rep.Violation != nil {
+			t.Fatalf("seed %d: unexpected violation:\n%s", seed, FormatReport(rep))
+		}
+		if rep.EventsApplied != 30 {
+			t.Fatalf("seed %d: applied %d events, want 30", seed, rep.EventsApplied)
+		}
+		if rep.Checks == 0 {
+			t.Fatalf("seed %d: no invariant checks ran", seed)
+		}
+	}
+}
+
+func TestChaosScheduleDeterministic(t *testing.T) {
+	sc := StockScenario(42)
+	w1, err := NewWorld(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w2, err := NewWorld(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s1 := Generate(w1, 7, 40)
+	s2 := Generate(w2, 7, 40)
+	if len(s1) != 40 {
+		t.Fatalf("generated %d events, want 40", len(s1))
+	}
+	for i := range s1 {
+		if s1[i] != s2[i] {
+			t.Fatalf("schedules diverge at %d: %s vs %s", i, s1[i], s2[i])
+		}
+	}
+	// A different seed must not produce the same timeline.
+	s3 := Generate(w1, 8, 40)
+	same := true
+	for i := range s1 {
+		if s1[i] != s3[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("seeds 7 and 8 generated identical schedules")
+	}
+}
+
+// TestChaosCatchesSkippedReconvergence is the harness self-test the
+// acceptance criteria demand: with reconvergence deliberately skipped on
+// link restores, the invariants must flag a violation, and the shrinker
+// must reduce the schedule to a handful of events (a fail/restore pair,
+// possibly with a membership event the violation depends on).
+func TestChaosCatchesSkippedReconvergence(t *testing.T) {
+	sc := StockScenario(42)
+	opts := Options{Apply: BuggyRestoreApply, Shrink: true}
+	var caught *Report
+	for seed := int64(1); seed <= 10; seed++ {
+		rep, err := Run(sc, seed, 40, opts)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if rep.Violation != nil {
+			caught = rep
+			break
+		}
+	}
+	if caught == nil {
+		t.Fatal("seeded skipped-reconvergence bug escaped 10 chaos runs")
+	}
+	if len(caught.Shrunk) == 0 {
+		t.Fatalf("violation found but shrinking produced nothing:\n%s", FormatReport(caught))
+	}
+	if len(caught.Shrunk) > 5 {
+		t.Fatalf("shrunk schedule has %d events, want ≤ 5:\n%s", len(caught.Shrunk), GoLiteral(caught.Shrunk))
+	}
+	// The minimal reproducer must actually involve a restore — that is
+	// where the seeded bug lives.
+	hasRestore := false
+	for _, ev := range caught.Shrunk {
+		switch ev.Kind {
+		case RestoreIntra, RestoreInter, FlapIntra, FlapInter:
+			hasRestore = true
+		}
+	}
+	if !hasRestore {
+		t.Fatalf("shrunk schedule has no restore event:\n%s", GoLiteral(caught.Shrunk))
+	}
+	// And replaying it must reproduce the same violation.
+	rerun, err := Replay(sc, caught.Shrunk, Options{Invariants: []string{caught.Violation.Invariant}, Apply: BuggyRestoreApply})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rerun.Violation == nil {
+		t.Fatalf("shrunk schedule does not reproduce the violation:\n%s", GoLiteral(caught.Shrunk))
+	}
+	// The emitted artifact must be a well-formed replayable literal.
+	lit := GoLiteral(caught.Shrunk)
+	if !strings.HasPrefix(lit, "[]chaos.Event{") || !strings.Contains(lit, "chaos.Restore") && !strings.Contains(lit, "chaos.Flap") {
+		t.Fatalf("unexpected literal:\n%s", lit)
+	}
+}
+
+// TestChaosHealthyRestoreNotFlagged is the control for the self-test:
+// the same schedules applied through the production path must be clean,
+// proving the violation above comes from the seeded bug, not the
+// harness.
+func TestChaosHealthyRestoreNotFlagged(t *testing.T) {
+	sc := StockScenario(42)
+	for seed := int64(1); seed <= 3; seed++ {
+		rep, err := Run(sc, seed, 40, Options{})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if rep.Violation != nil {
+			t.Fatalf("seed %d: healthy apply flagged:\n%s", seed, FormatReport(rep))
+		}
+	}
+}
+
+// TestTolerantApply pins the property shrinking depends on: events that
+// make no sense in the current state (restoring an up link, failing a
+// down one, double registration) are silent no-ops, so any subsequence
+// of a valid schedule replays without desync.
+func TestTolerantApply(t *testing.T) {
+	w, err := NewWorld(StockScenario(42))
+	if err != nil {
+		t.Fatal(err)
+	}
+	links := w.IntraLinks()
+	if len(links) == 0 {
+		t.Fatal("no intra links in stock world")
+	}
+	l := links[0]
+
+	// Restore before any failure: no-op.
+	w.Apply(Event{Kind: RestoreIntra, A: l.a, B: l.b})
+	if w.DownIntra(l.a, l.b) {
+		t.Fatal("restore of an up link marked it down")
+	}
+	// Double failure: second is a no-op; link stays down once.
+	w.Apply(Event{Kind: FailIntra, A: l.a, B: l.b})
+	w.Apply(Event{Kind: FailIntra, A: l.a, B: l.b})
+	if !w.DownIntra(l.a, l.b) {
+		t.Fatal("failed link not marked down")
+	}
+	// Restore brings back exactly the original latency (checked via the
+	// topology: the edge exists again).
+	w.Apply(Event{Kind: RestoreIntra, A: l.a, B: l.b})
+	if w.DownIntra(l.a, l.b) {
+		t.Fatal("restored link still marked down")
+	}
+	if !w.Net.Intra.HasEdge(int(l.a), int(l.b)) {
+		t.Fatal("restored link missing from topology")
+	}
+	// Unknown link (not in the initial inventory): ignored entirely.
+	w.Apply(Event{Kind: FailIntra, A: 0, B: topology.RouterID(len(w.Net.Routers) + 5)})
+
+	// Registration is idempotent and unregister of an unknown host is a
+	// no-op.
+	h := w.Net.Hosts[0].ID
+	w.Apply(Event{Kind: UnregisterHost, Host: h})
+	w.Apply(Event{Kind: RegisterHost, Host: h})
+	w.Apply(Event{Kind: RegisterHost, Host: h})
+	if !w.Registered(h) {
+		t.Fatal("host not registered after RegisterHost")
+	}
+	w.Apply(Event{Kind: UnregisterHost, Host: h})
+	if w.Registered(h) {
+		t.Fatal("host still registered after UnregisterHost")
+	}
+}
+
+func TestInvariantSelection(t *testing.T) {
+	invs, err := Invariants([]string{"ua", "conserve"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(invs) != 2 || invs[0].Name() != "ua" || invs[1].Name() != "conserve" {
+		t.Fatalf("got %d invariants: %v", len(invs), invs)
+	}
+	if _, err := Invariants([]string{"no-such"}); err == nil {
+		t.Fatal("unknown invariant accepted")
+	}
+	all, err := Invariants(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(all) != len(InvariantNames()) {
+		t.Fatalf("nil selection gave %d invariants, want %d", len(all), len(InvariantNames()))
+	}
+}
+
+func TestGoLiteralRoundTrip(t *testing.T) {
+	events := []Event{
+		{Kind: FailIntra, A: 3, B: 7},
+		{Kind: DeployDomain, ASN: 4},
+		{Kind: RegisterHost, Host: 2},
+		{Kind: RestoreIntra, A: 3, B: 7},
+	}
+	lit := GoLiteral(events)
+	for _, want := range []string{"chaos.FailIntra, A: 3, B: 7", "chaos.DeployDomain, ASN: 4", "chaos.RegisterHost, Host: 2"} {
+		if !strings.Contains(lit, want) {
+			t.Fatalf("literal missing %q:\n%s", want, lit)
+		}
+	}
+}

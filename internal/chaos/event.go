@@ -1,0 +1,168 @@
+// Package chaos is a deterministic, seeded fault-schedule engine for the
+// evolvable-internet core: it drives an Evolution through randomized
+// timelines of link failures, restores, flaps, deployment churn and
+// endhost registration churn, and after every event checks a pluggable
+// set of invariants — chief among them the paper's Universal Access
+// requirement (§3.1), phrased as agreement between the long-lived
+// incrementally-reconverged Evolution and a from-scratch oracle rebuilt
+// over the identical topology state. On a violation the engine greedily
+// shrinks the schedule to a minimal reproducing subsequence and emits it
+// as a replayable Go literal plus a per-delivery path trace, in the
+// spirit of MACEMC-style liveness-bug search over deployed-system
+// schedules (PAPERS.md).
+package chaos
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/evolvable-net/evolve/internal/topology"
+)
+
+// Kind identifies a fault-schedule event type.
+type Kind uint8
+
+const (
+	// FailIntra takes an intra-domain link down.
+	FailIntra Kind = iota
+	// RestoreIntra brings a previously failed intra-domain link back at
+	// its original latency.
+	RestoreIntra
+	// FailInter takes an inter-domain link down.
+	FailInter
+	// RestoreInter brings a previously failed inter-domain link back
+	// with its original relationship and latency.
+	RestoreInter
+	// FlapIntra fails and immediately restores an intra-domain link —
+	// two reconvergences in one step, ending where it started.
+	FlapIntra
+	// FlapInter fails and immediately restores an inter-domain link.
+	FlapInter
+	// DeployRouter turns one router into an IPvN router.
+	DeployRouter
+	// UndeployRouter withdraws one router from the deployment.
+	UndeployRouter
+	// DeployDomain deploys IPvN in every router of a domain.
+	DeployDomain
+	// RegisterHost opts a host into §3.3.2 anycast route registration.
+	RegisterHost
+	// UnregisterHost withdraws a host's registration.
+	UnregisterHost
+
+	numKinds
+)
+
+// String returns the human-readable event-kind label.
+func (k Kind) String() string {
+	switch k {
+	case FailIntra:
+		return "fail-intra"
+	case RestoreIntra:
+		return "restore-intra"
+	case FailInter:
+		return "fail-inter"
+	case RestoreInter:
+		return "restore-inter"
+	case FlapIntra:
+		return "flap-intra"
+	case FlapInter:
+		return "flap-inter"
+	case DeployRouter:
+		return "deploy-router"
+	case UndeployRouter:
+		return "undeploy-router"
+	case DeployDomain:
+		return "deploy-domain"
+	case RegisterHost:
+		return "register-host"
+	case UnregisterHost:
+		return "unregister-host"
+	default:
+		return fmt.Sprintf("kind(%d)", uint8(k))
+	}
+}
+
+// GoName returns the Go identifier of the kind, for replayable literals.
+func (k Kind) GoName() string {
+	switch k {
+	case FailIntra:
+		return "FailIntra"
+	case RestoreIntra:
+		return "RestoreIntra"
+	case FailInter:
+		return "FailInter"
+	case RestoreInter:
+		return "RestoreInter"
+	case FlapIntra:
+		return "FlapIntra"
+	case FlapInter:
+		return "FlapInter"
+	case DeployRouter:
+		return "DeployRouter"
+	case UndeployRouter:
+		return "UndeployRouter"
+	case DeployDomain:
+		return "DeployDomain"
+	case RegisterHost:
+		return "RegisterHost"
+	case UnregisterHost:
+		return "UnregisterHost"
+	default:
+		return fmt.Sprintf("Kind(%d)", uint8(k))
+	}
+}
+
+// Event is one self-contained fault-schedule step. Restore latencies and
+// inter-link specs are not carried here: the World records the initial
+// topology and restores links to their original parameters, which keeps
+// events replayable under arbitrary subsequence shrinking.
+type Event struct {
+	// Kind says what happens.
+	Kind Kind
+	// A and B are the link endpoints for link events; A alone is the
+	// subject for DeployRouter/UndeployRouter.
+	A, B topology.RouterID
+	// ASN is the subject domain for DeployDomain.
+	ASN topology.ASN
+	// Host is the subject endhost for RegisterHost/UnregisterHost.
+	Host topology.HostID
+}
+
+// String renders the event as a one-line log entry.
+func (e Event) String() string {
+	switch e.Kind {
+	case FailIntra, RestoreIntra, FailInter, RestoreInter, FlapIntra, FlapInter:
+		return fmt.Sprintf("%s r%d–r%d", e.Kind, e.A, e.B)
+	case DeployRouter, UndeployRouter:
+		return fmt.Sprintf("%s r%d", e.Kind, e.A)
+	case DeployDomain:
+		return fmt.Sprintf("%s AS%d", e.Kind, e.ASN)
+	case RegisterHost, UnregisterHost:
+		return fmt.Sprintf("%s h%d", e.Kind, e.Host)
+	default:
+		return e.Kind.String()
+	}
+}
+
+// GoLiteral renders a schedule as a compilable []chaos.Event literal —
+// the replayable artifact a shrunk failing schedule is reported as.
+func GoLiteral(events []Event) string {
+	var b strings.Builder
+	b.WriteString("[]chaos.Event{\n")
+	for _, e := range events {
+		fmt.Fprintf(&b, "\t{Kind: chaos.%s", e.Kind.GoName())
+		switch e.Kind {
+		case FailIntra, RestoreIntra, FailInter, RestoreInter, FlapIntra, FlapInter:
+			fmt.Fprintf(&b, ", A: %d, B: %d", e.A, e.B)
+		case DeployRouter, UndeployRouter:
+			fmt.Fprintf(&b, ", A: %d", e.A)
+		case DeployDomain:
+			fmt.Fprintf(&b, ", ASN: %d", e.ASN)
+		case RegisterHost, UnregisterHost:
+			fmt.Fprintf(&b, ", Host: %d", e.Host)
+		}
+		b.WriteString("},\n")
+	}
+	b.WriteString("}")
+	return b.String()
+}

@@ -1,0 +1,278 @@
+package chaos
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"github.com/evolvable-net/evolve/internal/core"
+	"github.com/evolvable-net/evolve/internal/topology"
+	"github.com/evolvable-net/evolve/internal/trace"
+	"github.com/evolvable-net/evolve/internal/vnbone"
+)
+
+// CheckContext carries per-step state to invariant checks. The oracle —
+// a from-scratch Evolution over the current topology — is built lazily
+// and shared by every invariant that wants one, so a step pays for at
+// most one oracle construction.
+type CheckContext struct {
+	W     *World
+	Step  int
+	Event Event
+
+	oracle      *core.Evolution
+	oracleErr   error
+	oracleBuilt bool
+}
+
+// Oracle returns the shared from-scratch rebuild for this step.
+func (c *CheckContext) Oracle() (*core.Evolution, error) {
+	if !c.oracleBuilt {
+		c.oracle, c.oracleErr = c.W.BuildOracle()
+		c.oracleBuilt = true
+	}
+	return c.oracle, c.oracleErr
+}
+
+// Failure describes one invariant violation: a human-readable detail
+// line plus, when the invariant can produce one, a per-delivery path
+// trace of the offending behavior.
+type Failure struct {
+	Detail string
+	Trace  string
+}
+
+// Invariant is a property checked after every schedule event. Instances
+// may carry cross-step state (see conservation's previous snapshot), so
+// a fresh set is created per run via Invariants.
+type Invariant interface {
+	Name() string
+	Check(c *CheckContext) *Failure
+}
+
+// InvariantNames lists the registered invariant names in check order.
+func InvariantNames() []string { return []string{"ua", "bone", "conserve", "oracle"} }
+
+// Invariants instantiates fresh invariant checkers for the given names
+// (nil or empty means all of them), in registry order.
+func Invariants(names []string) ([]Invariant, error) {
+	if len(names) == 0 {
+		names = InvariantNames()
+	}
+	want := map[string]bool{}
+	for _, n := range names {
+		want[strings.TrimSpace(n)] = true
+	}
+	var out []Invariant
+	for _, n := range InvariantNames() {
+		if want[n] {
+			out = append(out, newInvariant(n))
+			delete(want, n)
+		}
+	}
+	for n := range want {
+		return nil, fmt.Errorf("chaos: unknown invariant %q (have %s)", n, strings.Join(InvariantNames(), ", "))
+	}
+	return out, nil
+}
+
+func newInvariant(name string) Invariant {
+	switch name {
+	case "ua":
+		return &uaInvariant{}
+	case "bone":
+		return &boneInvariant{}
+	case "conserve":
+		return &conserveInvariant{}
+	case "oracle":
+		return &oracleInvariant{}
+	default:
+		panic("chaos: unregistered invariant " + name)
+	}
+}
+
+// uaInvariant is the paper's Universal Access requirement (§3.1) made
+// operational: for every host pair sampled, a Send on the long-lived
+// Evolution must succeed exactly when it succeeds on the from-scratch
+// oracle, and when both succeed they must agree on the anycast ingress
+// and the end-to-end cost. A client that the oracle can serve but the
+// live system cannot — or that the live system routes differently — has
+// lost universal access to stale incremental state.
+type uaInvariant struct{}
+
+func (uaInvariant) Name() string { return "ua" }
+
+func (uaInvariant) Check(c *CheckContext) *Failure {
+	oracle, err := c.Oracle()
+	if err != nil {
+		// The current topology state admits no deployment at all (e.g.
+		// the bone cannot be built). The live system must agree that it
+		// is unusable.
+		if liveErr := c.W.Evo.Ready(); liveErr == nil {
+			return &Failure{Detail: fmt.Sprintf("oracle cannot be built (%v) but live evolution reports Ready", err)}
+		}
+		return nil
+	}
+	hosts := c.W.Net.Hosts
+	n := len(hosts)
+	if n < 2 {
+		return nil
+	}
+	payload := []byte("chaos-ua")
+	for i := 0; i < n; i++ {
+		src, dst := hosts[i], hosts[(i+1)%n]
+		liveD, liveErr := c.W.Evo.Send(src, dst, payload)
+		oraD, oraErr := oracle.Send(src, dst, payload)
+		switch {
+		case liveErr != nil && oraErr == nil:
+			return &Failure{
+				Detail: fmt.Sprintf("h%d→h%d: live send failed (%v) but from-scratch oracle delivers via r%d at cost %d",
+					src.ID, dst.ID, liveErr, oraD.Ingress.Member, oraD.TotalCost),
+				Trace: uaTrace(c.W.Evo, src, dst, payload),
+			}
+		case liveErr == nil && oraErr != nil:
+			return &Failure{
+				Detail: fmt.Sprintf("h%d→h%d: live send delivered via r%d at cost %d but oracle fails (%v)",
+					src.ID, dst.ID, liveD.Ingress.Member, liveD.TotalCost, oraErr),
+				Trace: uaTrace(c.W.Evo, src, dst, payload),
+			}
+		case liveErr == nil && oraErr == nil:
+			if liveD.Ingress.Member != oraD.Ingress.Member || liveD.TotalCost != oraD.TotalCost {
+				return &Failure{
+					Detail: fmt.Sprintf("h%d→h%d: live ingress r%d cost %d, oracle ingress r%d cost %d",
+						src.ID, dst.ID, liveD.Ingress.Member, liveD.TotalCost, oraD.Ingress.Member, oraD.TotalCost),
+					Trace: uaTrace(c.W.Evo, src, dst, payload),
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// uaTrace replays the offending delivery with a recorder attached and
+// renders the span dump — the "what did the packet actually do" artifact
+// attached to a UA violation.
+func uaTrace(evo *core.Evolution, src, dst *topology.Host, payload []byte) string {
+	rec := trace.NewRecorder()
+	_, _ = evo.SendTraced(src, dst, payload, rec)
+	return evo.FormatTrace(rec.Events())
+}
+
+// boneInvariant checks the §3.3 vN-Bone: the live bone must be buildable
+// exactly when the oracle's is, and when both exist they must be the
+// same overlay — same member set, same links at the same costs and
+// kinds, and connected. An incremental rebuild that drifts from the
+// from-scratch construction means some topology change never reached
+// the bone layer.
+type boneInvariant struct{}
+
+func (boneInvariant) Name() string { return "bone" }
+
+func (boneInvariant) Check(c *CheckContext) *Failure {
+	oracle, err := c.Oracle()
+	if err != nil {
+		return nil // ua already cross-checks total unusability
+	}
+	liveBone, liveErr := c.W.Evo.Bone()
+	oraBone, oraErr := oracle.Bone()
+	if (liveErr != nil) != (oraErr != nil) {
+		return &Failure{Detail: fmt.Sprintf("live bone err=%v, oracle bone err=%v", liveErr, oraErr)}
+	}
+	if liveErr != nil {
+		return nil
+	}
+	if got, want := fmtMembers(liveBone), fmtMembers(oraBone); got != want {
+		return &Failure{Detail: fmt.Sprintf("bone members diverge: live %s, oracle %s", got, want)}
+	}
+	if got, want := fmtLinks(liveBone.Links()), fmtLinks(oraBone.Links()); got != want {
+		return &Failure{Detail: fmt.Sprintf("bone links diverge:\nlive:   %s\noracle: %s", got, want)}
+	}
+	if !liveBone.Connected() {
+		return &Failure{Detail: fmt.Sprintf("bone built but not connected: %d components", len(liveBone.Components()))}
+	}
+	return nil
+}
+
+func fmtMembers(b *vnbone.Bone) string {
+	ms := b.Members()
+	parts := make([]string, len(ms))
+	for i, m := range ms {
+		parts[i] = fmt.Sprintf("r%d", m)
+	}
+	return "{" + strings.Join(parts, " ") + "}"
+}
+
+func fmtLinks(links []vnbone.Link) string {
+	parts := make([]string, len(links))
+	for i, l := range links {
+		a, b := l.A, l.B
+		if a > b {
+			a, b = b, a
+		}
+		parts[i] = fmt.Sprintf("r%d-r%d/%d/%v", a, b, l.Cost, l.Kind)
+	}
+	sort.Strings(parts)
+	return "{" + strings.Join(parts, " ") + "}"
+}
+
+// conserveInvariant checks trace-counter conservation: every delivery
+// attempt is accounted exactly once (sends == deliveries + drops, since
+// the send path is synchronous) and all counters are monotonic step over
+// step — Snapshot.Sub panics on regression, which the check surfaces as
+// a violation rather than a crash.
+type conserveInvariant struct {
+	prev    trace.Snapshot
+	havePrv bool
+}
+
+func (*conserveInvariant) Name() string { return "conserve" }
+
+func (ci *conserveInvariant) Check(c *CheckContext) (f *Failure) {
+	s := c.W.Evo.Snapshot()
+	if s.Sends != s.Deliveries+s.Drops {
+		return &Failure{Detail: fmt.Sprintf("counter conservation broken: sends=%d deliveries=%d drops=%d", s.Sends, s.Deliveries, s.Drops)}
+	}
+	if ci.havePrv {
+		defer func() {
+			if r := recover(); r != nil {
+				f = &Failure{Detail: fmt.Sprintf("counter regression: %v", r)}
+			}
+		}()
+		_ = s.Sub(ci.prev)
+	}
+	ci.prev, ci.havePrv = s, true
+	return nil
+}
+
+// oracleInvariant is the pure routing-state comparison: every host's
+// anycast resolution (the redirect decision of §3.1) on the live
+// services must match the from-scratch oracle's — same reachability,
+// same chosen member, same cost. It catches stale IGP/BGP state even
+// for hosts that never send.
+type oracleInvariant struct{}
+
+func (oracleInvariant) Name() string { return "oracle" }
+
+func (oracleInvariant) Check(c *CheckContext) *Failure {
+	oracle, err := c.Oracle()
+	if err != nil {
+		return nil
+	}
+	liveAddr := c.W.Evo.AnycastAddr()
+	oraAddr := oracle.AnycastAddr()
+	for _, h := range c.W.Net.Hosts {
+		liveRes, liveErr := c.W.Evo.Anycast.ResolveFromHost(h, liveAddr)
+		oraRes, oraErr := oracle.Anycast.ResolveFromHost(h, oraAddr)
+		if (liveErr != nil) != (oraErr != nil) {
+			return &Failure{Detail: fmt.Sprintf("h%d anycast resolution: live err=%v, oracle err=%v", h.ID, liveErr, oraErr)}
+		}
+		if liveErr != nil {
+			continue
+		}
+		if liveRes.Member != oraRes.Member || liveRes.Cost != oraRes.Cost {
+			return &Failure{Detail: fmt.Sprintf("h%d anycast resolution diverges: live r%d/%d, oracle r%d/%d",
+				h.ID, liveRes.Member, liveRes.Cost, oraRes.Member, oraRes.Cost)}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,254 @@
+package chaos
+
+import (
+	"math/rand"
+
+	"github.com/evolvable-net/evolve/internal/topology"
+)
+
+// kindWeights biases the generator toward the event mix that historically
+// flushes out reconvergence bugs: failures slightly outnumber restores
+// (so runs spend time in degraded states), and registration churn is
+// frequent enough to exercise the §3.3.2 advertisement path under every
+// topology mutation.
+var kindWeights = [numKinds]int{
+	FailIntra:      18,
+	RestoreIntra:   12,
+	FailInter:      14,
+	RestoreInter:   10,
+	FlapIntra:      6,
+	FlapInter:      5,
+	DeployRouter:   8,
+	UndeployRouter: 6,
+	DeployDomain:   4,
+	RegisterHost:   10,
+	UnregisterHost: 7,
+}
+
+// genState mirrors the world state the schedule will create, without
+// touching the live Evolution: Generate is a pure function of the
+// pristine world and the seed, so the same (scenario, seed, steps)
+// triple always yields the same schedule regardless of what the system
+// under test does with it.
+type genState struct {
+	rng *rand.Rand
+
+	intra, inter []linkID // initial link inventory, sorted
+	downIntra    map[linkID]bool
+	downInter    map[linkID]bool
+	deployed     map[topology.RouterID]bool
+	registered   map[topology.HostID]bool
+
+	routers  []topology.RouterID
+	domains  []topology.ASN
+	byDomain map[topology.ASN][]topology.RouterID
+	hosts    []topology.HostID
+}
+
+// Generate produces a deterministic fault schedule of the given length
+// for a freshly built world. Every event is valid for the mirrored state
+// at its position (no restore of an up link, no undeploy of the last
+// member), though tolerant application means validity is a quality
+// concern, not a correctness one.
+func Generate(w *World, seed int64, steps int) []Event {
+	g := &genState{
+		rng:        rand.New(rand.NewSource(seed)),
+		intra:      w.IntraLinks(),
+		inter:      w.InterLinks(),
+		downIntra:  map[linkID]bool{},
+		downInter:  map[linkID]bool{},
+		deployed:   map[topology.RouterID]bool{},
+		registered: map[topology.HostID]bool{},
+		domains:    w.Net.ASNs(),
+		byDomain:   map[topology.ASN][]topology.RouterID{},
+	}
+	for _, asn := range g.domains {
+		g.byDomain[asn] = w.Net.Domain(asn).Routers
+	}
+	for _, m := range w.Evo.Dep.Members() {
+		g.deployed[m] = true
+	}
+	for _, r := range w.Net.Routers {
+		g.routers = append(g.routers, r.ID)
+	}
+	for _, h := range w.Net.Hosts {
+		g.hosts = append(g.hosts, h.ID)
+	}
+
+	var total int
+	for _, wt := range kindWeights {
+		total += wt
+	}
+	schedule := make([]Event, 0, steps)
+	misses := 0
+	for len(schedule) < steps {
+		roll := g.rng.Intn(total)
+		k := Kind(0)
+		for ; k < numKinds; k++ {
+			roll -= kindWeights[k]
+			if roll < 0 {
+				break
+			}
+		}
+		ev, ok := g.emit(k)
+		if !ok {
+			// No candidates for this kind right now; re-roll. A long
+			// miss streak means the world is too small to sustain any
+			// kind — return the schedule built so far rather than spin.
+			if misses++; misses > 64*int(numKinds) {
+				break
+			}
+			continue
+		}
+		misses = 0
+		schedule = append(schedule, ev)
+	}
+	return schedule
+}
+
+// emit tries to produce one event of the given kind against the mirror,
+// updating the mirror on success.
+func (g *genState) emit(k Kind) (Event, bool) {
+	pickLink := func(cands []linkID) (linkID, bool) {
+		if len(cands) == 0 {
+			return linkID{}, false
+		}
+		return cands[g.rng.Intn(len(cands))], true
+	}
+	switch k {
+	case FailIntra:
+		l, ok := pickLink(g.upLinks(g.intra, g.downIntra))
+		if !ok {
+			return Event{}, false
+		}
+		g.downIntra[l] = true
+		return Event{Kind: FailIntra, A: l.a, B: l.b}, true
+	case RestoreIntra:
+		l, ok := pickLink(downLinks(g.downIntra))
+		if !ok {
+			return Event{}, false
+		}
+		delete(g.downIntra, l)
+		return Event{Kind: RestoreIntra, A: l.a, B: l.b}, true
+	case FailInter:
+		l, ok := pickLink(g.upLinks(g.inter, g.downInter))
+		if !ok {
+			return Event{}, false
+		}
+		g.downInter[l] = true
+		return Event{Kind: FailInter, A: l.a, B: l.b}, true
+	case RestoreInter:
+		l, ok := pickLink(downLinks(g.downInter))
+		if !ok {
+			return Event{}, false
+		}
+		delete(g.downInter, l)
+		return Event{Kind: RestoreInter, A: l.a, B: l.b}, true
+	case FlapIntra:
+		l, ok := pickLink(g.upLinks(g.intra, g.downIntra))
+		if !ok {
+			return Event{}, false
+		}
+		return Event{Kind: FlapIntra, A: l.a, B: l.b}, true
+	case FlapInter:
+		l, ok := pickLink(g.upLinks(g.inter, g.downInter))
+		if !ok {
+			return Event{}, false
+		}
+		return Event{Kind: FlapInter, A: l.a, B: l.b}, true
+	case DeployRouter:
+		var cands []topology.RouterID
+		for _, r := range g.routers {
+			if !g.deployed[r] {
+				cands = append(cands, r)
+			}
+		}
+		if len(cands) == 0 {
+			return Event{}, false
+		}
+		r := cands[g.rng.Intn(len(cands))]
+		g.deployed[r] = true
+		return Event{Kind: DeployRouter, A: r}, true
+	case UndeployRouter:
+		// Keep at least one member so the deployment never goes fully
+		// dark — an empty deployment is a degenerate state where every
+		// invariant trivially agrees on total failure.
+		if len(g.deployed) <= 1 {
+			return Event{}, false
+		}
+		var cands []topology.RouterID
+		for _, r := range g.routers {
+			if g.deployed[r] {
+				cands = append(cands, r)
+			}
+		}
+		r := cands[g.rng.Intn(len(cands))]
+		delete(g.deployed, r)
+		return Event{Kind: UndeployRouter, A: r}, true
+	case DeployDomain:
+		var cands []topology.ASN
+		for _, asn := range g.domains {
+			for _, r := range g.byDomain[asn] {
+				if !g.deployed[r] {
+					cands = append(cands, asn)
+					break
+				}
+			}
+		}
+		if len(cands) == 0 {
+			return Event{}, false
+		}
+		asn := cands[g.rng.Intn(len(cands))]
+		for _, r := range g.byDomain[asn] {
+			g.deployed[r] = true
+		}
+		return Event{Kind: DeployDomain, ASN: asn}, true
+	case RegisterHost:
+		var cands []topology.HostID
+		for _, h := range g.hosts {
+			if !g.registered[h] {
+				cands = append(cands, h)
+			}
+		}
+		if len(cands) == 0 {
+			return Event{}, false
+		}
+		h := cands[g.rng.Intn(len(cands))]
+		g.registered[h] = true
+		return Event{Kind: RegisterHost, Host: h}, true
+	case UnregisterHost:
+		var cands []topology.HostID
+		for _, h := range g.hosts {
+			if g.registered[h] {
+				cands = append(cands, h)
+			}
+		}
+		if len(cands) == 0 {
+			return Event{}, false
+		}
+		h := cands[g.rng.Intn(len(cands))]
+		delete(g.registered, h)
+		return Event{Kind: UnregisterHost, Host: h}, true
+	default:
+		return Event{}, false
+	}
+}
+
+func (g *genState) upLinks(all []linkID, down map[linkID]bool) []linkID {
+	var out []linkID
+	for _, l := range all {
+		if !down[l] {
+			out = append(out, l)
+		}
+	}
+	return out
+}
+
+func downLinks(down map[linkID]bool) []linkID {
+	out := make([]linkID, 0, len(down))
+	for l := range down {
+		out = append(out, l)
+	}
+	sortLinkIDs(out)
+	return out
+}

@@ -357,11 +357,13 @@ func (e *Evolution) rebuildLocked() error {
 	e.dirty = false
 	// Re-register endhost routes against the fresh vN routing state —
 	// the paper's "endhost would periodically repeat this process in
-	// order to adapt to spread in deployment" (§3.3.2).
+	// order to adapt to spread in deployment" (§3.3.2). A host that
+	// cannot currently reach the deployment (its domain severed by link
+	// failures, say) simply advertises nothing this convergence epoch:
+	// its registration stays on file for the next rebuild, and the
+	// failure must not take down delivery for every other sender.
 	for _, h := range e.registered {
-		if err := e.applyRegistration(h); err != nil {
-			return fmt.Errorf("core: re-registering %s: %w", h.Name, err)
-		}
+		_ = e.applyRegistration(h)
 	}
 	return nil
 }
@@ -372,7 +374,11 @@ func (e *Evolution) rebuildLocked() error {
 // and that router's domain advertises the host's temporary /128 into the
 // IPvN routing fabric. Deliveries to the host then use native IPvN
 // routing instead of egress-policy guesswork. Registration renews
-// automatically whenever deployment changes.
+// automatically whenever deployment changes; like the renewal, the
+// initial advertisement is best-effort — a host that cannot presently
+// reach the deployment still goes on file and advertises on a later
+// rebuild. An error means the deployment itself is unusable and nothing
+// was registered.
 func (e *Evolution) RegisterEndhost(h *topology.Host) error {
 	e.mu.Lock()
 	defer e.mu.Unlock()
@@ -380,7 +386,8 @@ func (e *Evolution) RegisterEndhost(h *topology.Host) error {
 		return err
 	}
 	e.registered[h.ID] = h
-	return e.applyRegistration(h)
+	_ = e.applyRegistration(h)
+	return nil
 }
 
 // UnregisterEndhost withdraws a host's advertised route.

@@ -1,0 +1,119 @@
+package core
+
+import (
+	"testing"
+
+	"github.com/evolvable-net/evolve/internal/anycast"
+	"github.com/evolvable-net/evolve/internal/topology"
+)
+
+// redirectCacheWorld: client domain C dual-homed to participants P1
+// (cheap uplink) and P2 (expensive uplink), with a destination host in
+// P1 — the smallest world where the redirect decision changes under
+// link failure and a stale memoised resolution would be observable.
+func redirectCacheWorld(t *testing.T) (*topology.Network, *Evolution, *topology.Host, *topology.Host) {
+	t.Helper()
+	b := topology.NewBuilder()
+	dP1 := b.AddDomain("P1")
+	dP2 := b.AddDomain("P2")
+	dC := b.AddDomain("C")
+	rP1 := b.AddRouters(dP1, 2)
+	rP2 := b.AddRouters(dP2, 2)
+	rC := b.AddRouters(dC, 2)
+	b.IntraLink(rP1[0], rP1[1], 2)
+	b.IntraLink(rP2[0], rP2[1], 2)
+	b.IntraLink(rC[0], rC[1], 2)
+	b.Provide(rP1[1], rC[0], 10)
+	b.Provide(rP2[1], rC[1], 30)
+	b.Peer(rP1[0], rP2[0], 10)
+	src := b.AddHost(dC, rC[0], "client", 1)
+	dst := b.AddHost(dP1, rP1[0], "server", 1)
+	net, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	evo, err := New(net, Config{Option: anycast.Option1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	evo.DeployDomain(dP1.ASN, 0)
+	evo.DeployDomain(dP2.ASN, 0)
+	return net, evo, src, dst
+}
+
+// hits returns the delivery's ingress domain plus the redirect cache
+// delta for one Send.
+func sendCounting(t *testing.T, evo *Evolution, src, dst *topology.Host) (ingress topology.ASN, cacheHit bool) {
+	t.Helper()
+	before := evo.Snapshot()
+	d, err := evo.Send(src, dst, []byte("x"))
+	if err != nil {
+		t.Fatalf("send: %v", err)
+	}
+	delta := evo.Snapshot().Sub(before)
+	if delta.Redirects != 1 {
+		t.Fatalf("send made %d redirect decisions, want 1", delta.Redirects)
+	}
+	return evo.Net.DomainOf(d.Ingress.Member), delta.RedirectCacheHits == 1
+}
+
+// TestRedirectCacheInvalidatedByLinkFailures is the PR-3 regression
+// test for the PR-2 memoisation cache: the cache must be dropped not
+// just on deployment changes but on every Fail*/Restore* reconvergence,
+// because the redirect decision is routing state. A stale entry here
+// would silently send clients into a failed uplink.
+func TestRedirectCacheInvalidatedByLinkFailures(t *testing.T) {
+	net, evo, src, dst := redirectCacheWorld(t)
+	p1 := net.DomainByName("P1").ASN
+	p2 := net.DomainByName("P2").ASN
+	cLow := net.DomainByName("C").Routers[0]
+	p1Border := net.DomainByName("P1").Routers[1]
+
+	// Populate, then prove the second resolution is served from cache.
+	if as, hit := sendCounting(t, evo, src, dst); as != p1 || hit {
+		t.Fatalf("first send: ingress AS%d hit=%v, want AS%d miss", as, hit, p1)
+	}
+	if as, hit := sendCounting(t, evo, src, dst); as != p1 || !hit {
+		t.Fatalf("second send: ingress AS%d hit=%v, want AS%d cache hit", as, hit, p1)
+	}
+
+	// FailInterLink must invalidate: the next redirect re-resolves (a
+	// miss) and lands in P2 — a stale cache would keep answering P1.
+	link, ok := evo.FailInterLink(p1Border, cLow)
+	if !ok {
+		t.Fatal("uplink not found")
+	}
+	if as, hit := sendCounting(t, evo, src, dst); as != p2 || hit {
+		t.Fatalf("post-failure send: ingress AS%d hit=%v, want AS%d miss", as, hit, p2)
+	}
+	if as, hit := sendCounting(t, evo, src, dst); as != p2 || !hit {
+		t.Fatalf("post-failure re-send: ingress AS%d hit=%v, want AS%d cache hit", as, hit, p2)
+	}
+
+	// RestoreInterLink must invalidate again: back to P1 via a miss.
+	evo.RestoreInterLink(link)
+	if as, hit := sendCounting(t, evo, src, dst); as != p1 || hit {
+		t.Fatalf("post-restore send: ingress AS%d hit=%v, want AS%d miss", as, hit, p1)
+	}
+
+	// FailIntraLink reconverges too: C's intra link rC0–rC1 carries the
+	// detour to P2, but failing it still must flush the cache even
+	// though the current best answer (P1 direct) is unchanged — the
+	// invalidation is about correctness of the *mechanism*, so we
+	// observe it via the miss.
+	if !evo.FailIntraLink(net.DomainByName("C").Routers[0], net.DomainByName("C").Routers[1]) {
+		t.Fatal("intra link not found")
+	}
+	if as, hit := sendCounting(t, evo, src, dst); as != p1 || hit {
+		t.Fatalf("post-intra-failure send: ingress AS%d hit=%v, want AS%d miss", as, hit, p1)
+	}
+
+	// RestoreIntraLink: flushed once more.
+	evo.RestoreIntraLink(net.DomainByName("C").Routers[0], net.DomainByName("C").Routers[1], 2)
+	if as, hit := sendCounting(t, evo, src, dst); as != p1 || hit {
+		t.Fatalf("post-intra-restore send: ingress AS%d hit=%v, want AS%d miss", as, hit, p1)
+	}
+	if as, hit := sendCounting(t, evo, src, dst); as != p1 || !hit {
+		t.Fatalf("steady state: ingress AS%d hit=%v, want AS%d cache hit", as, hit, p1)
+	}
+}

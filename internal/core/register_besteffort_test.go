@@ -1,0 +1,66 @@
+package core
+
+import (
+	"testing"
+
+	"github.com/evolvable-net/evolve/internal/anycast"
+	"github.com/evolvable-net/evolve/internal/topology"
+)
+
+// TestSeveredRegistrantDoesNotPoisonRebuild pins the best-effort
+// registration semantics the chaos harness depends on: a registered
+// endhost whose domain is internally severed (so its §3.3.2 anycast
+// advertisement cannot be refreshed) must not make the whole rebuild
+// fail — every other sender keeps delivering, and once the link heals
+// the registration on file re-advertises without client action.
+func TestSeveredRegistrantDoesNotPoisonRebuild(t *testing.T) {
+	b := topology.NewBuilder()
+	dT := b.AddDomain("T")
+	dC := b.AddDomain("C")
+	dB := b.AddDomain("B")
+	rT := b.AddRouters(dT, 2)
+	rC := b.AddRouters(dC, 2)
+	rB := b.AddRouter(dB, "")
+	b.IntraLink(rT[0], rT[1], 2)
+	b.IntraLink(rC[0], rC[1], 3)
+	b.Provide(rT[0], rC[0], 10)
+	b.Provide(rT[1], rB, 10)
+	hc := b.AddHost(dC, rC[1], "registrant", 1)
+	hb := b.AddHost(dB, rB, "sender", 1)
+	ht := b.AddHost(dT, rT[0], "receiver", 1)
+	net, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	evo, err := New(net, Config{Option: anycast.Option1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	evo.DeployDomain(dT.ASN, 0)
+
+	if err := evo.RegisterEndhost(hc); err != nil {
+		t.Fatalf("register: %v", err)
+	}
+	if _, err := evo.Send(hb, hc, []byte("pre")); err != nil {
+		t.Fatalf("precondition send to registrant: %v", err)
+	}
+
+	// Sever the registrant from its domain's border. The next rebuild
+	// cannot refresh hc's advertisement — and must not care.
+	if !evo.FailIntraLink(rC[0], rC[1]) {
+		t.Fatal("intra link not found")
+	}
+	if _, err := evo.Send(hb, ht, []byte("others")); err != nil {
+		t.Fatalf("unrelated delivery failed after registrant was severed: %v", err)
+	}
+	if _, err := evo.Send(hb, hc, []byte("dark")); err == nil {
+		t.Fatal("delivery to severed registrant should fail")
+	}
+
+	// Heal: the registration was kept on file, so the advertisement
+	// returns with the link — no re-registration call needed.
+	evo.RestoreIntraLink(rC[0], rC[1], 3)
+	if _, err := evo.Send(hb, hc, []byte("post")); err != nil {
+		t.Fatalf("send after heal: %v", err)
+	}
+}

@@ -1,0 +1,213 @@
+package forward_test
+
+// Table-driven egress-selection tests (hot-potato exit-early vs the
+// imported-BGP policies of §3.3.2), in an external test package because
+// the fixtures are most naturally assembled through core.Evolution,
+// which itself imports forward.
+
+import (
+	"errors"
+	"testing"
+
+	"github.com/evolvable-net/evolve/internal/anycast"
+	"github.com/evolvable-net/evolve/internal/core"
+	"github.com/evolvable-net/evolve/internal/forward"
+	"github.com/evolvable-net/evolve/internal/routing/bgpvn"
+	"github.com/evolvable-net/evolve/internal/topology"
+)
+
+// egressWorld: participant T is the ingress; participants P2 and P3 both
+// provide the non-participant destination domain D (whose host is
+// self-addressed), so the imported-BGP policies must choose between two
+// equally distant proxies — the tie falls to bone cost, which the two
+// peering latencies control.
+type egressWorld struct {
+	net           *topology.Network
+	evo           *core.Evolution
+	vn            *bgpvn.System
+	rT, rP2, rP3  topology.RouterID
+	dD            *topology.Domain
+	dst           *topology.Host
+	p2ASN, p3ASN  topology.ASN
+	ingressDomain topology.ASN
+}
+
+func buildEgressWorld(t *testing.T, latTP2, latTP3 int64) *egressWorld {
+	t.Helper()
+	b := topology.NewBuilder()
+	dT := b.AddDomain("T")
+	dP2 := b.AddDomain("P2")
+	dP3 := b.AddDomain("P3")
+	dD := b.AddDomain("D")
+	rT := b.AddRouter(dT, "")
+	rP2 := b.AddRouter(dP2, "")
+	rP3 := b.AddRouter(dP3, "")
+	rD := b.AddRouter(dD, "")
+	b.Peer(rT, rP2, latTP2)
+	b.Peer(rT, rP3, latTP3)
+	b.Provide(rP2, rD, 10)
+	b.Provide(rP3, rD, 10)
+	dst := b.AddHost(dD, rD, "dst", 1)
+	net, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	evo, err := core.New(net, core.Config{Option: anycast.Option1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	evo.DeployRouter(rT)
+	evo.DeployRouter(rP2)
+	evo.DeployRouter(rP3)
+	vn, err := evo.VN()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &egressWorld{
+		net: net, evo: evo, vn: vn,
+		rT: rT, rP2: rP2, rP3: rP3,
+		dD: dD, dst: dst,
+		p2ASN: dP2.ASN, p3ASN: dP3.ASN,
+		ingressDomain: dT.ASN,
+	}
+}
+
+func TestEgressPolicies(t *testing.T) {
+	cases := []struct {
+		name           string
+		latTP2, latTP3 int64
+		policy         bgpvn.EgressPolicy
+		withdraw       bool
+		// wantMember is checked when >= 0; wantDomains when non-nil
+		// (either/or acceptance for underlay tie cases).
+		wantMember  topology.RouterID
+		wantDomains []topology.ASN
+		wantIngress bool
+	}{
+		{
+			// Hot potato: the bone is never consulted, the packet exits
+			// where it entered regardless of how good the proxies are.
+			name:   "exit-early always exits at ingress",
+			latTP2: 5, latTP3: 9,
+			policy:      bgpvn.ExitEarly,
+			wantIngress: true,
+		},
+		{
+			// Imported BGPv(N-1): the AS path T→{P2|P3}→D ends in a
+			// participant one hop before D, so the packet rides the bone
+			// to that proxy instead of exiting early. Which of the two
+			// equal-length paths BGP prefers is a underlay tie we don't
+			// pin — but it must be a proxy, not the ingress.
+			name:   "path-informed exits at last participant on the AS path",
+			latTP2: 5, latTP3: 9,
+			policy:      bgpvn.PathInformed,
+			wantDomains: []topology.ASN{0 /* p2 */, 1 /* p3 */},
+		},
+		{
+			// Proxy advertisement tie (both proxies are 1 AS from D):
+			// the cheaper bone path wins.
+			name:   "proxy-informed breaks advertised-distance tie by bone cost",
+			latTP2: 5, latTP3: 9,
+			policy:     bgpvn.ProxyInformed,
+			wantMember: -2, // filled below: rP2
+		},
+		{
+			name:   "proxy-informed bone-cost order flipped",
+			latTP2: 9, latTP3: 5,
+			policy:     bgpvn.ProxyInformed,
+			wantMember: -3, // filled below: rP3
+		},
+		{
+			// Full tie — advertised distance AND bone cost equal — falls
+			// to the lowest member id, so selection stays deterministic.
+			name:   "proxy-informed breaks full tie by member id",
+			latTP2: 7, latTP3: 7,
+			policy:     bgpvn.ProxyInformed,
+			wantMember: -2, // filled below: rP2 (lower id)
+		},
+		{
+			// Withdrawn route: with D's prefix gone from BGPv(N-1) the
+			// path-informed policy has no AS path to consult and must
+			// degrade to exit-early rather than blackhole.
+			name:   "path-informed falls back to ingress on withdrawn route",
+			latTP2: 5, latTP3: 9,
+			policy:      bgpvn.PathInformed,
+			withdraw:    true,
+			wantIngress: true,
+		},
+		{
+			// Withdrawn route: no proxy can advertise a distance either.
+			name:   "proxy-informed falls back to ingress on withdrawn route",
+			latTP2: 5, latTP3: 9,
+			policy:      bgpvn.ProxyInformed,
+			withdraw:    true,
+			wantIngress: true,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			w := buildEgressWorld(t, tc.latTP2, tc.latTP3)
+			if tc.withdraw {
+				if !w.evo.BGP.Withdraw(w.dD.ASN, w.dD.Prefix) {
+					t.Fatal("withdraw found no origination")
+				}
+			}
+			eg, err := w.vn.SelectEgress(w.rT, w.dst.Addr, tc.policy)
+			if err != nil {
+				t.Fatalf("SelectEgress: %v", err)
+			}
+			if eg.Policy != tc.policy {
+				t.Errorf("recorded policy = %v, want %v", eg.Policy, tc.policy)
+			}
+			want := tc.wantMember
+			switch want {
+			case -2:
+				want = w.rP2
+			case -3:
+				want = w.rP3
+			}
+			switch {
+			case tc.wantIngress:
+				if eg.Member != w.rT {
+					t.Errorf("member = r%d, want ingress r%d", eg.Member, w.rT)
+				}
+				if len(eg.BonePath) != 1 || eg.BonePath[0] != w.rT {
+					t.Errorf("BonePath = %v, want [ingress]", eg.BonePath)
+				}
+			case tc.wantDomains != nil:
+				got := w.net.DomainOf(eg.Member)
+				if got != w.p2ASN && got != w.p3ASN {
+					t.Errorf("member r%d in AS%d, want a proxy domain", eg.Member, got)
+				}
+				if eg.BoneCost <= 0 {
+					t.Errorf("bone cost = %d, want > 0 for a proxy exit", eg.BoneCost)
+				}
+			default:
+				if eg.Member != want {
+					t.Errorf("member = r%d, want r%d", eg.Member, want)
+				}
+				if n := len(eg.BonePath); n < 2 || eg.BonePath[0] != w.rT || eg.BonePath[n-1] != want {
+					t.Errorf("BonePath = %v, want ingress→r%d", eg.BonePath, want)
+				}
+			}
+		})
+	}
+}
+
+// TestWithdrawnRouteUnderlayDelivery pins what the underlay itself does
+// after the withdrawal: the forwarding walk has no covering route, so
+// the exit-early fallback surfaces ErrNoRoute instead of silently
+// looping — the authoritative error the egress fallback defers to.
+func TestWithdrawnRouteUnderlayDelivery(t *testing.T) {
+	w := buildEgressWorld(t, 5, 9)
+	if _, err := w.evo.Fwd.FromRouter(w.rT, w.dst.Addr); err != nil {
+		t.Fatalf("precondition: %v", err)
+	}
+	if !w.evo.BGP.Withdraw(w.dD.ASN, w.dD.Prefix) {
+		t.Fatal("withdraw found no origination")
+	}
+	_, err := w.evo.Fwd.FromRouter(w.rT, w.dst.Addr)
+	if !errors.Is(err, forward.ErrNoRoute) {
+		t.Fatalf("FromRouter after withdrawal = %v, want ErrNoRoute", err)
+	}
+}

@@ -183,6 +183,17 @@ func (f *Fabric) FailLink(a, b int) { f.down[mkLink(a, b)] = true }
 // RestoreLink brings the link a–b back up.
 func (f *Fabric) RestoreLink(a, b int) { delete(f.down, mkLink(a, b)) }
 
+// FlapLink takes the link a–b down now and schedules its restoration
+// downFor microseconds later — the primitive behind chaos-style flap
+// injection. Messages sent while the link is down are dropped; the
+// restoration is an ordinary engine event, so a flap interleaves
+// deterministically with protocol traffic. A non-positive downFor
+// restores on the next engine step at the current time.
+func (f *Fabric) FlapLink(a, b int, downFor Time) {
+	f.FailLink(a, b)
+	f.eng.After(downFor, func() { f.RestoreLink(a, b) })
+}
+
 // Send schedules delivery of msg from→to after the link latency. Messages
 // sent over absent or failed links are counted as dropped.
 func (f *Fabric) Send(from, to int, msg any) {

@@ -161,6 +161,49 @@ func TestFabricFailAndRestore(t *testing.T) {
 	}
 }
 
+func TestFabricFlapLink(t *testing.T) {
+	e := NewEngine()
+	f := NewFabric(e)
+	f.Connect(1, 2, 1)
+	var n int
+	f.Attach(2, HandlerFunc(func(int, any) { n++ }))
+
+	f.FlapLink(1, 2, 50)
+	if f.Connected(1, 2) {
+		t.Error("flapped link still connected immediately after flap")
+	}
+	f.Send(1, 2, "during-flap")
+	e.RunUntil(49)
+	if n != 0 || f.Dropped != 1 {
+		t.Errorf("during flap: delivered %d dropped %d", n, f.Dropped)
+	}
+	e.RunUntil(60)
+	if !f.Connected(1, 2) {
+		t.Error("link not restored after flap interval")
+	}
+	f.Send(1, 2, "after-flap")
+	e.Run(0)
+	if n != 1 {
+		t.Errorf("after flap: delivered %d", n)
+	}
+}
+
+func TestFabricFlapLinkZeroDuration(t *testing.T) {
+	// A non-positive downFor restores via an engine event at the current
+	// time: the link is down until the engine steps, then up again.
+	e := NewEngine()
+	f := NewFabric(e)
+	f.Connect(1, 2, 1)
+	f.FlapLink(1, 2, 0)
+	if f.Connected(1, 2) {
+		t.Error("link up before restoration event ran")
+	}
+	e.Run(0)
+	if !f.Connected(1, 2) {
+		t.Error("link still down after restoration event")
+	}
+}
+
 func TestFabricLinkSymmetric(t *testing.T) {
 	e := NewEngine()
 	f := NewFabric(e)

@@ -208,6 +208,46 @@ func (c *Counters) Snapshot() Snapshot {
 	return s
 }
 
+// Sub returns the per-field difference s − prev. It is the step-delta
+// primitive used by invariant checkers (internal/chaos) and periodic
+// scrapers: because every counter is monotonic, each field of the result
+// is the activity that happened between the two snapshots. Map entries
+// with a zero delta are omitted. Sub panics on counter regression (prev
+// ahead of s), which can only mean the snapshots were taken from
+// different Counters or swapped.
+func (s Snapshot) Sub(prev Snapshot) Snapshot {
+	sub := func(a, b uint64, what string) uint64 {
+		if a < b {
+			panic(fmt.Sprintf("trace: counter %s went backwards (%d → %d)", what, b, a))
+		}
+		return a - b
+	}
+	d := Snapshot{
+		Sends:             sub(s.Sends, prev.Sends, "sends"),
+		Deliveries:        sub(s.Deliveries, prev.Deliveries, "deliveries"),
+		Drops:             sub(s.Drops, prev.Drops, "drops"),
+		Redirects:         sub(s.Redirects, prev.Redirects, "redirects"),
+		RedirectCacheHits: sub(s.RedirectCacheHits, prev.RedirectCacheHits, "redirects.cache_hits"),
+		Encaps:            sub(s.Encaps, prev.Encaps, "tunnel.encaps"),
+		Decaps:            sub(s.Decaps, prev.Decaps, "tunnel.decaps"),
+		BoneHops:          sub(s.BoneHops, prev.BoneHops, "bone.hops"),
+		BoneRebuilds:      sub(s.BoneRebuilds, prev.BoneRebuilds, "bone.rebuilds"),
+		DropsByReason:     map[DropReason]uint64{},
+		IngressByAS:       map[topology.ASN]uint64{},
+	}
+	for r, n := range s.DropsByReason {
+		if delta := sub(n, prev.DropsByReason[r], "drops."+r.String()); delta > 0 {
+			d.DropsByReason[r] = delta
+		}
+	}
+	for as, n := range s.IngressByAS {
+		if delta := sub(n, prev.IngressByAS[as], fmt.Sprintf("ingress.as%d", as)); delta > 0 {
+			d.IngressByAS[as] = delta
+		}
+	}
+	return d
+}
+
 // String renders the snapshot as sorted expvar-style "key value" lines —
 // the format cmd/overlayd serves on its debug address.
 func (s Snapshot) String() string {

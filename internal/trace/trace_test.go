@@ -183,3 +183,62 @@ func TestFormat(t *testing.T) {
 		t.Errorf("nil name fallback produced %q", got)
 	}
 }
+
+func TestSnapshotSub(t *testing.T) {
+	var c Counters
+	c.Send()
+	c.Deliver()
+	c.Redirect(false)
+	c.Ingress(7)
+	prev := c.Snapshot()
+
+	c.Send()
+	c.Drop(DropTail)
+	c.Redirect(true)
+	c.Ingress(7)
+	c.Ingress(9)
+	c.Encap()
+	c.BoneHops(3)
+	cur := c.Snapshot()
+
+	d := cur.Sub(prev)
+	if d.Sends != 1 || d.Deliveries != 0 || d.Drops != 1 {
+		t.Errorf("delta sends/deliveries/drops = %d/%d/%d", d.Sends, d.Deliveries, d.Drops)
+	}
+	if d.DropsByReason[DropTail] != 1 {
+		t.Errorf("delta drops.tail = %d", d.DropsByReason[DropTail])
+	}
+	if d.Redirects != 1 || d.RedirectCacheHits != 1 {
+		t.Errorf("delta redirects = %d hits %d", d.Redirects, d.RedirectCacheHits)
+	}
+	if d.Encaps != 1 || d.BoneHops != 3 {
+		t.Errorf("delta encaps/bonehops = %d/%d", d.Encaps, d.BoneHops)
+	}
+	if d.IngressByAS[7] != 1 || d.IngressByAS[9] != 1 {
+		t.Errorf("delta ingress = %v", d.IngressByAS)
+	}
+	// Zero-delta map entries are omitted, not emitted as zeros.
+	if _, ok := d.DropsByReason[DropNoIngress]; ok {
+		t.Error("zero delta present in DropsByReason")
+	}
+
+	// Subtracting identical snapshots yields all-zero deltas.
+	z := cur.Sub(cur)
+	if z.Sends != 0 || z.Drops != 0 || len(z.IngressByAS) != 0 || len(z.DropsByReason) != 0 {
+		t.Errorf("self-delta not zero: %+v", z)
+	}
+}
+
+func TestSnapshotSubPanicsOnRegression(t *testing.T) {
+	var c Counters
+	c.Send()
+	newer := c.Snapshot()
+	c.Send()
+	older := c.Snapshot()
+	defer func() {
+		if recover() == nil {
+			t.Error("Sub of swapped snapshots did not panic")
+		}
+	}()
+	_ = newer.Sub(older)
+}
