@@ -267,3 +267,71 @@ func BenchmarkBoneRebuild(b *testing.B) {
 		})
 	}
 }
+
+// churnWorld builds the stock 15-domain transit–stub internet with an
+// option-1 deployment over the first 7 domains, plus one intra link of a
+// deployed stub domain to flap.
+func churnWorld(b *testing.B, full bool) (*topology.Network, *core.Evolution, topology.RouterID, topology.RouterID, int64) {
+	b.Helper()
+	net, err := topology.TransitStub(3, 4, 0.4, topology.GenConfig{
+		Seed:             42,
+		RoutersPerDomain: 3,
+		HostsPerDomain:   2,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	evo, err := core.New(net, core.Config{Option: anycast.Option1, FullReconverge: full})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, asn := range net.ASNs()[:7] {
+		evo.DeployDomain(asn, 0)
+	}
+	asn := net.ASNs()[6]
+	for _, r := range net.Domain(asn).Routers {
+		for _, e := range net.Intra.Neighbors(int(r)) {
+			if net.DomainOf(topology.RouterID(e.To)) == asn {
+				return net, evo, r, topology.RouterID(e.To), e.Weight
+			}
+		}
+	}
+	b.Fatalf("AS%d has no intra link to flap", asn)
+	return nil, nil, 0, 0, 0
+}
+
+// BenchmarkChurnSend measures delivery under reconvergence churn: every
+// iteration flaps one intra-domain link (two epoch rebuilds) and then
+// sends a burst of packets. The scoped/full pair quantifies what
+// per-domain invalidation buys over dump-everything reconvergence; the
+// dijkstras/op metric is the recomputation count the scoped path saves.
+func BenchmarkChurnSend(b *testing.B) {
+	for _, mode := range []struct {
+		name string
+		full bool
+	}{{"scoped", false}, {"full", true}} {
+		b.Run(mode.name, func(b *testing.B) {
+			net, evo, ra, rb, lat := churnWorld(b, mode.full)
+			payload := []byte("churn-bench")
+			if _, err := evo.Send(net.Hosts[0], net.Hosts[1], payload); err != nil {
+				b.Fatal(err)
+			}
+			start := evo.IGP.DijkstraRuns()
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				evo.FailIntraLink(ra, rb)
+				evo.RestoreIntraLink(ra, rb, lat)
+				for j := 0; j < 8; j++ {
+					src := net.Hosts[(i+j)%len(net.Hosts)]
+					dst := net.Hosts[(i+j+1)%len(net.Hosts)]
+					if _, err := evo.Send(src, dst, payload); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(evo.IGP.DijkstraRuns()-start)/float64(b.N), "dijkstras/op")
+		})
+	}
+}

@@ -1,0 +1,168 @@
+// Command reconvergebench measures reconvergence cost under link churn:
+// it flaps one intra-domain link of a deployed stub domain N times on
+// two identical transit–stub internets — one with scoped (per-domain)
+// invalidation, one with the dump-everything FullReconverge baseline —
+// and reports wall time, Dijkstra recomputations and delivery agreement
+// as JSON. CI runs it and archives the artifact so scoped-reconvergence
+// regressions show up as a number, not a feeling.
+//
+// Usage:
+//
+//	go run ./cmd/reconvergebench -flaps 200 -o BENCH_reconverge.json
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"github.com/evolvable-net/evolve/internal/anycast"
+	"github.com/evolvable-net/evolve/internal/core"
+	"github.com/evolvable-net/evolve/internal/topology"
+)
+
+// modeResult is one arm's measurement.
+type modeResult struct {
+	Mode         string  `json:"mode"`
+	Flaps        int     `json:"flaps"`
+	Sends        int     `json:"sends"`
+	WallNS       int64   `json:"wall_ns"`
+	NSPerFlap    float64 `json:"ns_per_flap"`
+	Dijkstras    uint64  `json:"dijkstras"`
+	DijPerFlap   float64 `json:"dijkstras_per_flap"`
+	BoneReused   uint64  `json:"bone_domains_reused"`
+	BoneRebuilt  uint64  `json:"bone_domains_rebuilt"`
+	EpochsPub    uint64  `json:"epochs_published"`
+	DeliveredOK  int     `json:"deliveries_ok"`
+	DeliveredErr int     `json:"deliveries_failed"`
+}
+
+// report is the BENCH_reconverge.json schema.
+type report struct {
+	Scenario        string     `json:"scenario"`
+	TopoSeed        int64      `json:"topo_seed"`
+	Scoped          modeResult `json:"scoped"`
+	Full            modeResult `json:"full"`
+	WallSpeedup     float64    `json:"wall_speedup"`
+	DijkstraSavings float64    `json:"dijkstra_savings"`
+}
+
+func buildWorld(seed int64, full bool) (*topology.Network, *core.Evolution, error) {
+	net, err := topology.TransitStub(3, 4, 0.4, topology.GenConfig{
+		Seed:             seed,
+		RoutersPerDomain: 3,
+		HostsPerDomain:   2,
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	evo, err := core.New(net, core.Config{Option: anycast.Option1, FullReconverge: full})
+	if err != nil {
+		return nil, nil, err
+	}
+	for _, asn := range net.ASNs()[:7] {
+		evo.DeployDomain(asn, 0)
+	}
+	return net, evo, nil
+}
+
+// flapLink picks one intra link of the last deployed (stub) domain.
+func flapLink(net *topology.Network) (topology.RouterID, topology.RouterID, int64, error) {
+	asn := net.ASNs()[6]
+	for _, r := range net.Domain(asn).Routers {
+		for _, e := range net.Intra.Neighbors(int(r)) {
+			if net.DomainOf(topology.RouterID(e.To)) == asn {
+				return r, topology.RouterID(e.To), e.Weight, nil
+			}
+		}
+	}
+	return 0, 0, 0, fmt.Errorf("AS%d has no intra link to flap", asn)
+}
+
+func runMode(name string, seed int64, full bool, flaps, sendsPerFlap int) (modeResult, error) {
+	net, evo, err := buildWorld(seed, full)
+	if err != nil {
+		return modeResult{}, err
+	}
+	ra, rb, lat, err := flapLink(net)
+	if err != nil {
+		return modeResult{}, err
+	}
+	payload := []byte("reconverge-bench")
+	if _, err := evo.Send(net.Hosts[0], net.Hosts[1], payload); err != nil {
+		return modeResult{}, fmt.Errorf("warm-up send: %w", err)
+	}
+	before := evo.Snapshot()
+	dijBefore := evo.IGP.DijkstraRuns()
+	res := modeResult{Mode: name, Flaps: flaps, Sends: flaps * sendsPerFlap}
+	start := time.Now()
+	for i := 0; i < flaps; i++ {
+		evo.FailIntraLink(ra, rb)
+		evo.RestoreIntraLink(ra, rb, lat)
+		for j := 0; j < sendsPerFlap; j++ {
+			src := net.Hosts[(i+j)%len(net.Hosts)]
+			dst := net.Hosts[(i+j+1)%len(net.Hosts)]
+			if _, err := evo.Send(src, dst, payload); err != nil {
+				res.DeliveredErr++
+			} else {
+				res.DeliveredOK++
+			}
+		}
+	}
+	res.WallNS = time.Since(start).Nanoseconds()
+	res.NSPerFlap = float64(res.WallNS) / float64(flaps)
+	res.Dijkstras = evo.IGP.DijkstraRuns() - dijBefore
+	res.DijPerFlap = float64(res.Dijkstras) / float64(flaps)
+	d := evo.Snapshot().Sub(before)
+	res.BoneReused = d.BoneDomainsReused
+	res.BoneRebuilt = d.BoneDomainsRebuilt
+	res.EpochsPub = d.Epochs
+	return res, nil
+}
+
+func main() {
+	var (
+		flaps    = flag.Int("flaps", 200, "number of fail+restore cycles per mode")
+		sends    = flag.Int("sends", 8, "deliveries after each flap")
+		topoSeed = flag.Int64("topo-seed", 42, "seed for the transit-stub topology")
+		out      = flag.String("o", "BENCH_reconverge.json", "output JSON path")
+	)
+	flag.Parse()
+
+	scoped, err := runMode("scoped", *topoSeed, false, *flaps, *sends)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "reconvergebench:", err)
+		os.Exit(1)
+	}
+	full, err := runMode("full", *topoSeed, true, *flaps, *sends)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "reconvergebench:", err)
+		os.Exit(1)
+	}
+	r := report{
+		Scenario: "transit-stub-15",
+		TopoSeed: *topoSeed,
+		Scoped:   scoped,
+		Full:     full,
+	}
+	if scoped.WallNS > 0 {
+		r.WallSpeedup = float64(full.WallNS) / float64(scoped.WallNS)
+	}
+	if scoped.Dijkstras > 0 {
+		r.DijkstraSavings = float64(full.Dijkstras) / float64(scoped.Dijkstras)
+	}
+	buf, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "reconvergebench:", err)
+		os.Exit(1)
+	}
+	buf = append(buf, '\n')
+	if err := os.WriteFile(*out, buf, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "reconvergebench:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("reconvergebench: %d flaps × 2 modes: scoped %.0f ns/flap (%.1f dijkstras), full %.0f ns/flap (%.1f dijkstras) — %.1f× wall, %.1f× dijkstra savings → %s\n",
+		*flaps, scoped.NSPerFlap, scoped.DijPerFlap, full.NSPerFlap, full.DijPerFlap, r.WallSpeedup, r.DijkstraSavings, *out)
+}

@@ -73,6 +73,29 @@ type Deployment struct {
 	membersByAS map[topology.ASN][]topology.RouterID
 }
 
+// Clone returns a deep copy of the deployment's membership state. The
+// epoch machinery in internal/core freezes a clone into each published
+// routing epoch so the lock-free send path resolves against membership
+// that cannot change underneath it; Bootstrap's temporary masking during
+// bone construction likewise mutates only the unpublished clone.
+func (d *Deployment) Clone() *Deployment {
+	c := &Deployment{
+		Option:      d.Option,
+		Addr:        d.Addr,
+		Group:       d.Group,
+		DefaultAS:   d.DefaultAS,
+		members:     make(map[topology.RouterID]bool, len(d.members)),
+		membersByAS: make(map[topology.ASN][]topology.RouterID, len(d.membersByAS)),
+	}
+	for m := range d.members {
+		c.members[m] = true
+	}
+	for asn, ms := range d.membersByAS {
+		c.membersByAS[asn] = append([]topology.RouterID(nil), ms...)
+	}
+	return c
+}
+
 // Members returns all member routers in id order.
 func (d *Deployment) Members() []topology.RouterID {
 	out := make([]topology.RouterID, 0, len(d.members))
@@ -196,10 +219,11 @@ func (s *Service) Deployment(a addr.V4) *Deployment { return s.deployments[a] }
 // AddMember registers router id as an IPvN router accepting the
 // deployment's anycast address. The router's domain implicitly becomes a
 // participant: its IGP now carries the address and, for option 1, the
-// domain originates the anycast host route into BGP.
-func (s *Service) AddMember(d *Deployment, id topology.RouterID) {
+// domain originates the anycast host route into BGP. It reports whether
+// membership actually changed (false for an existing member).
+func (s *Service) AddMember(d *Deployment, id topology.RouterID) bool {
 	if d.members[id] {
-		return
+		return false
 	}
 	asn := s.net.DomainOf(id)
 	firstInAS := len(d.membersByAS[asn]) == 0
@@ -215,14 +239,16 @@ func (s *Service) AddMember(d *Deployment, id topology.RouterID) {
 	if d.Option == Option1 && firstInAS {
 		s.bgp.Originate(asn, addr.HostPrefix(d.Addr))
 	}
+	return true
 }
 
 // RemoveMember withdraws a member; if it was the domain's last member the
 // domain stops participating (and, for option 1, withdraws its BGP
-// origination).
-func (s *Service) RemoveMember(d *Deployment, id topology.RouterID) {
+// origination). It reports whether membership actually changed (false
+// for a non-member).
+func (s *Service) RemoveMember(d *Deployment, id topology.RouterID) bool {
 	if !d.members[id] {
-		return
+		return false
 	}
 	delete(d.members, id)
 	asn := s.net.DomainOf(id)
@@ -240,6 +266,7 @@ func (s *Service) RemoveMember(d *Deployment, id topology.RouterID) {
 	} else {
 		d.membersByAS[asn] = rest
 	}
+	return true
 }
 
 // AdvertiseToNeighbors configures the option-2 widening: participant asn
@@ -271,12 +298,23 @@ type Resolution struct {
 	Cost int64
 }
 
-// ResolveFromRouter traces the anycast packet from a router toward a.
+// ResolveFromRouter traces the anycast packet from a router toward a,
+// using the live deployment registered under a.
 func (s *Service) ResolveFromRouter(from topology.RouterID, a addr.V4) (Resolution, error) {
 	d := s.deployments[a]
 	if d == nil {
 		return Resolution{}, fmt.Errorf("anycast: %s is not a deployed anycast address", a)
 	}
+	return s.ResolveFromRouterVia(d, from)
+}
+
+// ResolveFromRouterVia traces the anycast packet from a router toward
+// d's address, resolving capture against the membership in d itself —
+// which may be a frozen Clone rather than the live deployment. The
+// lock-free send path uses this with each epoch's clone so concurrent
+// membership churn cannot tear a resolution.
+func (s *Service) ResolveFromRouterVia(d *Deployment, from topology.RouterID) (Resolution, error) {
+	a := d.Addr
 	res := Resolution{RouterPath: []topology.RouterID{from}}
 	entry := from
 	visited := map[topology.ASN]bool{}
@@ -375,12 +413,26 @@ func (s *Service) Bootstrap(d *Deployment, asn topology.ASN, from topology.Route
 		restore, _ := s.bgp.SuspendOriginations(asn, addr.HostPrefix(d.Addr))
 		defer restore()
 	}
-	return s.ResolveFromRouter(from, d.Addr)
+	// Resolve against d itself, not the registry entry for d.Addr: d may
+	// be a frozen clone (epoch builds pass one), and the membership mask
+	// above only exists on d.
+	return s.ResolveFromRouterVia(d, from)
 }
 
 // ResolveFromHost traces from a host (adding its access-link cost).
 func (s *Service) ResolveFromHost(h *topology.Host, a addr.V4) (Resolution, error) {
 	res, err := s.ResolveFromRouter(h.Attach, a)
+	if err != nil {
+		return Resolution{}, err
+	}
+	res.Cost += h.AccessLatency
+	return res, nil
+}
+
+// ResolveFromHostVia traces from a host against a specific (possibly
+// frozen) deployment, adding the host's access-link cost.
+func (s *Service) ResolveFromHostVia(d *Deployment, h *topology.Host) (Resolution, error) {
+	res, err := s.ResolveFromRouterVia(d, h.Attach)
 	if err != nil {
 		return Resolution{}, err
 	}

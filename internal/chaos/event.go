@@ -48,6 +48,10 @@ const (
 	RegisterHost
 	// UnregisterHost withdraws a host's registration.
 	UnregisterHost
+	// EnableProvider provisions a §2.1 provider-specific anycast address
+	// for a participating domain (idempotent; a no-op for
+	// non-participants).
+	EnableProvider
 
 	numKinds
 )
@@ -77,6 +81,8 @@ func (k Kind) String() string {
 		return "register-host"
 	case UnregisterHost:
 		return "unregister-host"
+	case EnableProvider:
+		return "enable-provider"
 	default:
 		return fmt.Sprintf("kind(%d)", uint8(k))
 	}
@@ -107,6 +113,8 @@ func (k Kind) GoName() string {
 		return "RegisterHost"
 	case UnregisterHost:
 		return "UnregisterHost"
+	case EnableProvider:
+		return "EnableProvider"
 	default:
 		return fmt.Sprintf("Kind(%d)", uint8(k))
 	}
@@ -122,7 +130,7 @@ type Event struct {
 	// A and B are the link endpoints for link events; A alone is the
 	// subject for DeployRouter/UndeployRouter.
 	A, B topology.RouterID
-	// ASN is the subject domain for DeployDomain.
+	// ASN is the subject domain for DeployDomain and EnableProvider.
 	ASN topology.ASN
 	// Host is the subject endhost for RegisterHost/UnregisterHost.
 	Host topology.HostID
@@ -135,7 +143,7 @@ func (e Event) String() string {
 		return fmt.Sprintf("%s r%d–r%d", e.Kind, e.A, e.B)
 	case DeployRouter, UndeployRouter:
 		return fmt.Sprintf("%s r%d", e.Kind, e.A)
-	case DeployDomain:
+	case DeployDomain, EnableProvider:
 		return fmt.Sprintf("%s AS%d", e.Kind, e.ASN)
 	case RegisterHost, UnregisterHost:
 		return fmt.Sprintf("%s h%d", e.Kind, e.Host)
@@ -156,7 +164,7 @@ func GoLiteral(events []Event) string {
 			fmt.Fprintf(&b, ", A: %d, B: %d", e.A, e.B)
 		case DeployRouter, UndeployRouter:
 			fmt.Fprintf(&b, ", A: %d", e.A)
-		case DeployDomain:
+		case DeployDomain, EnableProvider:
 			fmt.Fprintf(&b, ", ASN: %d", e.ASN)
 		case RegisterHost, UnregisterHost:
 			fmt.Fprintf(&b, ", Host: %d", e.Host)

@@ -51,7 +51,9 @@ type Invariant interface {
 }
 
 // InvariantNames lists the registered invariant names in check order.
-func InvariantNames() []string { return []string{"ua", "bone", "conserve", "oracle"} }
+func InvariantNames() []string {
+	return []string{"ua", "bone", "conserve", "oracle", "providersync"}
+}
 
 // Invariants instantiates fresh invariant checkers for the given names
 // (nil or empty means all of them), in registry order.
@@ -86,6 +88,8 @@ func newInvariant(name string) Invariant {
 		return &conserveInvariant{}
 	case "oracle":
 		return &oracleInvariant{}
+	case "providersync":
+		return &providerSyncInvariant{}
 	default:
 		panic("chaos: unregistered invariant " + name)
 	}
@@ -275,4 +279,36 @@ func (oracleInvariant) Check(c *CheckContext) *Failure {
 		}
 	}
 	return nil
+}
+
+// providerSyncInvariant checks that §2.1 provider-specific deployments
+// never drift from the main deployment: after every event, the member
+// set of each enabled provider's deployment must equal the main
+// deployment's members inside that domain. Deployment churn updates both
+// bookkeeping structures on separate code paths, so a missed add or
+// withdraw shows up here immediately instead of as a mysterious SendVia
+// misdelivery many steps later.
+type providerSyncInvariant struct{}
+
+func (providerSyncInvariant) Name() string { return "providersync" }
+
+func (providerSyncInvariant) Check(c *CheckContext) *Failure {
+	for _, asn := range c.W.Evo.ProviderChoices() {
+		got := fmtRouterSet(c.W.Evo.ProviderMembers(asn))
+		want := fmtRouterSet(c.W.Evo.Dep.MembersIn(asn))
+		if got != want {
+			return &Failure{Detail: fmt.Sprintf("AS%d provider deployment drifted: provider members %s, main deployment members in AS%d %s",
+				asn, got, asn, want)}
+		}
+	}
+	return nil
+}
+
+func fmtRouterSet(rs []topology.RouterID) string {
+	parts := make([]string, len(rs))
+	for i, r := range rs {
+		parts[i] = fmt.Sprintf("r%d", r)
+	}
+	sort.Strings(parts)
+	return "{" + strings.Join(parts, " ") + "}"
 }

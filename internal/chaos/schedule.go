@@ -23,6 +23,7 @@ var kindWeights = [numKinds]int{
 	DeployDomain:   4,
 	RegisterHost:   10,
 	UnregisterHost: 7,
+	EnableProvider: 3,
 }
 
 // genState mirrors the world state the schedule will create, without
@@ -38,6 +39,7 @@ type genState struct {
 	downInter    map[linkID]bool
 	deployed     map[topology.RouterID]bool
 	registered   map[topology.HostID]bool
+	providers    map[topology.ASN]bool
 
 	routers  []topology.RouterID
 	domains  []topology.ASN
@@ -59,6 +61,7 @@ func Generate(w *World, seed int64, steps int) []Event {
 		downInter:  map[linkID]bool{},
 		deployed:   map[topology.RouterID]bool{},
 		registered: map[topology.HostID]bool{},
+		providers:  map[topology.ASN]bool{},
 		domains:    w.Net.ASNs(),
 		byDomain:   map[topology.ASN][]topology.RouterID{},
 	}
@@ -67,6 +70,9 @@ func Generate(w *World, seed int64, steps int) []Event {
 	}
 	for _, m := range w.Evo.Dep.Members() {
 		g.deployed[m] = true
+	}
+	for _, asn := range w.Evo.ProviderChoices() {
+		g.providers[asn] = true
 	}
 	for _, r := range w.Net.Routers {
 		g.routers = append(g.routers, r.ID)
@@ -229,6 +235,27 @@ func (g *genState) emit(k Kind) (Event, bool) {
 		h := cands[g.rng.Intn(len(cands))]
 		delete(g.registered, h)
 		return Event{Kind: UnregisterHost, Host: h}, true
+	case EnableProvider:
+		// Only domains that currently participate can mint a
+		// provider-specific address, and enabling is one-shot per domain.
+		var cands []topology.ASN
+		for _, asn := range g.domains {
+			if g.providers[asn] {
+				continue
+			}
+			for _, r := range g.byDomain[asn] {
+				if g.deployed[r] {
+					cands = append(cands, asn)
+					break
+				}
+			}
+		}
+		if len(cands) == 0 {
+			return Event{}, false
+		}
+		asn := cands[g.rng.Intn(len(cands))]
+		g.providers[asn] = true
+		return Event{Kind: EnableProvider, ASN: asn}, true
 	default:
 		return Event{}, false
 	}

@@ -171,6 +171,10 @@ func (w *World) Apply(ev Event) {
 	case UnregisterHost:
 		w.Evo.UnregisterEndhost(w.Net.Hosts[ev.Host])
 		delete(w.registered, ev.Host)
+	case EnableProvider:
+		// Tolerant like everything else: enabling an already-enabled or
+		// non-participating domain is a silent no-op/error.
+		_, _ = w.Evo.EnableProviderChoice(ev.ASN)
 	}
 }
 
@@ -261,8 +265,12 @@ func (w *World) BuildOracle() (*core.Evolution, error) {
 	if err != nil {
 		return nil, fmt.Errorf("chaos: oracle build: %w", err)
 	}
-	for _, m := range w.Evo.Dep.Members() {
-		oracle.DeployRouter(m)
+	oracle.DeployRouters(w.Evo.Dep.Members())
+	for _, asn := range w.Evo.ProviderChoices() {
+		// Mirror provider choices; a domain whose members have all since
+		// undeployed cannot re-enable, which is fine — providersync checks
+		// the live side's membership bookkeeping, not the oracle's.
+		_, _ = oracle.EnableProviderChoice(asn)
 	}
 	for _, hid := range w.RegisteredHosts() {
 		// Best effort, mirroring the live best-effort re-registration:

@@ -12,6 +12,7 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"sort"
 	"sync"
 	"sync/atomic"
 
@@ -47,21 +48,70 @@ type Config struct {
 	Egress bgpvn.EgressPolicy
 	// Bone configures vN-Bone construction.
 	Bone vnbone.Config
+	// FullReconverge disables scoped invalidation: every event dumps all
+	// SPT caches, refreshes BGP, rebuilds the bone from scratch and
+	// flushes the whole redirect cache — the pre-epoch behaviour. It
+	// exists as the ablation baseline for the churn benchmarks and as a
+	// debugging escape hatch; leave it false in production use.
+	FullReconverge bool
 }
 
 // ErrNotDeployed is returned by operations that need at least one IPvN
 // router.
 var ErrNotDeployed = errors.New("core: IPvN has no deployed routers")
 
+// routingEpoch is one immutable generation of everything the send path
+// needs: the bone, the BGPvN system, the per-host IPvN addresses, frozen
+// clones of the main and provider deployments, and the redirect cache.
+// Mutators build the next epoch off the hot path and publish it with one
+// atomic store; senders load one epoch pointer and use that consistent
+// view end-to-end, so a delivery mid-flight keeps the routing state it
+// started with no matter what churns around it.
+//
+// err non-nil marks the epoch unusable (no members, or the bone build
+// failed); every send against it drops, every query returns the error,
+// and the next successful mutation clears it.
+type routingEpoch struct {
+	// seq equals the Evolution's mutSeq value at publication. A resolve
+	// computed against this epoch may be cached only while mutSeq still
+	// equals seq — once a mutator bumps mutSeq, in-flight resolutions
+	// might already see half-mutated BGP/IGP state and must not be
+	// memoised.
+	seq uint64
+	err error
+
+	bone    *vnbone.Bone
+	vn      *bgpvn.System
+	vnAddrs map[topology.HostID]addr.VN
+	// dep and provDeps are deep clones frozen at publication; anycast
+	// capture on the send path resolves against them, never against the
+	// live (mutable) deployments.
+	dep      *anycast.Deployment
+	provDeps map[topology.ASN]*anycast.Deployment
+	// resolve memoises anycast resolutions per (host, anycast address)
+	// for this epoch's routing state (routing is deterministic between
+	// reconvergences, so the cache is exact). Entries whose trajectory
+	// the next event cannot have touched are carried into the next epoch.
+	resolve *sync.Map
+}
+
+// tracerBox wraps the tracer interface so it can live in an
+// atomic.Pointer (interfaces cannot be stored atomically themselves).
+type tracerBox struct{ tr trace.Tracer }
+
 // Evolution is one IPvN deployment over one internet.
 //
-// Concurrency: any number of goroutines may Send (and SendVia, HostVNAddr,
-// Bone, VN, IngressShare, StretchSample) against one Evolution while
-// membership and topology mutations (DeployRouter, UndeployRouter,
-// DeployDomain, RegisterEndhost, Fail*/Restore* links, ...) serialize
-// against them behind a write lock. Direct access to the exported routing
-// substrate fields (Net, BGP, IGP, Anycast, Fwd, Dep) bypasses that lock
-// and is only safe while no other goroutine is mutating the Evolution.
+// Concurrency: any number of goroutines may Send (and SendVia,
+// SendTraced, HostVNAddr, Bone, VN, IngressShare, StretchSample) against
+// one Evolution while membership and topology mutations (DeployRouter,
+// UndeployRouter, DeployDomain, RegisterEndhost, Fail*/Restore* links,
+// ...) run concurrently. The send path is lock-free: it loads the
+// current routing epoch with a single atomic pointer read and never
+// takes the Evolution's mutex; mutators serialize among themselves on
+// that mutex and publish each new epoch atomically. Direct access to the
+// exported routing substrate fields (Net, BGP, IGP, Anycast, Fwd, Dep)
+// bypasses all of this and is only safe while no other goroutine is
+// mutating the Evolution.
 type Evolution struct {
 	Net     *topology.Network
 	BGP     *bgp.System
@@ -72,21 +122,23 @@ type Evolution struct {
 
 	cfg Config
 
-	// mu guards every field below plus the membership maps inside Dep and
-	// the provider deployments: Sends hold it for read, membership and
-	// topology changes for write.
-	mu   sync.RWMutex
-	bone *vnbone.Bone
-	vn   *bgpvn.System
-	// dirty marks the bone/vn stale after membership changes.
-	dirty bool
+	// mu serialises mutators (and guards the canonical mutable state
+	// below: the live membership maps inside Dep/providerDeps, vnAddrs,
+	// pools, registered). Sends never touch it.
+	mu sync.Mutex
+	// epoch is the published routing snapshot senders run on.
+	epoch atomic.Pointer[routingEpoch]
+	// mutSeq counts mutations; bumped under mu before a mutator touches
+	// any shared routing state (see routingEpoch.seq).
+	mutSeq atomic.Uint64
 
 	// vnAddrs caches stable per-host IPvN addresses; pools allocate
-	// native addresses per participant domain.
+	// native addresses per participant domain. Mutator-side canonical
+	// state: each epoch carries its own frozen copy.
 	vnAddrs map[topology.HostID]addr.VN
 	pools   map[topology.ASN]*addr.VNPool
 	// registered holds endhosts using the §3.3.2 anycast-based route
-	// advertisement; re-applied on every deployment change.
+	// advertisement; re-applied on every epoch build.
 	registered map[topology.HostID]*topology.Host
 	// providerDeps holds per-provider anycast deployments for §2.1's
 	// user-choice-of-provider extension; membership stays in sync with
@@ -97,14 +149,10 @@ type Evolution struct {
 	sendSeq atomic.Uint32
 
 	// counters is the always-on observability tally (atomic; see
-	// internal/trace). tracer is the optional default span receiver for
-	// Sends, guarded by mu like the other derived state. resolveCache
-	// memoises anycast resolutions per (host, anycast address) until the
-	// next rebuild; reads happen under the read lock, the swap under the
-	// write lock.
-	counters     trace.Counters
-	tracer       trace.Tracer
-	resolveCache *sync.Map
+	// internal/trace). tracer holds the optional default span receiver
+	// for Sends, swapped atomically so SetTracer never blocks senders.
+	counters trace.Counters
+	tracer   atomic.Pointer[tracerBox]
 }
 
 // New creates an Evolution with no routers deployed yet.
@@ -140,7 +188,7 @@ func New(net *topology.Network, cfg Config) (*Evolution, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Evolution{
+	e := &Evolution{
 		Net:          net,
 		BGP:          bgpSys,
 		IGP:          igp,
@@ -148,22 +196,32 @@ func New(net *topology.Network, cfg Config) (*Evolution, error) {
 		Fwd:          forward.NewEngine(net, bgpSys, igp),
 		Dep:          dep,
 		cfg:          cfg,
-		dirty:        true,
 		vnAddrs:      map[topology.HostID]addr.VN{},
 		pools:        map[topology.ASN]*addr.VNPool{},
 		registered:   map[topology.HostID]*topology.Host{},
 		providerDeps: map[topology.ASN]*anycast.Deployment{},
-		resolveCache: &sync.Map{},
-	}, nil
+	}
+	e.epoch.Store(&routingEpoch{
+		err:     ErrNotDeployed,
+		vnAddrs: map[topology.HostID]addr.VN{},
+		resolve: &sync.Map{},
+	})
+	return e, nil
 }
 
 // SetTracer installs the default Tracer every Send reports its span
 // events to (nil disables tracing, the default). Use SendTraced for a
 // per-delivery tracer instead. Safe to call concurrently with Sends.
 func (e *Evolution) SetTracer(tr trace.Tracer) {
-	e.mu.Lock()
-	e.tracer = tr
-	e.mu.Unlock()
+	e.tracer.Store(&tracerBox{tr: tr})
+}
+
+// tracerNow returns the currently installed default tracer, nil when none.
+func (e *Evolution) tracerNow() trace.Tracer {
+	if b := e.tracer.Load(); b != nil {
+		return b.tr
+	}
+	return nil
 }
 
 // Counters returns the evolution-wide observability counters. They are
@@ -183,28 +241,69 @@ func (e *Evolution) AnycastAddr() addr.V4 { return e.Dep.Addr }
 
 // DeployRouter turns one router into an IPvN router.
 func (e *Evolution) DeployRouter(id topology.RouterID) {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	e.deployRouterLocked(id)
+	e.DeployRouters([]topology.RouterID{id})
 }
 
-func (e *Evolution) deployRouterLocked(id topology.RouterID) {
-	e.Anycast.AddMember(e.Dep, id)
-	if pd, ok := e.providerDeps[e.Net.DomainOf(id)]; ok {
-		e.Anycast.AddMember(pd, id)
+// DeployRouters deploys a batch of routers as one membership event: the
+// routing epoch is rebuilt once, not once per router. Already-deployed
+// routers are no-ops within the batch.
+func (e *Evolution) DeployRouters(ids []topology.RouterID) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.mutSeq.Add(1)
+	changed := map[topology.ASN]bool{}
+	flush := false
+	for _, id := range ids {
+		asn := e.Net.DomainOf(id)
+		joined := len(e.Dep.MembersIn(asn)) == 0
+		if !e.Anycast.AddMember(e.Dep, id) {
+			continue
+		}
+		if pd, ok := e.providerDeps[asn]; ok {
+			e.Anycast.AddMember(pd, id)
+		}
+		changed[asn] = true
+		if joined {
+			// A domain toggling into participation changes Option-1
+			// originations and host addressing everywhere, so cached
+			// redirect trajectories are globally suspect.
+			flush = true
+		}
 	}
-	e.dirty = true
+	if len(changed) == 0 {
+		e.republishLocked()
+		return
+	}
+	if e.cfg.FullReconverge {
+		e.counters.InvalFull()
+	} else {
+		e.counters.InvalDomain()
+	}
+	_ = e.buildEpochLocked(nil, changed, flush)
 }
 
 // UndeployRouter withdraws one router from the deployment.
 func (e *Evolution) UndeployRouter(id topology.RouterID) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	e.Anycast.RemoveMember(e.Dep, id)
-	if pd, ok := e.providerDeps[e.Net.DomainOf(id)]; ok {
+	e.mutSeq.Add(1)
+	asn := e.Net.DomainOf(id)
+	if !e.Anycast.RemoveMember(e.Dep, id) {
+		e.republishLocked()
+		return
+	}
+	if pd, ok := e.providerDeps[asn]; ok {
 		e.Anycast.RemoveMember(pd, id)
 	}
-	e.dirty = true
+	// The last member leaving toggles the domain out of participation —
+	// the global analogue of joining (see DeployRouters).
+	flush := len(e.Dep.MembersIn(asn)) == 0
+	if e.cfg.FullReconverge {
+		e.counters.InvalFull()
+	} else {
+		e.counters.InvalDomain()
+	}
+	_ = e.buildEpochLocked(nil, map[topology.ASN]bool{asn: true}, flush)
 }
 
 // EnableProviderChoice provisions a provider-specific anycast address for
@@ -223,18 +322,46 @@ func (e *Evolution) EnableProviderChoice(asn topology.ASN) (addr.V4, error) {
 	if len(members) == 0 {
 		return 0, fmt.Errorf("core: AS%d does not participate in the deployment", asn)
 	}
+	e.mutSeq.Add(1)
 	// A provider-specific address is naturally option 2, rooted in the
 	// provider's own aggregate (group offset 1 keeps it clear of a shared
 	// option-2 address also rooted there).
 	pd, err := e.Anycast.DeployOption2(e.cfg.Group+1, asn)
 	if err != nil {
+		e.republishLocked()
 		return 0, err
 	}
 	for _, m := range members {
 		e.Anycast.AddMember(pd, m)
 	}
 	e.providerDeps[asn] = pd
+	e.publishProvidersLocked()
 	return pd.Addr, nil
+}
+
+// ProviderChoices returns the ASNs that have a provider-specific anycast
+// address enabled, in ascending order.
+func (e *Evolution) ProviderChoices() []topology.ASN {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	out := make([]topology.ASN, 0, len(e.providerDeps))
+	for asn := range e.providerDeps {
+		out = append(out, asn)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// ProviderMembers returns the current members of asn's provider-specific
+// deployment, nil when provider choice is not enabled for asn.
+func (e *Evolution) ProviderMembers(asn topology.ASN) []topology.RouterID {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	pd, ok := e.providerDeps[asn]
+	if !ok {
+		return nil
+	}
+	return pd.Members()
 }
 
 // SendVia delivers like Send but lets the user choose the IPvN provider:
@@ -242,17 +369,17 @@ func (e *Evolution) EnableProviderChoice(asn topology.ASN) (addr.V4, error) {
 // so its ingress is guaranteed to be one of that provider's routers
 // regardless of proximity.
 func (e *Evolution) SendVia(src, dst *topology.Host, provider topology.ASN, payload []byte) (Delivery, error) {
-	if err := e.rlockReady(); err != nil {
+	ep := e.epoch.Load()
+	if ep.err != nil {
 		e.counters.Send()
 		e.counters.Drop(trace.DropNotDeployed)
-		return Delivery{}, err
+		return Delivery{}, ep.err
 	}
-	defer e.mu.RUnlock()
-	pd, ok := e.providerDeps[provider]
+	pd, ok := ep.provDeps[provider]
 	if !ok {
 		return Delivery{}, fmt.Errorf("core: provider choice not enabled for AS%d", provider)
 	}
-	return e.send(src, dst, payload, pd.Addr, e.tracer)
+	return e.send(ep, src, dst, payload, pd, e.tracerNow())
 }
 
 // DeployDomain deploys IPvN in count routers of a domain (all when count
@@ -265,17 +392,13 @@ func (e *Evolution) DeployDomain(asn topology.ASN, count int) {
 	if count <= 0 || count > len(d.Routers) {
 		count = len(d.Routers)
 	}
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	for _, rid := range d.Routers[:count] {
-		e.deployRouterLocked(rid)
-	}
+	e.DeployRouters(d.Routers[:count])
 }
 
 // Participates reports whether a domain has any IPvN routers.
 func (e *Evolution) Participates(asn topology.ASN) bool {
-	e.mu.RLock()
-	defer e.mu.RUnlock()
+	e.mu.Lock()
+	defer e.mu.Unlock()
 	return e.participatesLocked(asn)
 }
 
@@ -283,88 +406,189 @@ func (e *Evolution) participatesLocked(asn topology.ASN) bool {
 	return len(e.Dep.MembersIn(asn)) > 0
 }
 
-// Bone returns the current vN-Bone, rebuilding it if deployment changed.
+// Bone returns the vN-Bone of the current routing epoch.
 func (e *Evolution) Bone() (*vnbone.Bone, error) {
-	if err := e.rlockReady(); err != nil {
-		return nil, err
+	ep := e.epoch.Load()
+	if ep.err != nil {
+		return nil, ep.err
 	}
-	defer e.mu.RUnlock()
-	return e.bone, nil
+	return ep.bone, nil
 }
 
-// VN returns the current BGPvN system, rebuilding if needed.
+// VN returns the BGPvN system of the current routing epoch.
 func (e *Evolution) VN() (*bgpvn.System, error) {
-	if err := e.rlockReady(); err != nil {
-		return nil, err
+	ep := e.epoch.Load()
+	if ep.err != nil {
+		return nil, ep.err
 	}
-	defer e.mu.RUnlock()
-	return e.vn, nil
+	return ep.vn, nil
 }
 
-// Ready forces any pending rebuild, so subsequent concurrent Sends start
-// from converged routing state. It is the cheap way to surface
-// ErrNotDeployed before fanning out goroutines.
+// Ready reports whether the published routing epoch is usable — the
+// cheap way to surface ErrNotDeployed before fanning out goroutines.
+// (Epochs are built eagerly by mutators; there is never a pending
+// rebuild to force.)
 func (e *Evolution) Ready() error {
-	if err := e.rlockReady(); err != nil {
-		return err
+	if ep := e.epoch.Load(); ep.err != nil {
+		return ep.err
 	}
-	e.mu.RUnlock()
 	return nil
 }
 
-// rlockReady returns with the read lock held and every derived cache
-// (bone, vn, host addresses) rebuilt. On error no lock is held. Writers
-// may slip in between the rebuild and the read re-acquisition, hence the
-// loop.
-func (e *Evolution) rlockReady() error {
-	for {
-		e.mu.RLock()
-		if !e.dirty {
-			return nil
-		}
-		e.mu.RUnlock()
-		e.mu.Lock()
-		err := e.rebuildLocked()
-		e.mu.Unlock()
-		if err != nil {
-			return err
-		}
-	}
+// republishLocked reseals the current epoch under the new mutation
+// sequence number after a mutation that changed nothing senders can see
+// (an already-deployed router re-deployed, say). Sharing the innards is
+// safe — routing state is untouched — but seq must advance so the gate
+// in resolveIngress re-enables cache stores.
+func (e *Evolution) republishLocked() {
+	ep := *e.epoch.Load()
+	ep.seq = e.mutSeq.Load()
+	e.counters.Epoch()
+	e.epoch.Store(&ep)
 }
 
-// rebuildLocked refreshes the bone/vn/address caches; callers must hold
-// the write lock.
-func (e *Evolution) rebuildLocked() error {
-	if !e.dirty {
-		return nil
+// publishProvidersLocked publishes an epoch differing only in the frozen
+// provider deployments; bone, addresses and caches are shared with the
+// previous epoch.
+func (e *Evolution) publishProvidersLocked() {
+	ep := *e.epoch.Load()
+	ep.seq = e.mutSeq.Load()
+	ep.provDeps = make(map[topology.ASN]*anycast.Deployment, len(e.providerDeps))
+	for asn, pd := range e.providerDeps {
+		ep.provDeps[asn] = pd.Clone()
+	}
+	e.counters.Epoch()
+	e.epoch.Store(&ep)
+}
+
+// publishRegistrationLocked publishes a registration-only epoch: same
+// bone, same addresses, same redirect cache, fresh BGPvN tables with the
+// current registration set applied in place. No bone rebuild happens
+// (and none is counted) — registrations ride on the existing bone.
+func (e *Evolution) publishRegistrationLocked() {
+	prev := e.epoch.Load()
+	if prev.err != nil {
+		// No usable routing state to advertise into; the registration set
+		// is re-applied by the next successful epoch build anyway.
+		e.republishLocked()
+		return
+	}
+	ep := *prev
+	ep.seq = e.mutSeq.Load()
+	ep.vn = bgpvn.New(prev.bone, e.Fwd, e.Net)
+	for _, h := range e.registered {
+		_ = e.applyRegistration(&ep, h)
+	}
+	e.counters.Epoch()
+	e.epoch.Store(&ep)
+}
+
+// carryResolve copies the previous epoch's memoised resolutions into a
+// fresh map, dropping every entry whose recorded domain-level trajectory
+// crosses an evicted domain — only those could have been re-routed or
+// re-captured by the event. Copying entry by entry (rather than sharing
+// the map) also sheds any entry a racing sender managed to store after
+// the mutation sequence had already moved on.
+func carryResolve(prev *sync.Map, evict map[topology.ASN]bool) *sync.Map {
+	next := &sync.Map{}
+	prev.Range(func(k, v any) bool {
+		res := v.(*anycast.Resolution)
+		for _, asn := range res.ASPath {
+			if evict[asn] {
+				return true
+			}
+		}
+		next.Store(k, v)
+		return true
+	})
+	return next
+}
+
+// buildEpochLocked constructs and atomically publishes the next routing
+// epoch; callers hold mu, have bumped mutSeq and have already applied
+// the raw change (membership, topology, scoped IGP/BGP invalidations).
+// dirty lists bone domains whose intra mesh must be recomputed (nil
+// reuses every unchanged domain's mesh), evict scopes the redirect-cache
+// carry-over, flush drops that cache wholesale. The error (no members,
+// or a bone build failure) is also recorded in the published epoch, so
+// senders and queries keep reporting it until a mutation heals it.
+func (e *Evolution) buildEpochLocked(dirty, evict map[topology.ASN]bool, flush bool) error {
+	prev := e.epoch.Load()
+	seq := e.mutSeq.Load()
+	if e.cfg.FullReconverge {
+		dirty, evict, flush = nil, nil, true
 	}
 	if len(e.Dep.Members()) == 0 {
+		e.counters.Epoch()
+		e.epoch.Store(&routingEpoch{
+			seq:     seq,
+			err:     ErrNotDeployed,
+			vnAddrs: prev.vnAddrs,
+			resolve: &sync.Map{},
+		})
 		return ErrNotDeployed
 	}
-	// A rebuild invalidates every memoised anycast resolution: routing
-	// (and therefore every redirect decision) may have changed.
-	e.resolveCache = &sync.Map{}
-	e.counters.BoneRebuild()
+	// Freeze the deployments: this epoch's send path keeps resolving
+	// against this membership even while the live maps churn under the
+	// next mutation.
+	dep := e.Dep.Clone()
+	provs := make(map[topology.ASN]*anycast.Deployment, len(e.providerDeps))
+	for asn, pd := range e.providerDeps {
+		provs[asn] = pd.Clone()
+	}
 	boneCfg := e.cfg.Bone
-	boneCfg.Trace = e.tracer
-	bone, err := vnbone.Build(e.Anycast, e.IGP, e.Dep, boneCfg)
+	boneCfg.Trace = e.tracerNow()
+	var prevBone *vnbone.Bone
+	if !e.cfg.FullReconverge && prev.err == nil {
+		prevBone = prev.bone
+	}
+	bone, stats, err := vnbone.BuildIncremental(e.Anycast, e.IGP, dep, boneCfg, prevBone, dirty)
 	if err != nil {
+		// Count the failure, not a rebuild: BoneRebuild ticks only for
+		// builds that produced a usable bone.
+		e.counters.RebuildFailed()
+		e.counters.Epoch()
+		e.epoch.Store(&routingEpoch{
+			seq:      seq,
+			err:      err,
+			vnAddrs:  prev.vnAddrs,
+			dep:      dep,
+			provDeps: provs,
+			resolve:  &sync.Map{},
+		})
 		return err
 	}
-	e.bone = bone
-	e.vn = bgpvn.New(bone, e.Fwd, e.Net)
+	e.counters.BoneRebuild()
+	e.counters.BoneDomains(stats.DomainsReused, stats.DomainsRebuilt)
+	ep := &routingEpoch{
+		seq:      seq,
+		bone:     bone,
+		vn:       bgpvn.New(bone, e.Fwd, e.Net),
+		dep:      dep,
+		provDeps: provs,
+	}
 	e.relabelHosts()
-	e.dirty = false
+	ep.vnAddrs = make(map[topology.HostID]addr.VN, len(e.vnAddrs))
+	for id, v := range e.vnAddrs {
+		ep.vnAddrs[id] = v
+	}
 	// Re-register endhost routes against the fresh vN routing state —
 	// the paper's "endhost would periodically repeat this process in
 	// order to adapt to spread in deployment" (§3.3.2). A host that
 	// cannot currently reach the deployment (its domain severed by link
 	// failures, say) simply advertises nothing this convergence epoch:
-	// its registration stays on file for the next rebuild, and the
-	// failure must not take down delivery for every other sender.
+	// its registration stays on file for the next epoch, and the failure
+	// must not take down delivery for every other sender.
 	for _, h := range e.registered {
-		_ = e.applyRegistration(h)
+		_ = e.applyRegistration(ep, h)
 	}
+	if flush || prev.err != nil {
+		ep.resolve = &sync.Map{}
+	} else {
+		ep.resolve = carryResolve(prev.resolve, evict)
+	}
+	e.counters.Epoch()
+	e.epoch.Store(ep)
 	return nil
 }
 
@@ -382,38 +606,44 @@ func (e *Evolution) rebuildLocked() error {
 func (e *Evolution) RegisterEndhost(h *topology.Host) error {
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	if err := e.rebuildLocked(); err != nil {
-		return err
+	if ep := e.epoch.Load(); ep.err != nil {
+		return ep.err
 	}
+	e.mutSeq.Add(1)
 	e.registered[h.ID] = h
-	_ = e.applyRegistration(h)
+	e.publishRegistrationLocked()
 	return nil
 }
 
-// UnregisterEndhost withdraws a host's advertised route.
+// UnregisterEndhost withdraws a host's advertised route in place: the
+// BGPvN natives table is rebuilt from the remaining registrations on the
+// existing bone, without any bone rebuild.
 func (e *Evolution) UnregisterEndhost(h *topology.Host) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	if _, ok := e.registered[h.ID]; !ok {
 		return
 	}
+	e.mutSeq.Add(1)
 	delete(e.registered, h.ID)
-	// The natives table is rebuilt from scratch on the next query.
-	e.dirty = true
+	e.publishRegistrationLocked()
 }
 
-func (e *Evolution) applyRegistration(h *topology.Host) error {
-	v := e.vnAddrs[h.ID]
+// applyRegistration advertises h's /128 into ep's BGPvN tables, resolving
+// the advertising domain against the epoch's frozen deployment. Callers
+// hold mu; ep is not yet published.
+func (e *Evolution) applyRegistration(ep *routingEpoch, h *topology.Host) error {
+	v := ep.vnAddrs[h.ID]
 	if !v.IsSelf() {
 		// The host's provider adopted IPvN; its native address is
 		// routable without any registration.
 		return nil
 	}
-	res, err := e.Anycast.ResolveFromHost(h, e.Dep.Addr)
+	res, err := e.Anycast.ResolveFromHostVia(ep.dep, h)
 	if err != nil {
 		return err
 	}
-	e.vn.AdvertiseNative(addr.HostVNPrefix(v), e.Net.DomainOf(res.Member))
+	ep.vn.AdvertiseNative(addr.HostVNPrefix(v), e.Net.DomainOf(res.Member))
 	return nil
 }
 
@@ -453,11 +683,11 @@ func (e *Evolution) addressFor(h *topology.Host) addr.VN {
 // HostVNAddr returns a host's current IPvN address: native when its
 // access provider participates, self-derived otherwise (§3.3.2).
 func (e *Evolution) HostVNAddr(h *topology.Host) (addr.VN, error) {
-	if err := e.rlockReady(); err != nil {
-		return addr.VN{}, err
+	ep := e.epoch.Load()
+	if ep.err != nil {
+		return addr.VN{}, ep.err
 	}
-	defer e.mu.RUnlock()
-	return e.vnAddrs[h.ID], nil
+	return ep.vnAddrs[h.ID], nil
 }
 
 // Delivery is one end-to-end IPvN transmission.
@@ -493,16 +723,18 @@ type Delivery struct {
 
 // Send delivers an IPvN packet with the given payload from src to dst,
 // running the actual wire-level encapsulation at every stage, and returns
-// the full accounting. Send is safe for concurrent use. Span events go to
-// the Tracer installed with SetTracer, if any.
+// the full accounting. Send is safe for concurrent use and lock-free: it
+// loads the published routing epoch with one atomic pointer read and
+// never blocks on mutators. Span events go to the Tracer installed with
+// SetTracer, if any.
 func (e *Evolution) Send(src, dst *topology.Host, payload []byte) (Delivery, error) {
-	if err := e.rlockReady(); err != nil {
+	ep := e.epoch.Load()
+	if ep.err != nil {
 		e.counters.Send()
 		e.counters.Drop(trace.DropNotDeployed)
-		return Delivery{}, err
+		return Delivery{}, ep.err
 	}
-	defer e.mu.RUnlock()
-	return e.send(src, dst, payload, e.Dep.Addr, e.tracer)
+	return e.send(ep, src, dst, payload, ep.dep, e.tracerNow())
 }
 
 // SendTraced is Send with a per-delivery Tracer: tr receives this
@@ -510,43 +742,50 @@ func (e *Evolution) Send(src, dst *topology.Host, payload []byte) (Delivery, err
 // selection, each encap/decap) regardless of the default tracer. A fresh
 // trace.Recorder per call yields exactly one delivery's path trace.
 func (e *Evolution) SendTraced(src, dst *topology.Host, payload []byte, tr trace.Tracer) (Delivery, error) {
-	if err := e.rlockReady(); err != nil {
+	ep := e.epoch.Load()
+	if ep.err != nil {
 		e.counters.Send()
 		e.counters.Drop(trace.DropNotDeployed)
-		return Delivery{}, err
+		return Delivery{}, ep.err
 	}
-	defer e.mu.RUnlock()
-	return e.send(src, dst, payload, e.Dep.Addr, tr)
+	return e.send(ep, src, dst, payload, ep.dep, tr)
+}
+
+// resolveKey identifies one memoised redirect decision.
+type resolveKey struct {
+	host topology.HostID
+	a    addr.V4
 }
 
 // resolveIngress is the redirect decision of the send path: the anycast
-// resolution from src toward a, memoised until the next rebuild (routing
-// is deterministic between reconvergences, so the cache is exact, not a
-// heuristic). Callers must hold the read lock.
-func (e *Evolution) resolveIngress(src *topology.Host, a addr.V4) (anycast.Resolution, error) {
-	type key struct {
-		host topology.HostID
-		a    addr.V4
-	}
-	cache := e.resolveCache
-	k := key{src.ID, a}
-	if v, ok := cache.Load(k); ok {
+// resolution from src toward d's address, memoised in the epoch (routing
+// is deterministic within an epoch, so the cache is exact, not a
+// heuristic). A resolution computed while a mutator has already moved on
+// is still correct to return — it resolved against the epoch's frozen
+// deployment — but must not be cached: the store is gated on the
+// mutation sequence still matching the epoch's, and any store that races
+// past the gate is shed by the next epoch's entry-by-entry carry-over.
+func (e *Evolution) resolveIngress(ep *routingEpoch, d *anycast.Deployment, src *topology.Host) (anycast.Resolution, error) {
+	k := resolveKey{src.ID, d.Addr}
+	if v, ok := ep.resolve.Load(k); ok {
 		e.counters.Redirect(true)
 		return *v.(*anycast.Resolution), nil
 	}
-	res, err := e.Anycast.ResolveFromHost(src, a)
+	res, err := e.Anycast.ResolveFromHostVia(d, src)
 	if err != nil {
 		return anycast.Resolution{}, err
 	}
 	e.counters.Redirect(false)
-	cache.Store(k, &res)
+	if e.mutSeq.Load() == ep.seq {
+		ep.resolve.Store(k, &res)
+	}
 	return res, nil
 }
 
-// send runs the delivery with the given ingress anycast address (the
-// shared deployment address, or a provider-specific one) and optional
+// send runs the delivery on one routing epoch with the given ingress
+// deployment (the shared one, or a provider-specific one) and optional
 // tracer.
-func (e *Evolution) send(src, dst *topology.Host, payload []byte, ingressAddr addr.V4, tr trace.Tracer) (Delivery, error) {
+func (e *Evolution) send(ep *routingEpoch, src, dst *topology.Host, payload []byte, ingressDep *anycast.Deployment, tr trace.Tracer) (Delivery, error) {
 	e.counters.Send()
 	seq := e.sendSeq.Add(1)
 	// drop closes the span as a failure, counted under its stage.
@@ -558,8 +797,9 @@ func (e *Evolution) send(src, dst *topology.Host, payload []byte, ingressAddr ad
 		return Delivery{}, err
 	}
 
-	srcVN := e.vnAddrs[src.ID]
-	dstVN := e.vnAddrs[dst.ID]
+	ingressAddr := ingressDep.Addr
+	srcVN := ep.vnAddrs[src.ID]
+	dstVN := ep.vnAddrs[dst.ID]
 	d := Delivery{SrcVN: srcVN, DstVN: dstVN}
 	if tr != nil {
 		tr.Event(trace.Event{Kind: trace.KindSend, Seq: seq, Router: src.Attach, AS: src.Domain})
@@ -587,7 +827,7 @@ func (e *Evolution) send(src, dst *topology.Host, payload []byte, ingressAddr ad
 	if err != nil {
 		return drop(trace.DropEncap, err)
 	}
-	ing, err := e.resolveIngress(src, ingressAddr)
+	ing, err := e.resolveIngress(ep, ingressDep, src)
 	if err != nil {
 		return drop(trace.DropNoIngress, fmt.Errorf("core: ingress: %w", err))
 	}
@@ -620,14 +860,14 @@ func (e *Evolution) send(src, dst *topology.Host, payload []byte, ingressAddr ad
 	var eg bgpvn.Egress
 	egDetail := trace.EgressNative
 	if dstVN.IsSelf() {
-		eg, err = e.vn.RouteNative(ing.Member, dstVN)
+		eg, err = ep.vn.RouteNative(ing.Member, dstVN)
 		egDetail = trace.EgressRegistered
 		if errors.Is(err, bgpvn.ErrNoVNRoute) {
-			eg, err = e.vn.SelectEgress(ing.Member, dst.Addr, e.cfg.Egress)
+			eg, err = ep.vn.SelectEgress(ing.Member, dst.Addr, e.cfg.Egress)
 			egDetail = eg.Policy.String()
 		}
 	} else {
-		eg, err = e.vn.RouteNative(ing.Member, dstVN)
+		eg, err = ep.vn.RouteNative(ing.Member, dstVN)
 	}
 	if err != nil {
 		return drop(trace.DropNoVNRoute, fmt.Errorf("core: vn routing: %w", err))
@@ -666,7 +906,7 @@ func (e *Evolution) send(src, dst *topology.Host, payload []byte, ingressAddr ad
 			tr.Event(trace.Event{
 				Kind: trace.KindBoneHop, Seq: seq,
 				Router: hop, AS: e.Net.DomainOf(hop),
-				Cost: e.bone.Dist(eg.BonePath[i-1], hop),
+				Cost: ep.bone.Dist(eg.BonePath[i-1], hop),
 			})
 		}
 		curEP = nextEP
@@ -778,15 +1018,18 @@ func (e *Evolution) DescribeDelivery(d Delivery) string {
 	return out
 }
 
-// FailIntraLink injects an intra-domain link failure and reconverges the
-// whole stack (IGP views, bone). It reports whether the link existed.
+// FailIntraLink injects an intra-domain link failure and reconverges
+// only the affected domain (IGP SPTs, bone intra mesh). It reports
+// whether the link existed.
 func (e *Evolution) FailIntraLink(a, b topology.RouterID) bool {
 	e.mu.Lock()
 	defer e.mu.Unlock()
+	e.mutSeq.Add(1)
 	if !e.Net.FailIntraLink(a, b) {
+		e.republishLocked()
 		return false
 	}
-	e.reconvergeLocked()
+	e.reconvergeIntraLocked(e.Net.DomainOf(a))
 	return true
 }
 
@@ -794,8 +1037,9 @@ func (e *Evolution) FailIntraLink(a, b topology.RouterID) bool {
 func (e *Evolution) RestoreIntraLink(a, b topology.RouterID, latency int64) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
+	e.mutSeq.Add(1)
 	e.Net.RestoreIntraLink(a, b, latency)
-	e.reconvergeLocked()
+	e.reconvergeIntraLocked(e.Net.DomainOf(a))
 }
 
 // FailInterLink injects an inter-domain link failure; BGP re-converges
@@ -803,11 +1047,13 @@ func (e *Evolution) RestoreIntraLink(a, b topology.RouterID, latency int64) {
 func (e *Evolution) FailInterLink(a, b topology.RouterID) (topology.InterLink, bool) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
+	e.mutSeq.Add(1)
 	l, ok := e.Net.FailInterLink(a, b)
 	if !ok {
+		e.republishLocked()
 		return topology.InterLink{}, false
 	}
-	e.reconvergeLocked()
+	e.reconvergeInterLocked()
 	return l, true
 }
 
@@ -815,31 +1061,61 @@ func (e *Evolution) FailInterLink(a, b topology.RouterID) (topology.InterLink, b
 func (e *Evolution) RestoreInterLink(l topology.InterLink) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
+	e.mutSeq.Add(1)
 	e.Net.RestoreInterLink(l)
-	e.reconvergeLocked()
+	e.reconvergeInterLocked()
 }
 
-// reconvergeLocked invalidates every routing-derived cache after a
-// topology mutation — the simulated analogue of protocols reacting to the
-// event. Callers must hold the write lock.
-func (e *Evolution) reconvergeLocked() {
-	e.IGP.Invalidate()
+// reconvergeIntraLocked reacts to an intra-domain link event in asn:
+// only that domain's IGP SPTs and bone intra mesh are recomputed, and
+// only redirect-cache entries whose trajectory crosses asn are dropped.
+// AS-level BGP tables depend solely on inter-domain topology and
+// originations, so no BGP refresh is needed — the chaos oracle invariant
+// referees that claim on every schedule. Callers hold mu and have bumped
+// mutSeq.
+func (e *Evolution) reconvergeIntraLocked(asn topology.ASN) {
+	if e.cfg.FullReconverge {
+		e.counters.InvalFull()
+		e.IGP.Invalidate()
+		e.BGP.Refresh()
+		_ = e.buildEpochLocked(nil, nil, true)
+		return
+	}
+	e.counters.InvalDomain()
+	e.IGP.InvalidateDomain(asn)
+	scope := map[topology.ASN]bool{asn: true}
+	_ = e.buildEpochLocked(scope, scope, false)
+}
+
+// reconvergeInterLocked reacts to an inter-domain link event: the
+// full-graph SPTs and BGP tables reconverge, but every domain's intra
+// SPTs and bone intra meshes are reused — inter links appear in neither.
+// Redirect trajectories can change anywhere, so the cache flushes
+// wholesale. Callers hold mu and have bumped mutSeq.
+func (e *Evolution) reconvergeInterLocked() {
+	if e.cfg.FullReconverge {
+		e.counters.InvalFull()
+		e.IGP.Invalidate()
+	} else {
+		e.counters.InvalInter()
+		e.IGP.InvalidateInter()
+	}
 	e.BGP.Refresh()
-	e.dirty = true
+	_ = e.buildEpochLocked(nil, nil, true)
 }
 
 // IngressShare returns, for every participating domain, the fraction of
 // hosts whose anycast ingress lands there — the "attracted traffic" that
 // assumption A4 converts into revenue.
 func (e *Evolution) IngressShare() (map[topology.ASN]float64, error) {
-	if err := e.rlockReady(); err != nil {
-		return nil, err
+	ep := e.epoch.Load()
+	if ep.err != nil {
+		return nil, ep.err
 	}
-	defer e.mu.RUnlock()
 	counts := map[topology.ASN]int{}
 	total := 0
 	for _, h := range e.Net.Hosts {
-		res, err := e.Anycast.ResolveFromHost(h, e.Dep.Addr)
+		res, err := e.Anycast.ResolveFromHostVia(ep.dep, h)
 		if err != nil {
 			continue
 		}
@@ -867,8 +1143,8 @@ func (e *Evolution) StretchSample(maxPairs int) (sample []float64, failures int,
 // goroutines (≤ 0 or 1 means serial). The returned sample is in the same
 // deterministic pair order regardless of worker count.
 func (e *Evolution) StretchSampleParallel(maxPairs, workers int) (sample []float64, failures int, err error) {
-	// Surface ErrNotDeployed (and force the one rebuild) before fanning
-	// out, so a dead deployment is an error rather than all-failures.
+	// Surface ErrNotDeployed before fanning out, so a dead deployment is
+	// an error rather than all-failures.
 	if err := e.Ready(); err != nil {
 		return nil, 0, err
 	}

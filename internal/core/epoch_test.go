@@ -1,0 +1,206 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"github.com/evolvable-net/evolve/internal/anycast"
+	"github.com/evolvable-net/evolve/internal/topology"
+)
+
+// transitStubEvo builds the stock 15-domain transit–stub internet with an
+// option-1 deployment over the first 7 domains, either with scoped
+// reconvergence (the default) or the full-dump baseline.
+func transitStubEvo(t *testing.T, full bool) (*topology.Network, *Evolution) {
+	t.Helper()
+	net, err := topology.TransitStub(3, 4, 0.4, topology.GenConfig{
+		Seed:             42,
+		RoutersPerDomain: 3,
+		HostsPerDomain:   2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	evo, err := New(net, Config{Option: anycast.Option1, FullReconverge: full})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, asn := range net.ASNs()[:7] {
+		evo.DeployDomain(asn, 0)
+	}
+	return net, evo
+}
+
+// findIntraLink returns one intra-domain link of asn.
+func findIntraLink(t *testing.T, net *topology.Network, asn topology.ASN) (topology.RouterID, topology.RouterID) {
+	t.Helper()
+	for _, r := range net.Domain(asn).Routers {
+		for _, e := range net.Intra.Neighbors(int(r)) {
+			if net.DomainOf(topology.RouterID(e.To)) == asn {
+				return r, topology.RouterID(e.To)
+			}
+		}
+	}
+	t.Fatalf("AS%d has no intra link", asn)
+	return 0, 0
+}
+
+// TestRebuildFailureCounting pins the satellite fix: a bone build that
+// errors must tick RebuildsFailed, not BoneRebuilds — the old code
+// counted the rebuild before attempting it.
+func TestRebuildFailureCounting(t *testing.T) {
+	net, evo, _ := failureWorld(t)
+	dP1 := net.DomainByName("P1")
+	dP2 := net.DomainByName("P2")
+
+	base := evo.Snapshot()
+	// Severing the only policy path between the participants makes the
+	// bone unbuildable: the epoch rebuild runs and fails.
+	link, ok := evo.FailInterLink(dP1.Routers[0], dP2.Routers[0])
+	if !ok {
+		t.Fatal("peering link not found")
+	}
+	d := evo.Snapshot().Sub(base)
+	if d.RebuildsFailed != 1 {
+		t.Errorf("RebuildsFailed = %d, want 1", d.RebuildsFailed)
+	}
+	if d.BoneRebuilds != 0 {
+		t.Errorf("BoneRebuilds = %d, want 0 — a failed build is not a rebuild", d.BoneRebuilds)
+	}
+	if d.Epochs != 1 {
+		t.Errorf("Epochs = %d, want 1 — the error epoch must still publish", d.Epochs)
+	}
+	if _, err := evo.Bone(); err == nil {
+		t.Error("Bone() should report the partition")
+	}
+
+	// Repair: the rebuild succeeds again and counts as exactly one.
+	base = evo.Snapshot()
+	evo.RestoreInterLink(link)
+	d = evo.Snapshot().Sub(base)
+	if d.BoneRebuilds != 1 || d.RebuildsFailed != 0 {
+		t.Errorf("after repair: BoneRebuilds = %d RebuildsFailed = %d, want 1/0", d.BoneRebuilds, d.RebuildsFailed)
+	}
+	if _, err := evo.Bone(); err != nil {
+		t.Errorf("bone unusable after repair: %v", err)
+	}
+}
+
+// TestUnregisterWithdrawsInPlace pins the other satellite fix:
+// withdrawing an endhost registration must republish the epoch without
+// rebuilding the bone (the old code set the global dirty flag, forcing a
+// full reconvergence on the next query).
+func TestUnregisterWithdrawsInPlace(t *testing.T) {
+	net, evo, h := failureWorld(t)
+	_ = net
+	if err := evo.RegisterEndhost(h); err != nil {
+		t.Fatal(err)
+	}
+	base := evo.Snapshot()
+	evo.UnregisterEndhost(h)
+	d := evo.Snapshot().Sub(base)
+	if d.BoneRebuilds != 0 || d.RebuildsFailed != 0 {
+		t.Errorf("unregister rebuilt the bone: rebuilds = %d failed = %d", d.BoneRebuilds, d.RebuildsFailed)
+	}
+	if d.Epochs != 1 {
+		t.Errorf("Epochs = %d, want 1 — the withdrawal must publish", d.Epochs)
+	}
+	// Unregistering an unknown host publishes nothing at all.
+	base = evo.Snapshot()
+	evo.UnregisterEndhost(h)
+	if d := evo.Snapshot().Sub(base); d.Epochs != 0 {
+		t.Errorf("double unregister published %d epochs, want 0", d.Epochs)
+	}
+}
+
+// TestScopedIntraReconvergenceRunsFewerDijkstras drives the same
+// single-domain link failure through a scoped-invalidation Evolution and
+// a FullReconverge baseline over identical topologies, and asserts the
+// scoped path recomputes at least 5× fewer shortest-path trees.
+func TestScopedIntraReconvergenceRunsFewerDijkstras(t *testing.T) {
+	netS, scoped := transitStubEvo(t, false)
+	netF, fullEvo := transitStubEvo(t, true)
+	if _, err := scoped.Bone(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fullEvo.Bone(); err != nil {
+		t.Fatal(err)
+	}
+
+	// A deployed stub domain's intra link; same seed, so the link exists
+	// in both networks.
+	asn := netS.ASNs()[6]
+	a, b := findIntraLink(t, netS, asn)
+
+	sBase, fBase := scoped.IGP.DijkstraRuns(), fullEvo.IGP.DijkstraRuns()
+	cs, cf := scoped.Snapshot(), fullEvo.Snapshot()
+	if !scoped.FailIntraLink(a, b) {
+		t.Fatal("intra link not found (scoped)")
+	}
+	if !fullEvo.FailIntraLink(a, b) {
+		t.Fatal("intra link not found (full)")
+	}
+	sDelta := scoped.IGP.DijkstraRuns() - sBase
+	fDelta := fullEvo.IGP.DijkstraRuns() - fBase
+	if sDelta == 0 {
+		t.Fatal("scoped reconvergence ran no dijkstras — nothing was recomputed")
+	}
+	if fDelta < 5*sDelta {
+		t.Errorf("full dump ran %d dijkstras, scoped ran %d — want ≥5× savings", fDelta, sDelta)
+	}
+
+	ds := scoped.Snapshot().Sub(cs)
+	if ds.InvalDomain != 1 || ds.InvalInter != 0 || ds.InvalFull != 0 {
+		t.Errorf("scoped invalidation counters = %d/%d/%d (domain/inter/full), want 1/0/0",
+			ds.InvalDomain, ds.InvalInter, ds.InvalFull)
+	}
+	if ds.BoneDomainsReused == 0 {
+		t.Error("scoped rebuild reused no domain meshes")
+	}
+	df := fullEvo.Snapshot().Sub(cf)
+	if df.InvalFull != 1 {
+		t.Errorf("full-dump invalidation counter = %d, want 1", df.InvalFull)
+	}
+
+	// Both reconverged systems must still agree on deliveries.
+	for i := 0; i < len(netS.Hosts); i++ {
+		src, dst := netS.Hosts[i], netS.Hosts[(i+1)%len(netS.Hosts)]
+		dS, errS := scoped.Send(src, dst, []byte("x"))
+		dF, errF := fullEvo.Send(netF.Hosts[src.ID], netF.Hosts[dst.ID], []byte("x"))
+		if (errS != nil) != (errF != nil) {
+			t.Fatalf("h%d→h%d: scoped err=%v, full err=%v", src.ID, dst.ID, errS, errF)
+		}
+		if errS == nil && (dS.Ingress.Member != dF.Ingress.Member || dS.TotalCost != dF.TotalCost) {
+			t.Fatalf("h%d→h%d: scoped r%d/%d, full r%d/%d",
+				src.ID, dst.ID, dS.Ingress.Member, dS.TotalCost, dF.Ingress.Member, dF.TotalCost)
+		}
+	}
+}
+
+// TestSendCompletesWhileMutatorLockHeld is the lock-free-hot-path
+// guarantee stated directly: a Send must finish while another goroutine
+// holds the mutator lock, because the send path only loads the published
+// epoch pointer.
+func TestSendCompletesWhileMutatorLockHeld(t *testing.T) {
+	net, evo := transitStubEvo(t, false)
+	src, dst := net.Hosts[0], net.Hosts[1]
+	if _, err := evo.Send(src, dst, []byte("warm")); err != nil {
+		t.Fatal(err)
+	}
+
+	evo.mu.Lock()
+	defer evo.mu.Unlock()
+	done := make(chan error, 1)
+	go func() {
+		_, err := evo.Send(src, dst, []byte("locked"))
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Errorf("send under held mutator lock failed: %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Send blocked on the mutator lock — hot path is not lock-free")
+	}
+}

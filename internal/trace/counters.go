@@ -97,6 +97,13 @@ type Counters struct {
 	decaps       atomic.Uint64
 	boneHops     atomic.Uint64
 	boneRebuilds atomic.Uint64
+	rebuildsFail atomic.Uint64
+	epochs       atomic.Uint64
+	invalDomain  atomic.Uint64
+	invalInter   atomic.Uint64
+	invalFull    atomic.Uint64
+	boneReused   atomic.Uint64
+	boneRebuilt  atomic.Uint64
 	drops        [numDropReasons]atomic.Uint64
 	// ingressByAS maps topology.ASN → *atomic.Uint64 (per-AS ingress
 	// load: how many deliveries entered the bone in that domain).
@@ -149,9 +156,47 @@ func (c *Counters) BoneHops(n int) {
 	}
 }
 
-// BoneRebuild counts one vN-Bone reconstruction (deployment change or
-// topology reconvergence).
+// BoneRebuild counts one successful vN-Bone reconstruction (deployment
+// change or topology reconvergence). Failed build attempts are counted
+// separately by RebuildFailed, never here.
 func (c *Counters) BoneRebuild() { c.boneRebuilds.Add(1) }
+
+// RebuildFailed counts one vN-Bone reconstruction attempt that errored
+// (e.g. the candidate membership partitions the bone). The previous
+// routing state stays live, so failures must not inflate BoneRebuilds.
+func (c *Counters) RebuildFailed() { c.rebuildsFail.Add(1) }
+
+// Epoch counts one routing-epoch publication: any mutation that swapped
+// in a new immutable snapshot for the send path, whether or not the
+// bone itself was rebuilt.
+func (c *Counters) Epoch() { c.epochs.Add(1) }
+
+// InvalDomain counts one domain-scoped invalidation: an event confined
+// to a single AS (intra-link flap, membership change) that dropped only
+// that domain's derived state.
+func (c *Counters) InvalDomain() { c.invalDomain.Add(1) }
+
+// InvalInter counts one inter-scope invalidation: an inter-domain link
+// event that refreshed BGP and the cross-domain SPTs while every
+// intra-domain SPT survived.
+func (c *Counters) InvalInter() { c.invalInter.Add(1) }
+
+// InvalFull counts one whole-world invalidation — the legacy dirty-flag
+// behaviour, now reserved for events with global reach (or the
+// FullReconverge ablation mode).
+func (c *Counters) InvalFull() { c.invalFull.Add(1) }
+
+// BoneDomains records, for one incremental bone build, how many
+// per-domain intra meshes were reused from the previous bone versus
+// recomputed from scratch.
+func (c *Counters) BoneDomains(reused, rebuilt int) {
+	if reused > 0 {
+		c.boneReused.Add(uint64(reused))
+	}
+	if rebuilt > 0 {
+		c.boneRebuilt.Add(uint64(rebuilt))
+	}
+}
 
 // Snapshot is a point-in-time copy of a Counters. Each field is read
 // atomically; the set as a whole is not a global atomic snapshot (see
@@ -174,8 +219,21 @@ type Snapshot struct {
 	Encaps, Decaps uint64
 	// BoneHops is the total vN-Bone virtual hops traversed.
 	BoneHops uint64
-	// BoneRebuilds counts vN-Bone reconstructions.
-	BoneRebuilds uint64
+	// BoneRebuilds counts successful vN-Bone reconstructions;
+	// RebuildsFailed counts attempts that errored and left the previous
+	// routing state live.
+	BoneRebuilds, RebuildsFailed uint64
+	// Epochs counts routing-epoch publications (atomic snapshot swaps on
+	// the send path).
+	Epochs uint64
+	// InvalDomain/InvalInter/InvalFull classify reconvergence events by
+	// invalidation scope: one domain, the inter-domain mesh, or the whole
+	// world.
+	InvalDomain, InvalInter, InvalFull uint64
+	// BoneDomainsReused/BoneDomainsRebuilt count per-domain intra meshes
+	// carried over from the previous bone versus recomputed, across all
+	// incremental builds.
+	BoneDomainsReused, BoneDomainsRebuilt uint64
 	// IngressByAS is the per-AS ingress load: deliveries that entered
 	// the deployment in each participating domain.
 	IngressByAS map[topology.ASN]uint64
@@ -184,16 +242,23 @@ type Snapshot struct {
 // Snapshot returns a point-in-time copy of the counters.
 func (c *Counters) Snapshot() Snapshot {
 	s := Snapshot{
-		Sends:             c.sends.Load(),
-		Deliveries:        c.deliveries.Load(),
-		Redirects:         c.redirects.Load(),
-		RedirectCacheHits: c.redirectHits.Load(),
-		Encaps:            c.encaps.Load(),
-		Decaps:            c.decaps.Load(),
-		BoneHops:          c.boneHops.Load(),
-		BoneRebuilds:      c.boneRebuilds.Load(),
-		DropsByReason:     map[DropReason]uint64{},
-		IngressByAS:       map[topology.ASN]uint64{},
+		Sends:              c.sends.Load(),
+		Deliveries:         c.deliveries.Load(),
+		Redirects:          c.redirects.Load(),
+		RedirectCacheHits:  c.redirectHits.Load(),
+		Encaps:             c.encaps.Load(),
+		Decaps:             c.decaps.Load(),
+		BoneHops:           c.boneHops.Load(),
+		BoneRebuilds:       c.boneRebuilds.Load(),
+		RebuildsFailed:     c.rebuildsFail.Load(),
+		Epochs:             c.epochs.Load(),
+		InvalDomain:        c.invalDomain.Load(),
+		InvalInter:         c.invalInter.Load(),
+		InvalFull:          c.invalFull.Load(),
+		BoneDomainsReused:  c.boneReused.Load(),
+		BoneDomainsRebuilt: c.boneRebuilt.Load(),
+		DropsByReason:      map[DropReason]uint64{},
+		IngressByAS:        map[topology.ASN]uint64{},
 	}
 	for r := DropNotDeployed; r < numDropReasons; r++ {
 		if n := c.drops[r].Load(); n > 0 {
@@ -223,17 +288,24 @@ func (s Snapshot) Sub(prev Snapshot) Snapshot {
 		return a - b
 	}
 	d := Snapshot{
-		Sends:             sub(s.Sends, prev.Sends, "sends"),
-		Deliveries:        sub(s.Deliveries, prev.Deliveries, "deliveries"),
-		Drops:             sub(s.Drops, prev.Drops, "drops"),
-		Redirects:         sub(s.Redirects, prev.Redirects, "redirects"),
-		RedirectCacheHits: sub(s.RedirectCacheHits, prev.RedirectCacheHits, "redirects.cache_hits"),
-		Encaps:            sub(s.Encaps, prev.Encaps, "tunnel.encaps"),
-		Decaps:            sub(s.Decaps, prev.Decaps, "tunnel.decaps"),
-		BoneHops:          sub(s.BoneHops, prev.BoneHops, "bone.hops"),
-		BoneRebuilds:      sub(s.BoneRebuilds, prev.BoneRebuilds, "bone.rebuilds"),
-		DropsByReason:     map[DropReason]uint64{},
-		IngressByAS:       map[topology.ASN]uint64{},
+		Sends:              sub(s.Sends, prev.Sends, "sends"),
+		Deliveries:         sub(s.Deliveries, prev.Deliveries, "deliveries"),
+		Drops:              sub(s.Drops, prev.Drops, "drops"),
+		Redirects:          sub(s.Redirects, prev.Redirects, "redirects"),
+		RedirectCacheHits:  sub(s.RedirectCacheHits, prev.RedirectCacheHits, "redirects.cache_hits"),
+		Encaps:             sub(s.Encaps, prev.Encaps, "tunnel.encaps"),
+		Decaps:             sub(s.Decaps, prev.Decaps, "tunnel.decaps"),
+		BoneHops:           sub(s.BoneHops, prev.BoneHops, "bone.hops"),
+		BoneRebuilds:       sub(s.BoneRebuilds, prev.BoneRebuilds, "bone.rebuilds"),
+		RebuildsFailed:     sub(s.RebuildsFailed, prev.RebuildsFailed, "bone.rebuilds_failed"),
+		Epochs:             sub(s.Epochs, prev.Epochs, "epochs"),
+		InvalDomain:        sub(s.InvalDomain, prev.InvalDomain, "invalidate.domain"),
+		InvalInter:         sub(s.InvalInter, prev.InvalInter, "invalidate.inter"),
+		InvalFull:          sub(s.InvalFull, prev.InvalFull, "invalidate.full"),
+		BoneDomainsReused:  sub(s.BoneDomainsReused, prev.BoneDomainsReused, "bone.domains_reused"),
+		BoneDomainsRebuilt: sub(s.BoneDomainsRebuilt, prev.BoneDomainsRebuilt, "bone.domains_rebuilt"),
+		DropsByReason:      map[DropReason]uint64{},
+		IngressByAS:        map[topology.ASN]uint64{},
 	}
 	for r, n := range s.DropsByReason {
 		if delta := sub(n, prev.DropsByReason[r], "drops."+r.String()); delta > 0 {
@@ -269,6 +341,13 @@ func (s Snapshot) String() string {
 	fmt.Fprintf(&b, "tunnel.decaps %d\n", s.Decaps)
 	fmt.Fprintf(&b, "bone.hops %d\n", s.BoneHops)
 	fmt.Fprintf(&b, "bone.rebuilds %d\n", s.BoneRebuilds)
+	fmt.Fprintf(&b, "bone.rebuilds_failed %d\n", s.RebuildsFailed)
+	fmt.Fprintf(&b, "bone.domains_reused %d\n", s.BoneDomainsReused)
+	fmt.Fprintf(&b, "bone.domains_rebuilt %d\n", s.BoneDomainsRebuilt)
+	fmt.Fprintf(&b, "epochs %d\n", s.Epochs)
+	fmt.Fprintf(&b, "invalidate.domain %d\n", s.InvalDomain)
+	fmt.Fprintf(&b, "invalidate.inter %d\n", s.InvalInter)
+	fmt.Fprintf(&b, "invalidate.full %d\n", s.InvalFull)
 	ases := make([]topology.ASN, 0, len(s.IngressByAS))
 	for as := range s.IngressByAS {
 		ases = append(ases, as)

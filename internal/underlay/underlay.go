@@ -8,68 +8,128 @@ package underlay
 
 import (
 	"sync"
+	"sync/atomic"
 
 	"github.com/evolvable-net/evolve/internal/graph"
 	"github.com/evolvable-net/evolve/internal/topology"
 )
 
-// View caches single-source shortest-path trees lazily. Queries are safe
-// for concurrent use; Invalidate must not race with queries (serialize it
-// with the same write lock that guards the topology mutation).
-type View struct {
-	net *topology.Network
-
-	// mu guards the cache maps and the full-graph snapshot, which queries
-	// populate lazily.
-	mu       sync.Mutex
+// viewState is one immutable generation of the cache: graph snapshots
+// taken at the last invalidation plus the lazily-filled SPT maps
+// computed against them. Queries load one state pointer and stay on it,
+// so a query mid-flight keeps a consistent view even while an
+// invalidation publishes the next generation.
+type viewState struct {
+	intra    *graph.Graph
 	full     *graph.Graph
-	intraSPT map[topology.RouterID]*graph.SPT
-	fullSPT  map[topology.RouterID]*graph.SPT
+	intraSPT *sync.Map // topology.RouterID → *graph.SPT
+	fullSPT  *sync.Map // topology.RouterID → *graph.SPT
+}
+
+// View caches single-source shortest-path trees lazily. Queries are
+// lock-free and safe for concurrent use, including concurrently with
+// invalidation: readers that loaded the previous state finish on its
+// snapshot. The Invalidate* methods themselves must be serialized by the
+// caller (internal/core holds its mutator lock across the topology
+// change and the invalidation).
+type View struct {
+	net   *topology.Network
+	state atomic.Pointer[viewState]
+
+	// dijkstras counts Dijkstra executions across the view's lifetime —
+	// the scoped-invalidation efficiency metric (fewer runs after a
+	// scoped invalidation than after a full dump).
+	dijkstras atomic.Uint64
 }
 
 // NewView returns a view over net.
 func NewView(net *topology.Network) *View {
-	return &View{
-		net:      net,
+	v := &View{net: net}
+	v.state.Store(&viewState{
+		intra:    net.Intra.Clone(),
 		full:     net.RouterGraph(),
-		intraSPT: map[topology.RouterID]*graph.SPT{},
-		fullSPT:  map[topology.RouterID]*graph.SPT{},
-	}
+		intraSPT: &sync.Map{},
+		fullSPT:  &sync.Map{},
+	})
+	return v
 }
 
 // Network returns the underlying topology.
 func (v *View) Network() *topology.Network { return v.net }
 
+// DijkstraRuns reports how many Dijkstra computations the view has
+// performed since creation. Monotonic; scoped-invalidation tests assert
+// deltas across churn.
+func (v *View) DijkstraRuns() uint64 { return v.dijkstras.Load() }
+
 // Invalidate discards every cached shortest-path tree and re-snapshots
-// the router graph. Call it after mutating the topology (link failure or
-// repair); subsequent queries reflect the new converged state.
+// both graphs. Call it after a topology mutation whose scope is unknown
+// or global; for single-domain or inter-only events the scoped variants
+// below preserve the unaffected trees.
 func (v *View) Invalidate() {
-	v.mu.Lock()
-	defer v.mu.Unlock()
-	v.full = v.net.RouterGraph()
-	v.intraSPT = map[topology.RouterID]*graph.SPT{}
-	v.fullSPT = map[topology.RouterID]*graph.SPT{}
+	v.state.Store(&viewState{
+		intra:    v.net.Intra.Clone(),
+		full:     v.net.RouterGraph(),
+		intraSPT: &sync.Map{},
+		fullSPT:  &sync.Map{},
+	})
+}
+
+// InvalidateDomain discards state affected by an intra-domain change in
+// asn: that domain's intra SPTs and every full-graph SPT (cross-domain
+// paths may traverse the changed domain). Intra SPTs rooted in other
+// domains survive — the intra graph has no cross-domain edges, so a tree
+// rooted outside asn cannot touch the changed links.
+func (v *View) InvalidateDomain(asn topology.ASN) {
+	old := v.state.Load()
+	next := &viewState{
+		intra:    v.net.Intra.Clone(),
+		full:     v.net.RouterGraph(),
+		intraSPT: &sync.Map{},
+		fullSPT:  &sync.Map{},
+	}
+	old.intraSPT.Range(func(k, t any) bool {
+		if v.net.DomainOf(k.(topology.RouterID)) != asn {
+			next.intraSPT.Store(k, t)
+		}
+		return true
+	})
+	v.state.Store(next)
+}
+
+// InvalidateInter discards state affected by an inter-domain link
+// change: the full-graph snapshot and its SPTs. Every intra-domain SPT
+// survives untouched — inter links do not appear in the intra graph —
+// which is the bulk of the savings under border flaps.
+func (v *View) InvalidateInter() {
+	old := v.state.Load()
+	v.state.Store(&viewState{
+		intra:    old.intra,
+		full:     v.net.RouterGraph(),
+		intraSPT: old.intraSPT,
+		fullSPT:  &sync.Map{},
+	})
 }
 
 func (v *View) intra(src topology.RouterID) *graph.SPT {
-	v.mu.Lock()
-	defer v.mu.Unlock()
-	if t, ok := v.intraSPT[src]; ok {
-		return t
+	st := v.state.Load()
+	if t, ok := st.intraSPT.Load(src); ok {
+		return t.(*graph.SPT)
 	}
-	t := v.net.Intra.Dijkstra(int(src))
-	v.intraSPT[src] = t
+	v.dijkstras.Add(1)
+	t := st.intra.Dijkstra(int(src))
+	st.intraSPT.Store(src, t)
 	return t
 }
 
 func (v *View) fullFrom(src topology.RouterID) *graph.SPT {
-	v.mu.Lock()
-	defer v.mu.Unlock()
-	if t, ok := v.fullSPT[src]; ok {
-		return t
+	st := v.state.Load()
+	if t, ok := st.fullSPT.Load(src); ok {
+		return t.(*graph.SPT)
 	}
-	t := v.full.Dijkstra(int(src))
-	v.fullSPT[src] = t
+	v.dijkstras.Add(1)
+	t := st.full.Dijkstra(int(src))
+	st.fullSPT.Store(src, t)
 	return t
 }
 

@@ -163,3 +163,67 @@ func TestCachingConsistent(t *testing.T) {
 		t.Error("Network accessor broken")
 	}
 }
+
+func TestInvalidateDomainPreservesOtherDomains(t *testing.T) {
+	n, xr, yr := build(t)
+	v := NewView(n)
+	// Warm an intra SPT in each domain.
+	if got := v.IntraDist(xr[0], xr[2]); got != 4 {
+		t.Fatalf("X warm dist = %d", got)
+	}
+	if got := v.IntraDist(yr[0], yr[1]); got != 3 {
+		t.Fatalf("Y warm dist = %d", got)
+	}
+	base := v.DijkstraRuns()
+
+	n.FailIntraLink(xr[0], xr[1])
+	v.InvalidateDomain(n.DomainOf(xr[0]))
+
+	// Y's tree survived the scoped invalidation: no recompute.
+	if got := v.IntraDist(yr[0], yr[1]); got != 3 {
+		t.Errorf("Y dist after X invalidation = %d", got)
+	}
+	if runs := v.DijkstraRuns(); runs != base {
+		t.Errorf("Y lookup recomputed: %d runs, want %d", runs, base)
+	}
+	// X's tree was dropped and recomputes against the mutated graph.
+	if got := v.IntraDist(xr[0], xr[2]); got != 10 {
+		t.Errorf("X dist after invalidation = %d, want 10 (direct edge)", got)
+	}
+	if runs := v.DijkstraRuns(); runs != base+1 {
+		t.Errorf("X lookup ran %d dijkstras, want exactly 1", runs-base)
+	}
+}
+
+func TestInvalidateInterPreservesIntraTrees(t *testing.T) {
+	n, xr, yr := build(t)
+	v := NewView(n)
+	_ = v.IntraDist(xr[0], xr[2])
+	_ = v.IntraDist(yr[0], yr[1])
+	before := v.GroundTruthDist(xr[0], yr[1])
+	if before >= graph.Inf {
+		t.Fatal("precondition: domains connected")
+	}
+	base := v.DijkstraRuns()
+
+	n.FailInterLink(xr[2], yr[0])
+	v.InvalidateInter()
+
+	// Every intra tree survives an inter-only invalidation.
+	if got := v.IntraDist(xr[0], xr[2]); got != 4 {
+		t.Errorf("X dist = %d", got)
+	}
+	if got := v.IntraDist(yr[0], yr[1]); got != 3 {
+		t.Errorf("Y dist = %d", got)
+	}
+	if runs := v.DijkstraRuns(); runs != base {
+		t.Errorf("intra lookups recomputed: %d runs, want %d", runs, base)
+	}
+	// The full-graph trees were dropped and see the severed link.
+	if got := v.GroundTruthDist(xr[0], yr[1]); got < graph.Inf {
+		t.Errorf("ground truth after cut = %d, want Inf", got)
+	}
+	if runs := v.DijkstraRuns(); runs != base+1 {
+		t.Errorf("ground-truth recompute ran %d dijkstras, want 1", v.DijkstraRuns()-base)
+	}
+}

@@ -102,14 +102,45 @@ type Bone struct {
 	idx     map[topology.RouterID]int
 	links   []Link
 	g       *graph.Graph
-	// sptMu guards the lazily-populated spt cache, so distance/path
-	// queries are safe from concurrent Sends.
-	sptMu sync.Mutex
-	spt   map[topology.RouterID]*graph.SPT
+	cfg     Config
+	// spt is the lazily-populated SPT cache (topology.RouterID →
+	// *graph.SPT). A bone is immutable once built, so lock-free lazy
+	// fills are safe: concurrent Sends may duplicate a Dijkstra but
+	// always agree on the result.
+	spt *sync.Map
 }
 
-// Build constructs the vN-Bone for a deployment's current membership.
+// BuildStats reports how much of an incremental build was carried over
+// from the previous bone.
+type BuildStats struct {
+	// DomainsReused counts participant domains whose intra mesh was
+	// copied from the previous bone; DomainsRebuilt counts those
+	// recomputed from scratch. Domains with fewer than two members carry
+	// no intra links and are counted in neither.
+	DomainsReused, DomainsRebuilt int
+}
+
+// Build constructs the vN-Bone for a deployment's current membership
+// from scratch.
 func Build(svc *anycast.Service, igp *underlay.View, dep *anycast.Deployment, cfg Config) (*Bone, error) {
+	b, _, err := BuildIncremental(svc, igp, dep, cfg, nil, nil)
+	return b, err
+}
+
+// BuildIncremental constructs the vN-Bone, reusing the previous bone's
+// per-domain intra meshes where they provably cannot have changed: a
+// domain's mesh is a deterministic function of its membership, its
+// intra-domain IGP distances, and the construction knobs, so any domain
+// absent from dirty whose membership is unchanged keeps its links
+// verbatim. Inter-domain state (peering tunnels, bootstrap tunnels,
+// component bridging) is globally coupled and cheap, so it is always
+// recomputed. The result is link-for-link identical to a from-scratch
+// Build — the chaos harness's `bone` invariant compares exactly that.
+//
+// prev == nil (or a nil dirty map with a changed membership everywhere)
+// degenerates to a full build. dirty marks domains whose intra topology
+// changed since prev was built.
+func BuildIncremental(svc *anycast.Service, igp *underlay.View, dep *anycast.Deployment, cfg Config, prev *Bone, dirty map[topology.ASN]bool) (*Bone, BuildStats, error) {
 	if cfg.K <= 0 {
 		cfg.K = 2
 	}
@@ -120,20 +151,21 @@ func Build(svc *anycast.Service, igp *underlay.View, dep *anycast.Deployment, cf
 		dep:     dep,
 		members: dep.Members(),
 		idx:     map[topology.RouterID]int{},
-		spt:     map[topology.RouterID]*graph.SPT{},
+		cfg:     cfg,
+		spt:     &sync.Map{},
 	}
 	for i, m := range b.members {
 		b.idx[m] = i
 	}
 	if len(b.members) == 0 {
-		return nil, fmt.Errorf("vnbone: deployment %s has no members", dep.Addr)
+		return nil, BuildStats{}, fmt.Errorf("vnbone: deployment %s has no members", dep.Addr)
 	}
 
-	b.buildIntra(cfg)
+	stats := b.buildIntra(cfg, prev, dirty)
 	b.buildInterPeering()
 	if !cfg.DisableBootstrap {
 		if err := b.bootstrapIsolated(svc); err != nil {
-			return nil, err
+			return nil, stats, err
 		}
 	}
 	b.rebuildGraph()
@@ -146,7 +178,7 @@ func Build(svc *anycast.Service, igp *underlay.View, dep *anycast.Deployment, cf
 		b.connectComponents()
 	}
 	if !b.Connected() && !cfg.DisableRepair && !cfg.DisableBootstrap {
-		return nil, ErrPartitioned
+		return nil, stats, ErrPartitioned
 	}
 	if cfg.Trace != nil {
 		for _, l := range b.links {
@@ -157,7 +189,26 @@ func Build(svc *anycast.Service, igp *underlay.View, dep *anycast.Deployment, cf
 			})
 		}
 	}
-	return b, nil
+	return b, stats, nil
+}
+
+// reusableFor reports whether prev's intra meshes were built under the
+// same construction knobs, a precondition for carrying them over.
+func (b *Bone) reusableFor(cfg Config) bool {
+	return b.cfg.K == cfg.K && b.cfg.BlindIntra == cfg.BlindIntra &&
+		b.cfg.DisableRepair == cfg.DisableRepair
+}
+
+func sameMembers(a, b []topology.RouterID) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
 }
 
 // connectComponents bridges every bone component to the anchor component
@@ -204,8 +255,11 @@ func (b *Bone) connectComponents() {
 	}
 }
 
-// buildIntra wires each participant domain's internal virtual topology.
-func (b *Bone) buildIntra(cfg Config) {
+// buildIntra wires each participant domain's internal virtual topology,
+// copying domains verbatim from prev where nothing relevant changed (see
+// BuildIncremental).
+func (b *Bone) buildIntra(cfg Config, prev *Bone, dirty map[topology.ASN]bool) BuildStats {
+	var stats BuildStats
 	type pair struct{ a, b topology.RouterID }
 	have := map[pair]bool{}
 	addLink := func(x, y topology.RouterID, cost int64, kind LinkKind) {
@@ -228,6 +282,20 @@ func (b *Bone) buildIntra(cfg Config) {
 		if len(members) < 2 {
 			continue
 		}
+		if prev != nil && !dirty[asn] && prev.reusableFor(cfg) &&
+			sameMembers(prev.dep.MembersIn(asn), members) {
+			// Unchanged membership, untouched intra topology, identical
+			// knobs: the mesh (including any repair links) is byte-for-byte
+			// what the previous build produced.
+			for _, l := range prev.links {
+				if l.Kind == KindIntra && b.net.DomainOf(l.A) == asn {
+					addLink(l.A, l.B, l.Cost, KindIntra)
+				}
+			}
+			stats.DomainsReused++
+			continue
+		}
+		stats.DomainsRebuilt++
 		if cfg.BlindIntra {
 			// Footnote-3 construction: no member discovery. The i-th
 			// joiner resolves the anycast address, which lands on its
@@ -299,6 +367,7 @@ func (b *Bone) buildIntra(cfg Config) {
 			addLink(bestA, bestB, bestCost, KindIntra)
 		}
 	}
+	return stats
 }
 
 // intraComponents returns the connected components of one domain's members
@@ -403,7 +472,7 @@ func (b *Bone) rebuildGraph() {
 	for _, l := range b.links {
 		b.g.AddBiEdge(b.idx[l.A], b.idx[l.B], l.Cost)
 	}
-	b.spt = map[topology.RouterID]*graph.SPT{}
+	b.spt = &sync.Map{}
 }
 
 // Members returns the bone's member routers in id order.
@@ -432,16 +501,17 @@ func (b *Bone) Components() [][]topology.RouterID {
 }
 
 func (b *Bone) sptFrom(m topology.RouterID) (*graph.SPT, bool) {
-	if _, ok := b.idx[m]; !ok {
+	i, ok := b.idx[m]
+	if !ok {
 		return nil, false
 	}
-	b.sptMu.Lock()
-	defer b.sptMu.Unlock()
-	if t, ok := b.spt[m]; ok {
-		return t, true
+	if t, ok := b.spt.Load(m); ok {
+		return t.(*graph.SPT), true
 	}
-	t := b.g.Dijkstra(b.idx[m])
-	b.spt[m] = t
+	// Concurrent fills may race and both run Dijkstra; the trees are
+	// equal, so last-store-wins is harmless.
+	t := b.g.Dijkstra(i)
+	b.spt.Store(m, t)
 	return t, true
 }
 

@@ -2,7 +2,10 @@ package vnbone
 
 import (
 	"errors"
+	"fmt"
 	"math"
+	"sort"
+	"strings"
 	"testing"
 
 	"github.com/evolvable-net/evolve/internal/anycast"
@@ -383,5 +386,87 @@ func TestPartitionedReportedWhenBootstrapImpossible(t *testing.T) {
 	}
 	if !errors.Is(err, anycast.ErrNoRoute) && !errors.Is(err, ErrPartitioned) {
 		t.Logf("got err = %v (acceptable variant)", err)
+	}
+}
+
+// linkSet renders a bone's links as an order-normalized sorted set, for
+// equality checks between incremental and from-scratch builds.
+func linkSet(links []Link) string {
+	parts := make([]string, len(links))
+	for i, l := range links {
+		a, b := l.A, l.B
+		if a > b {
+			a, b = b, a
+		}
+		parts[i] = fmt.Sprintf("r%d-r%d/%d/%v", a, b, l.Cost, l.Kind)
+	}
+	sort.Strings(parts)
+	return strings.Join(parts, " ")
+}
+
+func TestBuildIncrementalReusesUntouchedDomains(t *testing.T) {
+	b := topology.NewBuilder()
+	dA := b.AddDomain("A")
+	dB := b.AddDomain("B")
+	ra := b.AddRouters(dA, 3)
+	rb := b.AddRouters(dB, 2)
+	b.IntraLink(ra[0], ra[1], 1)
+	b.IntraLink(ra[1], ra[2], 1)
+	b.IntraLink(rb[0], rb[1], 2)
+	b.Peer(ra[0], rb[0], 5)
+	n, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := newEnv(t, n)
+	dep, _ := e.svc.DeployOption1(0)
+	for _, r := range ra {
+		e.svc.AddMember(dep, r)
+	}
+	for _, r := range rb {
+		e.svc.AddMember(dep, r)
+	}
+	cfg := Config{K: 2}
+	prev, err := Build(e.svc, e.igp, dep, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Nothing dirty: both multi-member domains carry their meshes over.
+	next, stats, err := BuildIncremental(e.svc, e.igp, dep, cfg, prev, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.DomainsReused != 2 || stats.DomainsRebuilt != 0 {
+		t.Errorf("clean rebuild stats = %+v, want 2 reused / 0 rebuilt", stats)
+	}
+	if got, want := linkSet(next.Links()), linkSet(prev.Links()); got != want {
+		t.Errorf("clean incremental diverged:\ngot  %s\nwant %s", got, want)
+	}
+
+	// A dirty: only A's mesh recomputes, and the bone still equals a
+	// from-scratch construction.
+	next, stats, err = BuildIncremental(e.svc, e.igp, dep, cfg, prev, map[topology.ASN]bool{dA.ASN: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.DomainsReused != 1 || stats.DomainsRebuilt != 1 {
+		t.Errorf("dirty-A stats = %+v, want 1 reused / 1 rebuilt", stats)
+	}
+	fresh, err := Build(e.svc, e.igp, dep, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := linkSet(next.Links()), linkSet(fresh.Links()); got != want {
+		t.Errorf("dirty-A incremental diverged from scratch:\ngot  %s\nwant %s", got, want)
+	}
+
+	// Different knobs: reuse is refused even with a previous bone.
+	_, stats, err = BuildIncremental(e.svc, e.igp, dep, Config{K: 1}, prev, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.DomainsReused != 0 {
+		t.Errorf("knob change reused %d domains, want 0", stats.DomainsReused)
 	}
 }
