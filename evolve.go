@@ -150,6 +150,18 @@ type (
 	// LiveOverlay is a UDP overlay provisioned from a simulated
 	// Evolution (simulator = control plane, sockets = data plane).
 	LiveOverlay = livebridge.Overlay
+	// FaultConfig parameterises seeded wire-fault injection on the live
+	// overlay (drop/duplicate/delay rates, partitions).
+	FaultConfig = overlaynet.FaultConfig
+	// FaultTransport is the fault layer every live wire write passes
+	// through once installed on an OverlayRegistry.
+	FaultTransport = overlaynet.FaultTransport
+	// LivenessConfig parameterises keepalive probing between live peers.
+	LivenessConfig = overlaynet.LivenessConfig
+	// ReliableConfig parameterises the acked/retransmitting SendVN mode.
+	ReliableConfig = overlaynet.ReliableConfig
+	// PeerStatus is one row of a live node's peer-health table.
+	PeerStatus = overlaynet.PeerStatus
 )
 
 // Anycast deployment options (§3.2).
@@ -235,6 +247,13 @@ func NewOverlayNode(reg *OverlayRegistry, underlay V4) (*OverlayNode, error) {
 // done.
 func ProvisionLiveOverlay(evo *Evolution) (*LiveOverlay, error) {
 	return livebridge.Provision(evo)
+}
+
+// NewFaultTransport creates a seeded wire-fault injector; install it with
+// OverlayRegistry.SetFaultTransport to subject every live send to
+// deterministic drop/duplicate/delay faults and pairwise partitions.
+func NewFaultTransport(cfg FaultConfig) *FaultTransport {
+	return overlaynet.NewFaultTransport(cfg)
 }
 
 // SelfAddress derives the §3.3.2 temporary IPvN address for a host of a

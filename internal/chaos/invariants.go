@@ -52,7 +52,7 @@ type Invariant interface {
 
 // InvariantNames lists the registered invariant names in check order.
 func InvariantNames() []string {
-	return []string{"ua", "bone", "conserve", "oracle", "providersync"}
+	return []string{"ua", "bone", "conserve", "oracle", "providersync", "epochtick"}
 }
 
 // Invariants instantiates fresh invariant checkers for the given names
@@ -90,6 +90,8 @@ func newInvariant(name string) Invariant {
 		return &oracleInvariant{}
 	case "providersync":
 		return &providerSyncInvariant{}
+	case "epochtick":
+		return &epochTickInvariant{}
 	default:
 		panic("chaos: unregistered invariant " + name)
 	}
@@ -311,4 +313,53 @@ func fmtRouterSet(rs []topology.RouterID) string {
 	}
 	sort.Strings(parts)
 	return "{" + strings.Join(parts, " ") + "}"
+}
+
+// epochTickInvariant checks the epoch-publication contract that
+// epoch-driven consumers (livebridge's in-place reconciler) rely on:
+// every routing-epoch store during an event must leave a pending tick on
+// a WatchEpochs subscription, and no tick may appear without a store. A
+// publish site that forgets to notify would leave live overlays running
+// stale configurations forever; this catches it under the full fault
+// schedule. Stateful: the subscription is created on the first check,
+// so the first event only establishes the baseline.
+type epochTickInvariant struct {
+	ch         <-chan struct{}
+	prevEpochs uint64
+	subscribed bool
+}
+
+func (*epochTickInvariant) Name() string { return "epochtick" }
+
+func (inv *epochTickInvariant) Check(c *CheckContext) *Failure {
+	epochs := c.W.Evo.Snapshot().Epochs
+	if !inv.subscribed {
+		// The watcher lives as long as the Evolution under test; runs
+		// discard both together.
+		inv.ch, _ = c.W.Evo.WatchEpochs()
+		inv.subscribed = true
+		inv.prevEpochs = epochs
+		return nil
+	}
+	published := epochs - inv.prevEpochs
+	inv.prevEpochs = epochs
+	ticks := 0
+	for {
+		select {
+		case <-inv.ch:
+			ticks++
+			continue
+		default:
+		}
+		break
+	}
+	if published > 0 && ticks == 0 {
+		return &Failure{Detail: fmt.Sprintf(
+			"%d epoch(s) published during %s but the watcher never ticked", published, c.Event)}
+	}
+	if published == 0 && ticks > 0 {
+		return &Failure{Detail: fmt.Sprintf(
+			"watcher ticked %d time(s) though %s published no epoch", ticks, c.Event)}
+	}
+	return nil
 }

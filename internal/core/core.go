@@ -148,6 +148,12 @@ type Evolution struct {
 	// Sends each draw a unique tag.
 	sendSeq atomic.Uint32
 
+	// watchMu guards the epoch-watcher registry; deliberately separate
+	// from mu so subscribing never contends with mutators.
+	watchMu   sync.Mutex
+	watchNext int
+	watchers  map[int]chan struct{}
+
 	// counters is the always-on observability tally (atomic; see
 	// internal/trace). tracer holds the optional default span receiver
 	// for Sends, swapped atomically so SetTracer never blocks senders.
@@ -435,6 +441,44 @@ func (e *Evolution) Ready() error {
 	return nil
 }
 
+// WatchEpochs subscribes to routing-epoch publications: the returned
+// channel receives a (coalesced) tick after every epoch store — including
+// error epochs, which watchers need to see to degrade gracefully. The
+// channel has a one-slot buffer and notifications never block a mutator;
+// a watcher that lags simply observes several publications as one tick
+// and reconciles against the latest epoch, which is all that epoch-driven
+// consumers (livebridge reconciliation) want anyway. The cancel func
+// unsubscribes and must be called to release the watcher.
+func (e *Evolution) WatchEpochs() (<-chan struct{}, func()) {
+	e.watchMu.Lock()
+	defer e.watchMu.Unlock()
+	if e.watchers == nil {
+		e.watchers = map[int]chan struct{}{}
+	}
+	id := e.watchNext
+	e.watchNext++
+	ch := make(chan struct{}, 1)
+	e.watchers[id] = ch
+	return ch, func() {
+		e.watchMu.Lock()
+		defer e.watchMu.Unlock()
+		delete(e.watchers, id)
+	}
+}
+
+// notifyEpoch ticks every watcher, non-blocking (coalescing into the
+// one-slot buffer). Called by every epoch publish site after the store.
+func (e *Evolution) notifyEpoch() {
+	e.watchMu.Lock()
+	defer e.watchMu.Unlock()
+	for _, ch := range e.watchers {
+		select {
+		case ch <- struct{}{}:
+		default:
+		}
+	}
+}
+
 // republishLocked reseals the current epoch under the new mutation
 // sequence number after a mutation that changed nothing senders can see
 // (an already-deployed router re-deployed, say). Sharing the innards is
@@ -445,6 +489,7 @@ func (e *Evolution) republishLocked() {
 	ep.seq = e.mutSeq.Load()
 	e.counters.Epoch()
 	e.epoch.Store(&ep)
+	e.notifyEpoch()
 }
 
 // publishProvidersLocked publishes an epoch differing only in the frozen
@@ -459,6 +504,7 @@ func (e *Evolution) publishProvidersLocked() {
 	}
 	e.counters.Epoch()
 	e.epoch.Store(&ep)
+	e.notifyEpoch()
 }
 
 // publishRegistrationLocked publishes a registration-only epoch: same
@@ -481,6 +527,7 @@ func (e *Evolution) publishRegistrationLocked() {
 	}
 	e.counters.Epoch()
 	e.epoch.Store(&ep)
+	e.notifyEpoch()
 }
 
 // carryResolve copies the previous epoch's memoised resolutions into a
@@ -526,6 +573,7 @@ func (e *Evolution) buildEpochLocked(dirty, evict map[topology.ASN]bool, flush b
 			vnAddrs: prev.vnAddrs,
 			resolve: &sync.Map{},
 		})
+		e.notifyEpoch()
 		return ErrNotDeployed
 	}
 	// Freeze the deployments: this epoch's send path keeps resolving
@@ -556,6 +604,7 @@ func (e *Evolution) buildEpochLocked(dirty, evict map[topology.ASN]bool, flush b
 			provDeps: provs,
 			resolve:  &sync.Map{},
 		})
+		e.notifyEpoch()
 		return err
 	}
 	e.counters.BoneRebuild()
@@ -589,6 +638,7 @@ func (e *Evolution) buildEpochLocked(dirty, evict map[topology.ASN]bool, flush b
 	}
 	e.counters.Epoch()
 	e.epoch.Store(ep)
+	e.notifyEpoch()
 	return nil
 }
 

@@ -5,10 +5,20 @@
 // plane; the overlay is the data plane. Every packet a bridged Send
 // delivers has crossed real sockets through the exact trajectory the
 // simulation predicts.
+//
+// The overlay tracks deployment changes in place: Reconcile (or the
+// Watch goroutine, driven by the Evolution's epoch publications) diffs
+// the running overlay against the current routing epoch and applies only
+// the delta — spawning and retiring nodes, patching route tables and
+// anycast member lists — leaving unaffected nodes untouched. When a
+// rebuild publishes an error epoch, the overlay degrades to its
+// last-good configuration instead of tearing down.
 package livebridge
 
 import (
 	"fmt"
+	"sort"
+	"sync"
 	"time"
 
 	"github.com/evolvable-net/evolve/internal/addr"
@@ -18,19 +28,44 @@ import (
 	"github.com/evolvable-net/evolve/internal/vncast"
 )
 
-// Overlay is a provisioned live overlay.
+// Overlay is a provisioned live overlay. Members and Hosts are owned by
+// the reconciler; read them between reconciles (or after Close), not
+// concurrently with one.
 type Overlay struct {
 	Reg     *overlaynet.Registry
 	Members map[topology.RouterID]*overlaynet.Node
 	Hosts   map[topology.HostID]*overlaynet.Node
 
 	evo *core.Evolution
+
+	mu sync.Mutex
+	// lastRoutes caches each member's installed route table for diffing;
+	// hostVN caches each host node's assigned IPvN address.
+	lastRoutes map[topology.RouterID]map[addr.VNPrefix]addr.V4
+	hostVN     map[topology.HostID]addr.VN
+	// provisioned flips after the first successful reconcile; from then
+	// on error epochs degrade to last-good instead of failing.
+	provisioned bool
+
+	liveCfg *overlaynet.LivenessConfig
+	relCfg  *overlaynet.ReliableConfig
 }
 
-// Provision builds the live overlay for the Evolution's current
-// deployment state. Close the returned overlay when done. Deployment
-// changes after provisioning are not tracked; re-provision instead.
-func Provision(evo *core.Evolution) (*Overlay, error) {
+// desiredState is one epoch's target overlay shape.
+type desiredState struct {
+	// members maps each bone member to its loopback (the node underlay).
+	members map[topology.RouterID]addr.V4
+	// routes is each member's per-host /128 table: prefix → next hop.
+	routes map[topology.RouterID]map[addr.VNPrefix]addr.V4
+	// hosts maps each endhost to its IPvN address.
+	hosts map[topology.HostID]addr.VN
+}
+
+// desired computes the target shape from the Evolution's current epoch.
+// An error epoch yields an error; the caller decides whether that fails
+// provisioning or degrades to last-good.
+func (o *Overlay) desired() (*desiredState, error) {
+	evo := o.evo
 	bone, err := evo.Bone()
 	if err != nil {
 		return nil, err
@@ -39,44 +74,70 @@ func Provision(evo *core.Evolution) (*Overlay, error) {
 	if err != nil {
 		return nil, err
 	}
-	o := &Overlay{
-		Reg:     overlaynet.NewRegistry(),
-		Members: map[topology.RouterID]*overlaynet.Node{},
-		Hosts:   map[topology.HostID]*overlaynet.Node{},
-		evo:     evo,
+	d := &desiredState{
+		members: map[topology.RouterID]addr.V4{},
+		routes:  map[topology.RouterID]map[addr.VNPrefix]addr.V4{},
+		hosts:   map[topology.HostID]addr.VN{},
 	}
-	fail := func(err error) (*Overlay, error) {
-		o.Close()
-		return nil, err
-	}
-
-	// One live node per bone member, accepting the deployment's anycast
-	// address.
 	for _, m := range bone.Members() {
-		n, err := overlaynet.NewNode(o.Reg, evo.Net.Router(m).Loopback)
-		if err != nil {
-			return fail(err)
-		}
-		n.ServeAnycast(evo.AnycastAddr())
-		o.Members[m] = n
+		d.members[m] = evo.Net.Router(m).Loopback
 	}
-	// One live node per endhost.
 	for _, h := range evo.Net.Hosts {
-		n, err := overlaynet.NewNode(o.Reg, h.Addr)
-		if err != nil {
-			return fail(err)
-		}
 		v, err := evo.HostVNAddr(h)
 		if err != nil {
-			return fail(err)
+			return nil, err
 		}
-		n.SetVNAddr(v)
-		o.Hosts[h.ID] = n
+		d.hosts[h.ID] = v
+	}
+	for m := range d.members {
+		table := map[addr.VNPrefix]addr.V4{}
+		for _, h := range evo.Net.Hosts {
+			v := d.hosts[h.ID]
+			var bonePath []topology.RouterID
+			var egress topology.RouterID
+			if v.IsSelf() {
+				dec, err := vn.SelectEgress(m, h.Addr, evo.Config().Egress)
+				if err != nil {
+					return nil, fmt.Errorf("livebridge: egress for %s from %d: %w", h.Name, m, err)
+				}
+				bonePath, egress = dec.BonePath, dec.Member
+			} else {
+				dec, err := vn.RouteNative(m, v)
+				if err != nil {
+					return nil, fmt.Errorf("livebridge: native route for %s from %d: %w", h.Name, m, err)
+				}
+				bonePath, egress = dec.BonePath, dec.Member
+			}
+			if egress == m || len(bonePath) < 2 {
+				// This member is the egress: exit straight to the host.
+				table[addr.HostVNPrefix(v)] = h.Addr
+			} else {
+				table[addr.HostVNPrefix(v)] = o.evo.Net.Router(bonePath[1]).Loopback
+			}
+		}
+		d.routes[m] = table
+	}
+	return d, nil
+}
+
+// Provision builds the live overlay for the Evolution's current
+// deployment state. Close the returned overlay when done. Deployment
+// changes after provisioning are applied in place by Reconcile (or
+// automatically via Watch).
+func Provision(evo *core.Evolution) (*Overlay, error) {
+	o := &Overlay{
+		Reg:        overlaynet.NewRegistry(),
+		Members:    map[topology.RouterID]*overlaynet.Node{},
+		Hosts:      map[topology.HostID]*overlaynet.Node{},
+		evo:        evo,
+		lastRoutes: map[topology.RouterID]map[addr.VNPrefix]addr.V4{},
+		hostVN:     map[topology.HostID]addr.VN{},
 	}
 
 	// Anycast resolution delegates to the simulator's routing: the
 	// ingress for a packet from src is whatever the simulated anycast
-	// trajectory says.
+	// trajectory says. A nominee the live plane has suspected dead is
+	// overridden by the Registry's proximity fallthrough.
 	o.Reg.SetResolver(func(src, anycastAddr addr.V4) (addr.V4, bool) {
 		var res topology.RouterID = -1
 		if h := evo.Net.FindHost(src); h != nil {
@@ -94,59 +155,244 @@ func Provision(evo *core.Evolution) (*Overlay, error) {
 		return evo.Net.Router(res).Loopback, true
 	})
 
-	// Per-host /128 routes at every member, following the simulator's
-	// egress decisions hop by hop.
-	for _, m := range bone.Members() {
-		node := o.Members[m]
-		for _, h := range evo.Net.Hosts {
-			v, err := evo.HostVNAddr(h)
-			if err != nil {
-				return fail(err)
-			}
-			var bonePath []topology.RouterID
-			var egress topology.RouterID
-			if v.IsSelf() {
-				d, err := vn.SelectEgress(m, h.Addr, evo.Config().Egress)
-				if err != nil {
-					return fail(fmt.Errorf("livebridge: egress for %s from %d: %w", h.Name, m, err))
-				}
-				bonePath, egress = d.BonePath, d.Member
-			} else {
-				d, err := vn.RouteNative(m, v)
-				if err != nil {
-					return fail(fmt.Errorf("livebridge: native route for %s from %d: %w", h.Name, m, err))
-				}
-				bonePath, egress = d.BonePath, d.Member
-			}
-			var next addr.V4
-			if egress == m || len(bonePath) < 2 {
-				// This member is the egress: exit straight to the host.
-				next = h.Addr
-			} else {
-				next = evo.Net.Router(bonePath[1]).Loopback
-			}
-			node.AddVNRoute(addr.HostVNPrefix(v), next)
-		}
+	if err := o.Reconcile(); err != nil {
+		o.Close()
+		return nil, err
 	}
 	return o, nil
+}
+
+// Reconcile diffs the running overlay against the Evolution's current
+// routing epoch and applies the delta in place: retired members are
+// closed, new members spawned, changed route tables and host addresses
+// patched, and the Registry's anycast member list refreshed. Unaffected
+// nodes are never touched — their sockets, inboxes and counters carry
+// across epochs. On an error epoch a provisioned overlay keeps its
+// last-good configuration (counted as a reconcile fallback) and returns
+// the epoch's error; an unprovisioned one fails.
+func (o *Overlay) Reconcile() error {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+
+	d, err := o.desired()
+	if err != nil {
+		if o.provisioned {
+			o.Reg.Counters().ReconcileFallback()
+			return err
+		}
+		return err
+	}
+
+	deltas := 0
+
+	// Retire members no longer in the bone.
+	for id, n := range o.Members {
+		if _, keep := d.members[id]; !keep {
+			n.Close()
+			delete(o.Members, id)
+			delete(o.lastRoutes, id)
+			deltas++
+		}
+	}
+	// Spawn new members.
+	for id, loopback := range d.members {
+		if _, have := o.Members[id]; have {
+			continue
+		}
+		n, err := overlaynet.NewNode(o.Reg, loopback)
+		if err != nil {
+			return err
+		}
+		n.ServeAnycast(o.evo.AnycastAddr())
+		if o.liveCfg != nil {
+			n.EnableLiveness(*o.liveCfg)
+		}
+		o.Members[id] = n
+		deltas++
+	}
+	// Patch changed route tables wholesale (cheap: tables are small and
+	// the swap is atomic per prefix under the node's lock).
+	for id, table := range d.routes {
+		if routesEqual(o.lastRoutes[id], table) {
+			continue
+		}
+		n := o.Members[id]
+		n.ClearVNRoutes()
+		for p, via := range table {
+			n.AddVNRoute(p, via)
+		}
+		o.lastRoutes[id] = table
+		deltas++
+	}
+
+	// Hosts: spawn new, retire gone, re-address changed.
+	for id, n := range o.Hosts {
+		if _, keep := d.hosts[id]; !keep {
+			n.Close()
+			delete(o.Hosts, id)
+			delete(o.hostVN, id)
+			deltas++
+		}
+	}
+	for _, h := range o.evo.Net.Hosts {
+		v, ok := d.hosts[h.ID]
+		if !ok {
+			continue
+		}
+		if n, have := o.Hosts[h.ID]; have {
+			if o.hostVN[h.ID] != v {
+				n.SetVNAddr(v)
+				o.hostVN[h.ID] = v
+				deltas++
+			}
+			continue
+		}
+		n, err := overlaynet.NewNode(o.Reg, h.Addr)
+		if err != nil {
+			return err
+		}
+		n.SetVNAddr(v)
+		if o.liveCfg != nil {
+			n.EnableLiveness(*o.liveCfg)
+		}
+		if o.relCfg != nil {
+			n.EnableReliable(*o.relCfg)
+		}
+		o.Hosts[h.ID] = n
+		deltas++
+	}
+
+	// Refresh the anycast member list (deterministic order: router ID) so
+	// the Registry's proximity fallthrough has a live-member list even
+	// when the simulator's resolver nominates a suspected peer.
+	ids := make([]topology.RouterID, 0, len(d.members))
+	for id := range d.members {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	members := make([]addr.V4, len(ids))
+	for i, id := range ids {
+		members[i] = d.members[id]
+	}
+	o.Reg.SetAnycastMembers(o.evo.AnycastAddr(), members)
+
+	if deltas > 0 {
+		o.Reg.Counters().ReconcileDeltas(deltas)
+	}
+	o.provisioned = true
+	return nil
+}
+
+func routesEqual(a, b map[addr.VNPrefix]addr.V4) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for p, v := range a {
+		if b[p] != v {
+			return false
+		}
+	}
+	return true
+}
+
+// Watch subscribes the overlay to the Evolution's epoch publications and
+// reconciles after each one (coalesced). Error epochs are tolerated —
+// the overlay degrades to last-good and retries on the next epoch. The
+// returned stop function unsubscribes and waits for the watcher to exit.
+func (o *Overlay) Watch() (stop func()) {
+	ch, cancel := o.evo.WatchEpochs()
+	quit := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for {
+			select {
+			case <-quit:
+				return
+			case <-ch:
+				// Reconcile failures here are error epochs (fallback
+				// counted inside) or socket exhaustion; the watcher keeps
+				// going — the next good epoch heals the overlay.
+				_ = o.Reconcile()
+			}
+		}
+	}()
+	return func() {
+		cancel()
+		close(quit)
+		<-done
+	}
+}
+
+// EnableLiveness turns on keepalive probing for every current and future
+// overlay node (see overlaynet.LivenessConfig).
+func (o *Overlay) EnableLiveness(cfg overlaynet.LivenessConfig) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	o.liveCfg = &cfg
+	for _, n := range o.Members {
+		n.EnableLiveness(cfg)
+	}
+	for _, n := range o.Hosts {
+		n.EnableLiveness(cfg)
+	}
+}
+
+// EnableReliable turns on the acked/retransmitting delivery mode for
+// every current and future host node. cfg.AckVia defaults to the
+// deployment's anycast address.
+func (o *Overlay) EnableReliable(cfg overlaynet.ReliableConfig) {
+	if cfg.AckVia == 0 {
+		cfg.AckVia = o.evo.AnycastAddr()
+	}
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	o.relCfg = &cfg
+	for _, n := range o.Hosts {
+		n.EnableReliable(cfg)
+	}
 }
 
 // Send delivers a payload from src to dst over the live overlay (host
 // encapsulates toward the anycast address; relays and exits follow the
 // provisioned routes) and waits for the destination's inbox.
 func (o *Overlay) Send(src, dst *topology.Host, payload []byte, timeout time.Duration) (overlaynet.Received, error) {
-	srcNode, ok := o.Hosts[src.ID]
-	if !ok {
-		return overlaynet.Received{}, fmt.Errorf("livebridge: unknown src host %s", src.Name)
-	}
-	dstNode, ok := o.Hosts[dst.ID]
-	if !ok {
-		return overlaynet.Received{}, fmt.Errorf("livebridge: unknown dst host %s", dst.Name)
+	srcNode, dstNode, err := o.hostPair(src, dst)
+	if err != nil {
+		return overlaynet.Received{}, err
 	}
 	if err := srcNode.SendVN(o.evo.AnycastAddr(), dstNode.VNAddr(), payload); err != nil {
 		return overlaynet.Received{}, err
 	}
 	return dstNode.WaitInbox(timeout)
+}
+
+// SendReliable is Send in the acked/retransmitting mode (EnableReliable
+// first): it returns once the destination has acknowledged the delivery
+// and the payload has been popped from its inbox.
+func (o *Overlay) SendReliable(src, dst *topology.Host, payload []byte, timeout time.Duration) (overlaynet.Received, error) {
+	srcNode, dstNode, err := o.hostPair(src, dst)
+	if err != nil {
+		return overlaynet.Received{}, err
+	}
+	if err := srcNode.SendVNReliable(o.evo.AnycastAddr(), dstNode.VNAddr(), payload); err != nil {
+		return overlaynet.Received{}, err
+	}
+	return dstNode.WaitInbox(timeout)
+}
+
+func (o *Overlay) hostPair(src, dst *topology.Host) (*overlaynet.Node, *overlaynet.Node, error) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	srcNode, ok := o.Hosts[src.ID]
+	if !ok {
+		return nil, nil, fmt.Errorf("livebridge: unknown src host %s", src.Name)
+	}
+	dstNode, ok := o.Hosts[dst.ID]
+	if !ok {
+		return nil, nil, fmt.Errorf("livebridge: unknown dst host %s", dst.Name)
+	}
+	return srcNode, dstNode, nil
 }
 
 // ProvisionMulticast installs a multicast group's distribution tree
@@ -167,6 +413,8 @@ func (o *Overlay) ProvisionMulticast(svc *vncast.Service, grp *vncast.Group, src
 	for m := range tree.Leaves {
 		onTree[m] = true
 	}
+	o.mu.Lock()
+	defer o.mu.Unlock()
 	for m := range onTree {
 		node, ok := o.Members[m]
 		if !ok {
@@ -187,7 +435,9 @@ func (o *Overlay) ProvisionMulticast(svc *vncast.Service, grp *vncast.Group, src
 // SendMulticast originates one live packet from src toward the group
 // address; the provisioned tree replicates it to every subscriber node.
 func (o *Overlay) SendMulticast(src *topology.Host, group addr.VN, payload []byte) error {
+	o.mu.Lock()
 	srcNode, ok := o.Hosts[src.ID]
+	o.mu.Unlock()
 	if !ok {
 		return fmt.Errorf("livebridge: unknown src host %s", src.Name)
 	}
@@ -196,6 +446,8 @@ func (o *Overlay) SendMulticast(src *topology.Host, group addr.VN, payload []byt
 
 // Close shuts every node down.
 func (o *Overlay) Close() {
+	o.mu.Lock()
+	defer o.mu.Unlock()
 	for _, n := range o.Members {
 		n.Close()
 	}

@@ -7,6 +7,7 @@ import (
 
 	"github.com/evolvable-net/evolve/internal/anycast"
 	"github.com/evolvable-net/evolve/internal/core"
+	"github.com/evolvable-net/evolve/internal/overlaynet"
 	"github.com/evolvable-net/evolve/internal/routing/bgpvn"
 	"github.com/evolvable-net/evolve/internal/topology"
 	"github.com/evolvable-net/evolve/internal/vncast"
@@ -292,5 +293,163 @@ func TestProvisionRequiresDeployment(t *testing.T) {
 	}
 	if _, err := Provision(evo); err == nil {
 		t.Error("provisioning an undeployed evolution succeeded")
+	}
+}
+
+func TestReconcileAppliesUndeployInPlace(t *testing.T) {
+	net, evo := buildEvo(t, bgpvn.PathInformed)
+	o, err := Provision(evo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer o.Close()
+
+	// Warm the data plane so surviving nodes have counter history.
+	src := net.HostsIn(net.DomainByName("S0.0").ASN)[0]
+	dst := net.HostsIn(net.DomainByName("S1.0").ASN)[0]
+	if _, err := o.Send(src, dst, []byte("warm"), timeout); err != nil {
+		t.Fatal(err)
+	}
+
+	members := evo.Dep.Members()
+	if len(members) < 2 {
+		t.Fatalf("need >= 2 members, have %d", len(members))
+	}
+	victim := members[0]
+	survivors := map[topology.RouterID]*overlaynet.Node{}
+	preStats := map[topology.RouterID]overlaynet.Stats{}
+	for id, n := range o.Members {
+		if id != victim {
+			survivors[id] = n
+			preStats[id] = n.Stats()
+		}
+	}
+	preHosts := map[topology.HostID]*overlaynet.Node{}
+	for id, n := range o.Hosts {
+		preHosts[id] = n
+	}
+
+	evo.UndeployRouter(victim)
+	if err := o.Reconcile(); err != nil {
+		t.Fatalf("reconcile: %v", err)
+	}
+
+	if _, still := o.Members[victim]; still {
+		t.Error("undeployed member still provisioned")
+	}
+	// Unaffected nodes survive by identity — same *Node, counters intact.
+	for id, n := range survivors {
+		now, ok := o.Members[id]
+		if !ok {
+			t.Errorf("member %d vanished on reconcile", id)
+			continue
+		}
+		if now != n {
+			t.Errorf("member %d was restarted (new node identity)", id)
+		}
+		s := now.Stats()
+		was := preStats[id]
+		if s.Forwarded < was.Forwarded || s.Exited < was.Exited || s.Delivered < was.Delivered {
+			t.Errorf("member %d counters went backwards: %+v -> %+v", id, was, s)
+		}
+	}
+	for id, n := range preHosts {
+		if now, ok := o.Hosts[id]; !ok || now != n {
+			t.Errorf("host %d was restarted by an unrelated undeploy", id)
+		}
+	}
+	if snap := o.Reg.Counters().Snapshot(); snap.ReconcileDeltas == 0 {
+		t.Error("reconcile deltas not counted")
+	}
+
+	// Delivery still works on the reconciled overlay.
+	if got, err := o.Send(src, dst, []byte("post"), timeout); err != nil || string(got.Payload) != "post" {
+		t.Errorf("post-reconcile send: %q %v", got.Payload, err)
+	}
+}
+
+func TestReconcileFallsBackOnErrorEpoch(t *testing.T) {
+	net, evo := buildEvo(t, bgpvn.PathInformed)
+	o, err := Provision(evo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer o.Close()
+	preMembers := len(o.Members)
+
+	// Undeploying everything publishes an ErrNotDeployed epoch; the
+	// provisioned overlay must keep its last-good configuration.
+	for _, m := range evo.Dep.Members() {
+		evo.UndeployRouter(m)
+	}
+	if err := o.Reconcile(); err == nil {
+		t.Fatal("reconcile against an error epoch reported success")
+	}
+	if len(o.Members) != preMembers {
+		t.Errorf("members after fallback = %d, want last-good %d", len(o.Members), preMembers)
+	}
+	if snap := o.Reg.Counters().Snapshot(); snap.ReconcileFallbacks == 0 {
+		t.Error("reconcile fallback not counted")
+	}
+
+	// Last-good delivery still works: the simulator's resolver fails (no
+	// members), so resolution rides the Registry's static member list.
+	src := net.HostsIn(net.DomainByName("S0.0").ASN)[0]
+	dst := net.HostsIn(net.DomainByName("S1.0").ASN)[0]
+	if got, err := o.Send(src, dst, []byte("degraded"), timeout); err != nil || string(got.Payload) != "degraded" {
+		t.Errorf("last-good send: %q %v", got.Payload, err)
+	}
+}
+
+func TestWatchReconcilesOnEpochPublication(t *testing.T) {
+	_, evo := buildEvo(t, bgpvn.PathInformed)
+	o, err := Provision(evo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer o.Close()
+	stop := o.Watch()
+	defer stop()
+
+	members := evo.Dep.Members()
+	victim := members[len(members)-1]
+	victimLoopback := evo.Net.Router(victim).Loopback
+	evo.UndeployRouter(victim)
+
+	// The watcher hears the epoch publication and reconciles; observe via
+	// the Registry (its own lock) rather than the Members map.
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		present := false
+		for _, m := range o.Reg.AnycastMembers(evo.AnycastAddr()) {
+			if m == victimLoopback {
+				present = true
+			}
+		}
+		if !present {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatal("watcher never reconciled the undeploy")
+}
+
+func TestReliableSendOverBridge(t *testing.T) {
+	net, evo := buildEvo(t, bgpvn.PathInformed)
+	o, err := Provision(evo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer o.Close()
+	o.EnableReliable(overlaynet.ReliableConfig{JitterSeed: 1})
+
+	src := net.HostsIn(net.DomainByName("S0.0").ASN)[0]
+	dst := net.HostsIn(net.DomainByName("S1.0").ASN)[0]
+	got, err := o.SendReliable(src, dst, []byte("acked"), timeout)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got.Payload) != "acked" {
+		t.Errorf("payload = %q", got.Payload)
 	}
 }

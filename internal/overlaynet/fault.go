@@ -1,0 +1,140 @@
+package overlaynet
+
+import (
+	"math/rand"
+	"sync"
+	"time"
+
+	"github.com/evolvable-net/evolve/internal/addr"
+	"github.com/evolvable-net/evolve/internal/packet"
+	"github.com/evolvable-net/evolve/internal/trace"
+)
+
+// FaultConfig parameterizes wire-fault injection. Rates are probabilities
+// in [0,1] evaluated independently per packet; a zero rate draws nothing
+// from the PRNG, so enabling one fault class never perturbs the schedule
+// of another.
+type FaultConfig struct {
+	// Seed roots every per-link PRNG; identical seeds and identical
+	// per-link packet sequences yield identical fault schedules.
+	Seed int64
+	// DropRate silently discards the packet.
+	DropRate float64
+	// DupRate writes the packet twice.
+	DupRate float64
+	// DelayRate defers the write by Delay.
+	DelayRate float64
+	// Delay is the deferral applied to delayed packets.
+	Delay time.Duration
+	// DataOnly restricts faults to vn-encap data packets, leaving probes
+	// and probe acks clean — useful when a test wants loss without
+	// spurious suspicion.
+	DataOnly bool
+}
+
+// FaultTransport subjects every wire write to seeded drop/duplicate/delay
+// faults and hard pairwise partitions. Installed on a Registry via
+// SetFaultTransport; the zero state injects nothing.
+//
+// Determinism: each directed link (src, dst) owns a PRNG seeded from
+// Seed and the link's addresses, so a flow's fault schedule depends only
+// on the seed and that flow's own packet sequence — concurrent traffic
+// on other links cannot reorder its draws.
+type FaultTransport struct {
+	cfg FaultConfig
+
+	mu       sync.Mutex
+	links    map[[2]addr.V4]*rand.Rand
+	cut      map[[2]addr.V4]bool
+	counters *trace.Counters
+}
+
+// NewFaultTransport returns a fault layer with the given configuration.
+func NewFaultTransport(cfg FaultConfig) *FaultTransport {
+	return &FaultTransport{
+		cfg:   cfg,
+		links: map[[2]addr.V4]*rand.Rand{},
+		cut:   map[[2]addr.V4]bool{},
+	}
+}
+
+func pairKey(a, b addr.V4) [2]addr.V4 {
+	if a > b {
+		a, b = b, a
+	}
+	return [2]addr.V4{a, b}
+}
+
+// Partition severs the (undirected) link between a and b: every write in
+// either direction is dropped until Heal.
+func (ft *FaultTransport) Partition(a, b addr.V4) {
+	ft.mu.Lock()
+	defer ft.mu.Unlock()
+	ft.cut[pairKey(a, b)] = true
+}
+
+// Heal restores a previously partitioned link.
+func (ft *FaultTransport) Heal(a, b addr.V4) {
+	ft.mu.Lock()
+	defer ft.mu.Unlock()
+	delete(ft.cut, pairKey(a, b))
+}
+
+// linkRand returns the directed link's PRNG, creating it on first use
+// with a seed derived from the configured seed and both addresses.
+func (ft *FaultTransport) linkRand(src, dst addr.V4) *rand.Rand {
+	key := [2]addr.V4{src, dst}
+	r := ft.links[key]
+	if r == nil {
+		seed := ft.cfg.Seed ^ (int64(src) << 32) ^ int64(dst)
+		r = rand.New(rand.NewSource(seed))
+		ft.links[key] = r
+	}
+	return r
+}
+
+// apply runs one write through the fault schedule: partitioned links and
+// drop-lottery losers are discarded (counted), duplicates write twice,
+// delays re-issue the write from a timer. Probe traffic is exempt when
+// DataOnly is set.
+func (ft *FaultTransport) apply(src, dst addr.V4, wire []byte, write func([]byte)) {
+	if ft.cfg.DataOnly && (len(wire) < 2 || packet.Protocol(wire[1]) != packet.ProtoVNEncap) {
+		ft.mu.Lock()
+		cut := ft.cut[pairKey(src, dst)]
+		ft.mu.Unlock()
+		if cut {
+			ft.counters.FaultDrop()
+			return
+		}
+		write(wire)
+		return
+	}
+
+	ft.mu.Lock()
+	if ft.cut[pairKey(src, dst)] {
+		ft.mu.Unlock()
+		ft.counters.FaultDrop()
+		return
+	}
+	r := ft.linkRand(src, dst)
+	drop := ft.cfg.DropRate > 0 && r.Float64() < ft.cfg.DropRate
+	dup := ft.cfg.DupRate > 0 && r.Float64() < ft.cfg.DupRate
+	delay := ft.cfg.DelayRate > 0 && r.Float64() < ft.cfg.DelayRate
+	ft.mu.Unlock()
+
+	if drop {
+		ft.counters.FaultDrop()
+		return
+	}
+	if delay {
+		ft.counters.FaultDelay()
+		cp := append([]byte(nil), wire...)
+		time.AfterFunc(ft.cfg.Delay, func() { write(cp) })
+		return
+	}
+	write(wire)
+	if dup {
+		ft.counters.FaultDuplicate()
+		write(wire)
+	}
+}

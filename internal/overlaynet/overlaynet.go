@@ -11,18 +11,29 @@
 // list (ordered by proximity, as the simulator's routing would). This is
 // the documented substitution for a real multi-ISP underlay (DESIGN.md
 // §2): the code paths above the socket layer are identical.
+//
+// The data plane is self-healing (DESIGN.md §8): nodes probe their active
+// peers (EnableLiveness) and report suspected-dead peers to the Registry,
+// which routes anycast resolution and bone relays around them; SendVN
+// gains an opt-in acked/retransmitting mode (EnableReliable) with
+// receiver-side dedup; and a FaultTransport installed on the Registry
+// subjects every wire write to seeded drop/duplicate/delay/partition
+// faults so the live plane gets the same deterministic adversarial
+// treatment the simulator gets from internal/chaos.
 package overlaynet
 
 import (
 	"errors"
 	"fmt"
 	"net"
+	"sort"
 	"sync"
 	"time"
 
 	"github.com/evolvable-net/evolve/internal/addr"
 	"github.com/evolvable-net/evolve/internal/packet"
 	"github.com/evolvable-net/evolve/internal/rib"
+	"github.com/evolvable-net/evolve/internal/trace"
 )
 
 // Errors.
@@ -33,6 +44,10 @@ var (
 	ErrNoAnycastMember = errors.New("overlaynet: anycast group empty")
 	// ErrClosed: the node has been shut down.
 	ErrClosed = errors.New("overlaynet: node closed")
+	// ErrNotAcked: an acked send exhausted its retransmission budget.
+	ErrNotAcked = errors.New("overlaynet: delivery not acknowledged")
+	// ErrReliableDisabled: SendVNReliable on a node without EnableReliable.
+	ErrReliableDisabled = errors.New("overlaynet: reliable mode not enabled")
 )
 
 // Resolver answers "where does an anycast packet from src land" — the
@@ -43,19 +58,47 @@ type Resolver func(src, anycastAddr addr.V4) (addr.V4, bool)
 // Registry is the stand-in for global IPv(N-1) routing: underlay address →
 // UDP endpoint, anycast address → proximity-ordered member list, plus an
 // optional per-source Resolver that overrides the static ordering.
+//
+// The Registry also carries the live plane's shared health state: peers
+// reported suspected-dead by nodes' liveness probing (resolution and
+// relays route around them), an optional FaultTransport every wire write
+// passes through, and the always-on live-plane counters.
 type Registry struct {
 	mu       sync.RWMutex
 	unicast  map[addr.V4]*net.UDPAddr
 	anycast  map[addr.V4][]addr.V4
 	resolver Resolver
+	// suspected maps a peer to the set of reporting nodes that currently
+	// consider it dead; a peer with any reporter is routed around.
+	suspected map[addr.V4]map[addr.V4]bool
+	faults    *FaultTransport
+
+	counters trace.Counters
 }
 
 // NewRegistry returns an empty registry.
 func NewRegistry() *Registry {
 	return &Registry{
-		unicast: map[addr.V4]*net.UDPAddr{},
-		anycast: map[addr.V4][]addr.V4{},
+		unicast:   map[addr.V4]*net.UDPAddr{},
+		anycast:   map[addr.V4][]addr.V4{},
+		suspected: map[addr.V4]map[addr.V4]bool{},
 	}
+}
+
+// Counters returns the registry's live-plane counters (probes, failovers,
+// retransmits, injected faults, reconcile deltas). Always on; reading a
+// Snapshot is safe at any time.
+func (r *Registry) Counters() *trace.Counters { return &r.counters }
+
+// SetFaultTransport installs (or, with nil, removes) the wire-fault
+// injection layer every node send passes through.
+func (r *Registry) SetFaultTransport(ft *FaultTransport) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if ft != nil {
+		ft.counters = &r.counters
+	}
+	r.faults = ft
 }
 
 // Register binds an underlay address to a UDP endpoint.
@@ -65,11 +108,39 @@ func (r *Registry) Register(a addr.V4, ep *net.UDPAddr) {
 	r.unicast[a] = ep
 }
 
-// Unregister removes an underlay binding.
+// Unregister removes an underlay binding. It does not touch anycast
+// member lists; RemoveNode is the full cleanup a closing node performs.
 func (r *Registry) Unregister(a addr.V4) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	delete(r.unicast, a)
+}
+
+// RemoveNode erases every trace of a departed node: its unicast binding,
+// its membership in every anycast group, suspicion state about it, and
+// any suspicions it had reported about others. Without the anycast sweep
+// a closed node would linger in member lists as a stale resolver target,
+// black-holing traffic until process exit.
+func (r *Registry) RemoveNode(a addr.V4) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	delete(r.unicast, a)
+	for any, members := range r.anycast {
+		kept := members[:0]
+		for _, m := range members {
+			if m != a {
+				kept = append(kept, m)
+			}
+		}
+		r.anycast[any] = kept
+	}
+	delete(r.suspected, a)
+	for peer, reporters := range r.suspected {
+		delete(reporters, a)
+		if len(reporters) == 0 {
+			delete(r.suspected, peer)
+		}
+	}
 }
 
 // Endpoint resolves an underlay address.
@@ -88,6 +159,13 @@ func (r *Registry) SetAnycastMembers(a addr.V4, members []addr.V4) {
 	r.anycast[a] = append([]addr.V4(nil), members...)
 }
 
+// AnycastMembers returns the current member list of an anycast address.
+func (r *Registry) AnycastMembers(a addr.V4) []addr.V4 {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return append([]addr.V4(nil), r.anycast[a]...)
+}
+
 // SetResolver installs a per-source anycast resolver; a nil resolver
 // reverts to the static member ordering.
 func (r *Registry) SetResolver(f Resolver) {
@@ -96,11 +174,68 @@ func (r *Registry) SetResolver(f Resolver) {
 	r.resolver = f
 }
 
-// ResolveAnycast returns the first registered member of the group — the
-// "closest" per the installed ordering.
+// suspect records reporter's verdict that peer is dead.
+func (r *Registry) suspect(reporter, peer addr.V4) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	set := r.suspected[peer]
+	if set == nil {
+		set = map[addr.V4]bool{}
+		r.suspected[peer] = set
+	}
+	set[reporter] = true
+}
+
+// unsuspect withdraws reporter's verdict about peer.
+func (r *Registry) unsuspect(reporter, peer addr.V4) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	set := r.suspected[peer]
+	delete(set, reporter)
+	if len(set) == 0 {
+		delete(r.suspected, peer)
+	}
+}
+
+// Suspected reports whether any node currently considers a dead.
+func (r *Registry) Suspected(a addr.V4) bool {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return len(r.suspected[a]) > 0
+}
+
+// aliveLocked: registered and not suspected. Callers hold mu (any mode).
+func (r *Registry) aliveLocked(a addr.V4) bool {
+	_, ok := r.unicast[a]
+	return ok && len(r.suspected[a]) == 0
+}
+
+// ResolveAnycast returns the closest live member of the group per the
+// installed ordering: registered members suspected dead are skipped (and
+// the skip counted as an anycast failover). When every registered member
+// is suspected, the closest registered one is returned anyway — suspicion
+// is a hint, and a possibly-dead ingress beats a guaranteed black hole.
 func (r *Registry) ResolveAnycast(a addr.V4) (addr.V4, bool) {
 	r.mu.RLock()
 	defer r.mu.RUnlock()
+	return r.resolveAnycastLocked(a)
+}
+
+func (r *Registry) resolveAnycastLocked(a addr.V4) (addr.V4, bool) {
+	skipped := false
+	for _, m := range r.anycast[a] {
+		if _, ok := r.unicast[m]; !ok {
+			continue
+		}
+		if len(r.suspected[m]) > 0 {
+			skipped = true
+			continue
+		}
+		if skipped {
+			r.counters.FailoverAnycast()
+		}
+		return m, true
+	}
 	for _, m := range r.anycast[a] {
 		if _, ok := r.unicast[m]; ok {
 			return m, true
@@ -109,16 +244,37 @@ func (r *Registry) ResolveAnycast(a addr.V4) (addr.V4, bool) {
 	return 0, false
 }
 
-// resolveFrom maps any destination (anycast or unicast) to a UDP
-// endpoint, consulting the per-source resolver first.
-func (r *Registry) resolveFrom(src, dst addr.V4) (*net.UDPAddr, error) {
+// resolveFrom maps any destination (anycast or unicast) to its concrete
+// member address and UDP endpoint, consulting the per-source resolver
+// first. A resolver nomination wins only while the nominee is registered
+// and not suspected dead; otherwise resolution falls through to the
+// proximity-ordered member list, so a stale control-plane answer cannot
+// black-hole traffic the static ordering could still deliver.
+func (r *Registry) resolveFrom(src, dst addr.V4) (addr.V4, *net.UDPAddr, error) {
 	r.mu.RLock()
 	res := r.resolver
 	r.mu.RUnlock()
 	if res != nil {
 		if m, ok := res(src, dst); ok {
-			if _, registered := r.Endpoint(m); registered {
+			r.mu.RLock()
+			alive := r.aliveLocked(m)
+			_, registered := r.unicast[m]
+			var fallback addr.V4
+			var haveFallback bool
+			if !alive {
+				fallback, haveFallback = r.resolveAnycastLocked(dst)
+			}
+			r.mu.RUnlock()
+			switch {
+			case alive:
 				dst = m
+			case haveFallback && fallback != m:
+				r.counters.FailoverAnycast()
+				dst = fallback
+			case haveFallback:
+				dst = fallback
+			case registered:
+				dst = m // nothing better on file; try the nominee anyway
 			}
 		}
 	}
@@ -127,9 +283,16 @@ func (r *Registry) resolveFrom(src, dst addr.V4) (*net.UDPAddr, error) {
 	}
 	ep, ok := r.Endpoint(dst)
 	if !ok {
-		return nil, fmt.Errorf("%w: %s", ErrUnknownUnderlay, dst)
+		return 0, nil, fmt.Errorf("%w: %s", ErrUnknownUnderlay, dst)
 	}
-	return ep, nil
+	return dst, ep, nil
+}
+
+// faultsNow returns the installed fault layer, nil when the wire is clean.
+func (r *Registry) faultsNow() *FaultTransport {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.faults
 }
 
 // Received is one payload delivered to a node as final destination.
@@ -149,6 +312,13 @@ type Stats struct {
 	Dropped   uint64
 }
 
+// nextHops is one bone route's forwarding set: the primary next hop plus
+// ordered alternates used when the primary is dead or suspected.
+type nextHops struct {
+	primary addr.V4
+	alts    []addr.V4
+}
+
 // Node is one live overlay participant (vN router or endhost).
 type Node struct {
 	Underlay addr.V4
@@ -159,7 +329,7 @@ type Node struct {
 	served map[addr.V4]bool
 
 	mu     sync.RWMutex
-	routes rib.TableVN[addr.V4] // IPvN prefix → next-hop underlay
+	routes rib.TableVN[nextHops] // IPvN prefix → next-hop set
 	// mcast maps an IPvN group address to this node's replication state:
 	// downstream tree branches plus locally attached subscribers.
 	mcast map[addr.VN]*mcastState
@@ -167,6 +337,11 @@ type Node struct {
 	// "pong:" replies sent back through the given anycast address.
 	echoVia addr.V4
 	echoOn  bool
+	// peers is the liveness probing target set, auto-populated from route
+	// next hops and extended explicitly with AddPeer.
+	peers map[addr.V4]*peerState
+	live  *livenessState
+	rel   *reliableState
 
 	// Inbox receives payloads addressed to this node. Buffered; overflow
 	// is dropped and counted.
@@ -194,6 +369,7 @@ func NewNode(reg *Registry, underlay addr.V4) (*Node, error) {
 		reg:      reg,
 		conn:     conn,
 		served:   map[addr.V4]bool{},
+		peers:    map[addr.V4]*peerState{},
 		Inbox:    make(chan Received, 256),
 		done:     make(chan struct{}),
 	}
@@ -203,16 +379,21 @@ func NewNode(reg *Registry, underlay addr.V4) (*Node, error) {
 	return n, nil
 }
 
-// Close shuts the node down and unregisters it.
+// Close shuts the node down and removes it from the registry — unicast
+// binding, anycast memberships and suspicion state included, so a dead
+// node can never linger as a resolver target.
 func (n *Node) Close() error {
 	n.closeOnce.Do(func() {
 		close(n.done)
-		n.reg.Unregister(n.Underlay)
+		n.reg.RemoveNode(n.Underlay)
 		n.conn.Close()
 	})
 	n.wg.Wait()
 	return nil
 }
+
+// ctr returns the shared live-plane counters.
+func (n *Node) ctr() *trace.Counters { return &n.reg.counters }
 
 // SetVNAddr assigns the node's own IPvN address (native or self).
 func (n *Node) SetVNAddr(v addr.VN) {
@@ -278,11 +459,26 @@ func (n *Node) EnableEcho(via addr.V4) {
 }
 
 // AddVNRoute installs a bone route: IPvN prefix → next-hop member's
-// underlay address.
-func (n *Node) AddVNRoute(p addr.VNPrefix, via addr.V4) {
+// underlay address, with optional ordered alternates used when the
+// primary is dead or suspected. Every next hop becomes a liveness
+// probing peer.
+func (n *Node) AddVNRoute(p addr.VNPrefix, via addr.V4, alts ...addr.V4) {
 	n.mu.Lock()
 	defer n.mu.Unlock()
-	n.routes.Insert(p, via)
+	n.routes.Insert(p, nextHops{primary: via, alts: append([]addr.V4(nil), alts...)})
+	n.addPeerLocked(via)
+	for _, a := range alts {
+		n.addPeerLocked(a)
+	}
+}
+
+// ClearVNRoutes drops the node's entire bone route table (epoch
+// reconciliation replaces tables wholesale). Probing peers are kept;
+// their health history survives route churn.
+func (n *Node) ClearVNRoutes() {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.routes = rib.TableVN[nextHops]{}
 }
 
 // Stats returns a snapshot of the node's counters.
@@ -300,8 +496,13 @@ func (n *Node) count(f func(*Stats)) {
 
 // SendVN originates an IPvN packet from this node: encapsulated toward
 // the anycast address (universal access — the node needs no knowledge of
-// deployment state).
+// deployment state). Fire-and-forget; see SendVNReliable for the acked
+// mode.
 func (n *Node) SendVN(anycastAddr addr.V4, dst addr.VN, payload []byte) error {
+	return n.sendVN(anycastAddr, dst, payload, nil)
+}
+
+func (n *Node) sendVN(anycastAddr addr.V4, dst addr.VN, payload []byte, extra []packet.Option) error {
 	hdr := packet.VNHeader{
 		Version: 8,
 		Src:     n.VNAddr(),
@@ -310,6 +511,7 @@ func (n *Node) SendVN(anycastAddr addr.V4, dst addr.VN, payload []byte) error {
 	if u, ok := dst.Underlay(); ok {
 		hdr = hdr.WithUnderlayDst(u)
 	}
+	hdr.Options = append(hdr.Options, extra...)
 	outer := packet.V4Header{
 		Proto: packet.ProtoVNEncap,
 		Src:   n.Underlay,
@@ -322,18 +524,35 @@ func (n *Node) SendVN(anycastAddr addr.V4, dst addr.VN, payload []byte) error {
 	return n.sendWire(anycastAddr, buf.Bytes())
 }
 
+// sendWire resolves dst (anycast or unicast) and writes the packet,
+// passing it through the registry's fault layer when one is installed.
 func (n *Node) sendWire(dst addr.V4, wire []byte) error {
 	select {
 	case <-n.done:
 		return ErrClosed
 	default:
 	}
-	ep, err := n.reg.resolveFrom(n.Underlay, dst)
+	member, ep, err := n.reg.resolveFrom(n.Underlay, dst)
 	if err != nil {
 		return err
 	}
-	_, err = n.conn.WriteToUDP(wire, ep)
-	return err
+	n.writeWire(member, ep, wire)
+	return nil
+}
+
+// writeWire performs the physical write toward a resolved endpoint,
+// subject to injected faults keyed on the (src, member) link.
+func (n *Node) writeWire(member addr.V4, ep *net.UDPAddr, wire []byte) {
+	write := func(w []byte) {
+		// Write errors are UDP best-effort territory (and expected from
+		// delayed writes racing Close); loss is the retransmit layer's job.
+		_, _ = n.conn.WriteToUDP(w, ep)
+	}
+	if ft := n.reg.faultsNow(); ft != nil {
+		ft.apply(n.Underlay, member, wire, write)
+		return
+	}
+	write(wire)
 }
 
 func (n *Node) readLoop() {
@@ -355,9 +574,27 @@ func (n *Node) readLoop() {
 	}
 }
 
-// handle is the per-packet forwarding decision of a vN router/host.
+// handle is the per-packet decision of a vN router/host: liveness control
+// traffic first, then the forwarding path.
 func (n *Node) handle(wire []byte) {
-	outer, inner, payload, err := packet.DecapVN(wire)
+	outer, rest, err := packet.DecodeV4(wire)
+	if err != nil {
+		n.count(func(s *Stats) { s.Dropped++ })
+		return
+	}
+	switch outer.Proto {
+	case packet.ProtoProbe:
+		n.handleProbe(outer, rest)
+		return
+	case packet.ProtoProbeAck:
+		n.handleProbeAck(outer)
+		return
+	case packet.ProtoVNEncap:
+	default:
+		n.count(func(s *Stats) { s.Dropped++ })
+		return
+	}
+	inner, payload, err := packet.DecodeVN(rest)
 	if err != nil {
 		n.count(func(s *Stats) { s.Dropped++ })
 		return
@@ -379,22 +616,16 @@ func (n *Node) handle(wire []byte) {
 		if st == nil {
 			// A leaf delivery: this node subscribed and the tree tunnelled
 			// the packet here.
-			rcv := Received{From: inner.Src, To: inner.Dst, Payload: payload, OuterSrc: outer.Src}
-			select {
-			case n.Inbox <- rcv:
-				n.count(func(s *Stats) { s.Delivered++ })
-			default:
-				n.count(func(s *Stats) { s.Dropped++ })
-			}
+			n.deliver(Received{From: inner.Src, To: inner.Dst, Payload: payload, OuterSrc: outer.Src})
 			return
 		}
 		for _, b := range st.branches {
-			if n.relay(b, inner, payload) {
+			if n.relay(nextHops{primary: b}, inner, payload) {
 				n.count(func(s *Stats) { s.Forwarded++ })
 			}
 		}
 		for _, l := range st.leaves {
-			if n.relay(l, inner, payload) {
+			if n.relay(nextHops{primary: l}, inner, payload) {
 				n.count(func(s *Stats) { s.Exited++ })
 			}
 		}
@@ -403,6 +634,16 @@ func (n *Node) handle(wire []byte) {
 
 	// Final destination?
 	if !inner.Dst.IsZero() && inner.Dst == self {
+		// Reliability control plane: acks confirm pending sends; seq-marked
+		// data packets are deduplicated and acknowledged.
+		if seq, ok := deliveryOpt(inner, packet.OptDeliveryAck); ok {
+			n.confirmAck(seq)
+			return
+		}
+		if seq, ok := deliveryOpt(inner, packet.OptDeliverySeq); ok {
+			n.handleSeqDelivery(inner, payload, outer.Src, seq)
+			return
+		}
 		n.mu.RLock()
 		echoOn, echoVia := n.echoOn, n.echoVia
 		n.mu.RUnlock()
@@ -415,22 +656,16 @@ func (n *Node) handle(wire []byte) {
 			}
 			return
 		}
-		rcv := Received{From: inner.Src, To: inner.Dst, Payload: payload, OuterSrc: outer.Src}
-		select {
-		case n.Inbox <- rcv:
-			n.count(func(s *Stats) { s.Delivered++ })
-		default:
-			n.count(func(s *Stats) { s.Dropped++ })
-		}
+		n.deliver(Received{From: inner.Src, To: inner.Dst, Payload: payload, OuterSrc: outer.Src})
 		return
 	}
 
 	// Forward over the bone.
 	n.mu.RLock()
-	via, _, haveRoute := n.routes.Lookup(inner.Dst)
+	nh, _, haveRoute := n.routes.Lookup(inner.Dst)
 	n.mu.RUnlock()
 	if haveRoute {
-		if !n.relay(via, inner, payload) {
+		if !n.relay(nh, inner, payload) {
 			return
 		}
 		n.count(func(s *Stats) { s.Forwarded++ })
@@ -440,7 +675,7 @@ func (n *Node) handle(wire []byte) {
 	// No bone route: exit toward the destination's underlay address
 	// (self-addressed destinations carry it).
 	if u, ok := inner.UnderlayDst(); ok {
-		if !n.relay(u, inner, payload) {
+		if !n.relay(nextHops{primary: u}, inner, payload) {
 			return
 		}
 		n.count(func(s *Stats) { s.Exited++ })
@@ -449,14 +684,30 @@ func (n *Node) handle(wire []byte) {
 	n.count(func(s *Stats) { s.Dropped++ })
 }
 
-// relay re-encapsulates toward the next underlay hop, decrementing the
-// inner hop limit; it reports success.
-func (n *Node) relay(next addr.V4, inner packet.VNHeader, payload []byte) bool {
+// deliver hands a payload to the inbox, counting overflow as a drop.
+func (n *Node) deliver(rcv Received) bool {
+	select {
+	case n.Inbox <- rcv:
+		n.count(func(s *Stats) { s.Delivered++ })
+		return true
+	default:
+		n.count(func(s *Stats) { s.Dropped++ })
+		return false
+	}
+}
+
+// relay re-encapsulates toward the next live underlay hop, decrementing
+// the inner hop limit; it reports success. The primary next hop is
+// preferred; a dead or suspected primary fails over to the first live
+// alternate (counted), and as a last resort any registered candidate is
+// tried in order.
+func (n *Node) relay(nh nextHops, inner packet.VNHeader, payload []byte) bool {
 	if inner.HopLimit <= 1 {
 		n.count(func(s *Stats) { s.Dropped++ })
 		return false
 	}
 	inner.HopLimit--
+	next, failover := n.pickNextHop(nh)
 	outer := packet.V4Header{
 		Proto: packet.ProtoVNEncap,
 		Src:   n.Underlay,
@@ -471,7 +722,35 @@ func (n *Node) relay(next addr.V4, inner packet.VNHeader, payload []byte) bool {
 		n.count(func(s *Stats) { s.Dropped++ })
 		return false
 	}
+	if failover {
+		n.ctr().FailoverRoute()
+	}
 	return true
+}
+
+// pickNextHop chooses the forwarding target from a route's next-hop set:
+// the first registered, unsuspected candidate in primary-then-alternates
+// order; failing that, the first registered candidate; failing that, the
+// primary (whose send will fail and be counted). The second return
+// reports whether a non-primary hop was chosen.
+func (n *Node) pickNextHop(nh nextHops) (addr.V4, bool) {
+	r := n.reg
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	candidates := make([]addr.V4, 0, 1+len(nh.alts))
+	candidates = append(candidates, nh.primary)
+	candidates = append(candidates, nh.alts...)
+	for _, c := range candidates {
+		if r.aliveLocked(c) {
+			return c, c != nh.primary
+		}
+	}
+	for _, c := range candidates {
+		if _, ok := r.unicast[c]; ok {
+			return c, c != nh.primary
+		}
+	}
+	return nh.primary, false
 }
 
 // WaitInbox receives from the node's inbox with a timeout, for tests and
@@ -485,4 +764,25 @@ func (n *Node) WaitInbox(timeout time.Duration) (Received, error) {
 	case <-n.done:
 		return Received{}, ErrClosed
 	}
+}
+
+// PeerStatus is one row of a node's peer-health table.
+type PeerStatus struct {
+	Peer      addr.V4
+	Suspected bool
+	// Misses is the current consecutive unanswered-probe count.
+	Misses int
+}
+
+// PeerHealth returns the node's peer-health table, sorted by peer
+// address — the data behind overlayd's /debug/peers view.
+func (n *Node) PeerHealth() []PeerStatus {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	out := make([]PeerStatus, 0, len(n.peers))
+	for p, st := range n.peers {
+		out = append(out, PeerStatus{Peer: p, Suspected: st.suspected, Misses: st.misses})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Peer < out[j].Peer })
+	return out
 }

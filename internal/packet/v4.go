@@ -23,6 +23,12 @@ const (
 	// ProtoPing marks the diagnostic echo used by examples and the live
 	// overlay prototype.
 	ProtoPing Protocol = 1
+	// ProtoProbe is a liveness keepalive between live overlay peers: the
+	// payload is an opaque nonce the receiver echoes back. Rides the RFC
+	// 3692 experimentation number.
+	ProtoProbe Protocol = 253
+	// ProtoProbeAck answers a ProtoProbe, echoing its nonce.
+	ProtoProbeAck Protocol = 254
 )
 
 func (p Protocol) String() string {
@@ -35,6 +41,10 @@ func (p Protocol) String() string {
 		return "routing"
 	case ProtoPing:
 		return "ping"
+	case ProtoProbe:
+		return "probe"
+	case ProtoProbeAck:
+		return "probe-ack"
 	default:
 		return fmt.Sprintf("proto(%d)", uint8(p))
 	}

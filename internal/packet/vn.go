@@ -23,6 +23,15 @@ const (
 	// OptTraceTag is a 4-byte experiment tag used by the harness to follow
 	// individual packets through the simulator.
 	OptTraceTag uint8 = 2
+	// OptDeliverySeq is a 4-byte per-sender sequence number marking a
+	// packet as ack-requested: the receiver deduplicates on (source,
+	// sequence) and answers with an OptDeliveryAck packet, enabling the
+	// live overlay's retransmission mode.
+	OptDeliverySeq uint8 = 3
+	// OptDeliveryAck acknowledges an OptDeliverySeq packet; the 4-byte
+	// value is the acknowledged sequence number. Ack packets carry no
+	// payload and are consumed by the sender's reliability layer.
+	OptDeliveryAck uint8 = 4
 )
 
 // Option is a decoded IPvN header option.

@@ -104,7 +104,23 @@ type Counters struct {
 	invalFull    atomic.Uint64
 	boneReused   atomic.Uint64
 	boneRebuilt  atomic.Uint64
-	drops        [numDropReasons]atomic.Uint64
+	// Live-plane fault-tolerance tallies (internal/overlaynet,
+	// internal/livebridge): liveness probing, failover, retransmission,
+	// epoch reconciliation and injected wire faults.
+	probesSent     atomic.Uint64
+	probesMissed   atomic.Uint64
+	peersSuspected atomic.Uint64
+	peersRecovered atomic.Uint64
+	failoverAny    atomic.Uint64
+	failoverRoute  atomic.Uint64
+	retransmits    atomic.Uint64
+	dedupDrops     atomic.Uint64
+	reconDeltas    atomic.Uint64
+	reconFallbacks atomic.Uint64
+	faultDropped   atomic.Uint64
+	faultDup       atomic.Uint64
+	faultDelayed   atomic.Uint64
+	drops          [numDropReasons]atomic.Uint64
 	// ingressByAS maps topology.ASN → *atomic.Uint64 (per-AS ingress
 	// load: how many deliveries entered the bone in that domain).
 	ingressByAS sync.Map
@@ -198,6 +214,58 @@ func (c *Counters) BoneDomains(reused, rebuilt int) {
 	}
 }
 
+// ProbeSent counts one liveness keepalive probe emitted toward a peer.
+func (c *Counters) ProbeSent() { c.probesSent.Add(1) }
+
+// ProbeMissed counts one probe round that elapsed without the previous
+// probe to that peer being acknowledged.
+func (c *Counters) ProbeMissed() { c.probesMissed.Add(1) }
+
+// PeerSuspected counts one peer transitioning healthy → suspected after
+// accumulating the configured number of consecutive misses.
+func (c *Counters) PeerSuspected() { c.peersSuspected.Add(1) }
+
+// PeerRecovered counts one suspected peer answering a probe again.
+func (c *Counters) PeerRecovered() { c.peersRecovered.Add(1) }
+
+// FailoverAnycast counts one anycast resolution that skipped a dead or
+// suspected member (including a per-source resolver nomination that was
+// overridden) and landed on the next-closest live member.
+func (c *Counters) FailoverAnycast() { c.failoverAny.Add(1) }
+
+// FailoverRoute counts one bone relay that bypassed a dead or suspected
+// primary next-hop via an alternate.
+func (c *Counters) FailoverRoute() { c.failoverRoute.Add(1) }
+
+// Retransmit counts one retransmission attempt of an acked send.
+func (c *Counters) Retransmit() { c.retransmits.Add(1) }
+
+// DedupDrop counts one duplicate delivery suppressed by the receiver's
+// dedup window (the duplicate is re-acked, never re-delivered).
+func (c *Counters) DedupDrop() { c.dedupDrops.Add(1) }
+
+// ReconcileDeltas counts n membership/route/address deltas applied to a
+// running overlay by one epoch reconciliation.
+func (c *Counters) ReconcileDeltas(n int) {
+	if n > 0 {
+		c.reconDeltas.Add(uint64(n))
+	}
+}
+
+// ReconcileFallback counts one reconciliation that kept the last-good
+// configuration because the published epoch was unusable.
+func (c *Counters) ReconcileFallback() { c.reconFallbacks.Add(1) }
+
+// FaultDrop counts one packet discarded by injected wire faults
+// (drop-rate or partition).
+func (c *Counters) FaultDrop() { c.faultDropped.Add(1) }
+
+// FaultDuplicate counts one packet duplicated by injected wire faults.
+func (c *Counters) FaultDuplicate() { c.faultDup.Add(1) }
+
+// FaultDelay counts one packet deferred by injected wire faults.
+func (c *Counters) FaultDelay() { c.faultDelayed.Add(1) }
+
 // Snapshot is a point-in-time copy of a Counters. Each field is read
 // atomically; the set as a whole is not a global atomic snapshot (see
 // the package comment), but every counter is monotonic across snapshots.
@@ -234,6 +302,25 @@ type Snapshot struct {
 	// carried over from the previous bone versus recomputed, across all
 	// incremental builds.
 	BoneDomainsReused, BoneDomainsRebuilt uint64
+	// ProbesSent/ProbesMissed count live-overlay keepalive probes and
+	// probe rounds that found the previous probe unanswered.
+	ProbesSent, ProbesMissed uint64
+	// PeersSuspected/PeersRecovered count peer-health transitions at
+	// live nodes (healthy → suspected and back).
+	PeersSuspected, PeersRecovered uint64
+	// FailoversAnycast/FailoversRoute count anycast resolutions and bone
+	// relays that routed around a dead or suspected target.
+	FailoversAnycast, FailoversRoute uint64
+	// Retransmits counts retransmission attempts of acked sends;
+	// DedupDrops counts receiver-side duplicate suppressions.
+	Retransmits, DedupDrops uint64
+	// ReconcileDeltas counts in-place deltas applied to a running
+	// overlay by epoch reconciliation; ReconcileFallbacks counts
+	// reconciliations that kept the last-good state on an error epoch.
+	ReconcileDeltas, ReconcileFallbacks uint64
+	// FaultDropped/FaultDuplicated/FaultDelayed count packets the
+	// injected wire-fault layer discarded, duplicated or deferred.
+	FaultDropped, FaultDuplicated, FaultDelayed uint64
 	// IngressByAS is the per-AS ingress load: deliveries that entered
 	// the deployment in each participating domain.
 	IngressByAS map[topology.ASN]uint64
@@ -257,6 +344,19 @@ func (c *Counters) Snapshot() Snapshot {
 		InvalFull:          c.invalFull.Load(),
 		BoneDomainsReused:  c.boneReused.Load(),
 		BoneDomainsRebuilt: c.boneRebuilt.Load(),
+		ProbesSent:         c.probesSent.Load(),
+		ProbesMissed:       c.probesMissed.Load(),
+		PeersSuspected:     c.peersSuspected.Load(),
+		PeersRecovered:     c.peersRecovered.Load(),
+		FailoversAnycast:   c.failoverAny.Load(),
+		FailoversRoute:     c.failoverRoute.Load(),
+		Retransmits:        c.retransmits.Load(),
+		DedupDrops:         c.dedupDrops.Load(),
+		ReconcileDeltas:    c.reconDeltas.Load(),
+		ReconcileFallbacks: c.reconFallbacks.Load(),
+		FaultDropped:       c.faultDropped.Load(),
+		FaultDuplicated:    c.faultDup.Load(),
+		FaultDelayed:       c.faultDelayed.Load(),
 		DropsByReason:      map[DropReason]uint64{},
 		IngressByAS:        map[topology.ASN]uint64{},
 	}
@@ -304,6 +404,19 @@ func (s Snapshot) Sub(prev Snapshot) Snapshot {
 		InvalFull:          sub(s.InvalFull, prev.InvalFull, "invalidate.full"),
 		BoneDomainsReused:  sub(s.BoneDomainsReused, prev.BoneDomainsReused, "bone.domains_reused"),
 		BoneDomainsRebuilt: sub(s.BoneDomainsRebuilt, prev.BoneDomainsRebuilt, "bone.domains_rebuilt"),
+		ProbesSent:         sub(s.ProbesSent, prev.ProbesSent, "live.probes_sent"),
+		ProbesMissed:       sub(s.ProbesMissed, prev.ProbesMissed, "live.probes_missed"),
+		PeersSuspected:     sub(s.PeersSuspected, prev.PeersSuspected, "live.peers_suspected"),
+		PeersRecovered:     sub(s.PeersRecovered, prev.PeersRecovered, "live.peers_recovered"),
+		FailoversAnycast:   sub(s.FailoversAnycast, prev.FailoversAnycast, "live.failover_anycast"),
+		FailoversRoute:     sub(s.FailoversRoute, prev.FailoversRoute, "live.failover_route"),
+		Retransmits:        sub(s.Retransmits, prev.Retransmits, "live.retransmits"),
+		DedupDrops:         sub(s.DedupDrops, prev.DedupDrops, "live.dedup_drops"),
+		ReconcileDeltas:    sub(s.ReconcileDeltas, prev.ReconcileDeltas, "live.reconcile_deltas"),
+		ReconcileFallbacks: sub(s.ReconcileFallbacks, prev.ReconcileFallbacks, "live.reconcile_fallbacks"),
+		FaultDropped:       sub(s.FaultDropped, prev.FaultDropped, "fault.dropped"),
+		FaultDuplicated:    sub(s.FaultDuplicated, prev.FaultDuplicated, "fault.duplicated"),
+		FaultDelayed:       sub(s.FaultDelayed, prev.FaultDelayed, "fault.delayed"),
 		DropsByReason:      map[DropReason]uint64{},
 		IngressByAS:        map[topology.ASN]uint64{},
 	}
@@ -348,6 +461,19 @@ func (s Snapshot) String() string {
 	fmt.Fprintf(&b, "invalidate.domain %d\n", s.InvalDomain)
 	fmt.Fprintf(&b, "invalidate.inter %d\n", s.InvalInter)
 	fmt.Fprintf(&b, "invalidate.full %d\n", s.InvalFull)
+	fmt.Fprintf(&b, "live.probes_sent %d\n", s.ProbesSent)
+	fmt.Fprintf(&b, "live.probes_missed %d\n", s.ProbesMissed)
+	fmt.Fprintf(&b, "live.peers_suspected %d\n", s.PeersSuspected)
+	fmt.Fprintf(&b, "live.peers_recovered %d\n", s.PeersRecovered)
+	fmt.Fprintf(&b, "live.failover_anycast %d\n", s.FailoversAnycast)
+	fmt.Fprintf(&b, "live.failover_route %d\n", s.FailoversRoute)
+	fmt.Fprintf(&b, "live.retransmits %d\n", s.Retransmits)
+	fmt.Fprintf(&b, "live.dedup_drops %d\n", s.DedupDrops)
+	fmt.Fprintf(&b, "live.reconcile_deltas %d\n", s.ReconcileDeltas)
+	fmt.Fprintf(&b, "live.reconcile_fallbacks %d\n", s.ReconcileFallbacks)
+	fmt.Fprintf(&b, "fault.dropped %d\n", s.FaultDropped)
+	fmt.Fprintf(&b, "fault.duplicated %d\n", s.FaultDuplicated)
+	fmt.Fprintf(&b, "fault.delayed %d\n", s.FaultDelayed)
 	ases := make([]topology.ASN, 0, len(s.IngressByAS))
 	for as := range s.IngressByAS {
 		ases = append(ases, as)

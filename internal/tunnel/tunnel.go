@@ -6,6 +6,7 @@
 package tunnel
 
 import (
+	"encoding/binary"
 	"errors"
 	"fmt"
 	"sort"
@@ -192,4 +193,47 @@ func (e *Endpoint) Decap(wire []byte) (from addr.V4, inner packet.VNHeader, payl
 // next — the per-hop operation of a vN-Bone transit router.
 func (e *Endpoint) Relay(next addr.V4, inner packet.VNHeader, payload []byte) ([]byte, error) {
 	return e.Encap(next, inner, payload)
+}
+
+// ProbeNonceLen is the keepalive payload size: one big-endian nonce.
+const ProbeNonceLen = 8
+
+// EncodeProbe builds the liveness keepalive exchanged between live
+// overlay peers: a bare underlay packet (ProtoProbe, or ProtoProbeAck
+// when ack is set) whose payload is the 8-byte nonce the ack echoes.
+// Probes ride outside the vN-encap tunnel on purpose — they measure the
+// underlay link to a peer, not an IPvN path.
+func EncodeProbe(src, dst addr.V4, nonce uint64, ack bool) ([]byte, error) {
+	proto := packet.ProtoProbe
+	if ack {
+		proto = packet.ProtoProbeAck
+	}
+	var payload [ProbeNonceLen]byte
+	binary.BigEndian.PutUint64(payload[:], nonce)
+	outer := packet.V4Header{Proto: proto, Src: src, Dst: dst}
+	b := packet.NewSerializeBuffer()
+	if err := packet.Serialize(b, payload[:], &outer); err != nil {
+		return nil, err
+	}
+	return append([]byte(nil), b.Bytes()...), nil
+}
+
+// DecodeProbe parses a keepalive built by EncodeProbe, reporting whether
+// it is the ack leg. Non-probe protocols are an error.
+func DecodeProbe(wire []byte) (outer packet.V4Header, nonce uint64, ack bool, err error) {
+	outer, payload, err := packet.DecodeV4(wire)
+	if err != nil {
+		return packet.V4Header{}, 0, false, err
+	}
+	switch outer.Proto {
+	case packet.ProtoProbe:
+	case packet.ProtoProbeAck:
+		ack = true
+	default:
+		return packet.V4Header{}, 0, false, fmt.Errorf("tunnel: protocol %s is not a probe", outer.Proto)
+	}
+	if len(payload) < ProbeNonceLen {
+		return packet.V4Header{}, 0, false, fmt.Errorf("tunnel: probe payload %d bytes, want %d", len(payload), ProbeNonceLen)
+	}
+	return outer, binary.BigEndian.Uint64(payload[:ProbeNonceLen]), ack, nil
 }

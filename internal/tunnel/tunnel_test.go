@@ -197,3 +197,54 @@ func BenchmarkEncapDecapRelay(b *testing.B) {
 		}
 	}
 }
+
+func TestProbeRoundTrip(t *testing.T) {
+	src, dst := addr.V4FromOctets(10, 0, 0, 1), addr.V4FromOctets(10, 0, 0, 2)
+	for _, ack := range []bool{false, true} {
+		wire, err := EncodeProbe(src, dst, 0xDEADBEEFCAFE, ack)
+		if err != nil {
+			t.Fatal(err)
+		}
+		outer, nonce, gotAck, err := DecodeProbe(wire)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if outer.Src != src || outer.Dst != dst {
+			t.Errorf("ack=%v addresses %s → %s", ack, outer.Src, outer.Dst)
+		}
+		if nonce != 0xDEADBEEFCAFE {
+			t.Errorf("ack=%v nonce = %#x", ack, nonce)
+		}
+		if gotAck != ack {
+			t.Errorf("ack leg = %v, want %v", gotAck, ack)
+		}
+		wantProto := packet.ProtoProbe
+		if ack {
+			wantProto = packet.ProtoProbeAck
+		}
+		if outer.Proto != wantProto {
+			t.Errorf("proto = %s", outer.Proto)
+		}
+	}
+}
+
+func TestDecodeProbeRejectsNonProbe(t *testing.T) {
+	ep := NewEndpoint(addr.V4FromOctets(10, 0, 0, 1))
+	wire, err := ep.EncapTo(addr.V4FromOctets(10, 0, 0, 2), packet.VNHeader{Version: 8}, []byte("data"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, _, err := DecodeProbe(wire); err == nil {
+		t.Error("vn-encap packet decoded as probe")
+	}
+	short, err := EncodeProbe(addr.V4FromOctets(10, 0, 0, 1), addr.V4FromOctets(10, 0, 0, 2), 1, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Truncate the nonce: total-length check in DecodeV4 rejects the lie,
+	// so rewrite the length too — the probe decoder must still refuse.
+	short = short[:len(short)-4]
+	if _, _, _, err := DecodeProbe(short); err == nil {
+		t.Error("truncated probe accepted")
+	}
+}
