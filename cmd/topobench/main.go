@@ -1,0 +1,273 @@
+// Command topobench measures routing-plane cost at internet scale: for
+// each requested domain count it generates a transit–stub internet,
+// builds the first routing epoch over a deployed anycast group, flaps an
+// intra link to time scoped rebuilds, verifies the sharded bone build is
+// byte-identical at several worker counts, runs a short chaos schedule
+// with the cheap invariants, and reports everything — generation wall
+// time, first-epoch latency, heap bytes per AS, scoped-rebuild ns/event —
+// as JSON. CI runs it at 10k domains and archives the artifact so
+// scale regressions show up as a number, not a feeling.
+//
+// Usage:
+//
+//	go run ./cmd/topobench -sizes 1000,10000 -o BENCH_topology.json
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+
+	"github.com/evolvable-net/evolve/internal/anycast"
+	"github.com/evolvable-net/evolve/internal/chaos"
+	"github.com/evolvable-net/evolve/internal/core"
+	"github.com/evolvable-net/evolve/internal/topology"
+	"github.com/evolvable-net/evolve/internal/vnbone"
+)
+
+// sizeResult is the measurement at one domain count.
+type sizeResult struct {
+	Domains          int     `json:"domains"`
+	Routers          int     `json:"routers"`
+	GenWallNS        int64   `json:"gen_wall_ns"`
+	HeapBytes        uint64  `json:"heap_bytes"`
+	BytesPerAS       float64 `json:"bytes_per_as"`
+	FirstEpochNS     int64   `json:"first_epoch_ns"`
+	Flaps            int     `json:"flaps"`
+	RebuildNSPerFlap float64 `json:"rebuild_ns_per_flap"`
+	ShardWorkers     []int   `json:"shard_workers"`
+	ShardIdentical   bool    `json:"shard_identical"`
+	ChaosSteps       int     `json:"chaos_steps"`
+	ChaosChecks      int     `json:"chaos_checks"`
+	ChaosViolated    bool    `json:"chaos_violated"`
+	SendsOK          int     `json:"sends_ok"`
+	SendsErr         int     `json:"sends_failed"`
+}
+
+// report is the BENCH_topology.json schema.
+type report struct {
+	Scenario string       `json:"scenario"`
+	Seed     int64        `json:"seed"`
+	MaxProcs int          `json:"maxprocs"`
+	Sizes    []sizeResult `json:"sizes"`
+}
+
+// transitStubShape splits n domains into a transit core and stubs the
+// way the 10k CI smoke does: one transit domain per ~100 total.
+func transitStubShape(n int) (nTransit, stubsPer int) {
+	nTransit = n / 100
+	if nTransit < 2 {
+		nTransit = 2
+	}
+	return nTransit, n/nTransit - 1
+}
+
+func generate(n int, seed int64) (*topology.Network, error) {
+	t, s := transitStubShape(n)
+	return topology.TransitStub(t, s, 0.3, topology.GenConfig{
+		Seed:             seed,
+		RoutersPerDomain: 2,
+		HostsPerDomain:   1,
+	})
+}
+
+// deployCount keeps the anycast group small and fixed so the epoch cost
+// being measured is the routing plane, not the group size.
+const deployCount = 8
+
+func buildWorld(net *topology.Network, workers int) (*core.Evolution, error) {
+	evo, err := core.New(net, core.Config{
+		Option: anycast.Option1,
+		Bone:   vnbone.Config{Workers: workers},
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, asn := range net.ASNs()[:deployCount] {
+		evo.DeployDomain(asn, 0)
+	}
+	if err := evo.Ready(); err != nil {
+		return nil, err
+	}
+	return evo, nil
+}
+
+// flapLink picks one intra link of the last deployed domain.
+func flapLink(net *topology.Network) (topology.RouterID, topology.RouterID, int64, error) {
+	asn := net.ASNs()[deployCount-1]
+	for _, r := range net.Domain(asn).Routers {
+		for _, e := range net.Intra.Neighbors(int(r)) {
+			return r, topology.RouterID(e.To), e.Weight, nil
+		}
+	}
+	return 0, 0, 0, fmt.Errorf("AS%d has no intra link to flap", asn)
+}
+
+func sameBoneLinks(a, b []vnbone.Link) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func heapBytes() uint64 {
+	runtime.GC()
+	var m runtime.MemStats
+	runtime.ReadMemStats(&m)
+	return m.HeapAlloc
+}
+
+func runSize(n int, seed int64, flaps, chaosSteps int) (sizeResult, error) {
+	res := sizeResult{Domains: n, Flaps: flaps, ChaosSteps: chaosSteps}
+	base := heapBytes()
+
+	start := time.Now()
+	net, err := generate(n, seed)
+	if err != nil {
+		return res, err
+	}
+	res.GenWallNS = time.Since(start).Nanoseconds()
+	res.Routers = len(net.Routers)
+
+	start = time.Now()
+	evo, err := buildWorld(net, runtime.GOMAXPROCS(0))
+	if err != nil {
+		return res, err
+	}
+	res.FirstEpochNS = time.Since(start).Nanoseconds()
+
+	if after := heapBytes(); after > base {
+		res.HeapBytes = after - base
+		res.BytesPerAS = float64(res.HeapBytes) / float64(n)
+	}
+
+	// Sharded-rebuild identity: the bone must be byte-identical at any
+	// worker count.
+	res.ShardWorkers = []int{1, 4, 16}
+	res.ShardIdentical = true
+	ref, err := evo.Bone()
+	if err != nil {
+		return res, err
+	}
+	for _, w := range res.ShardWorkers {
+		other, err := buildWorld(net, w)
+		if err != nil {
+			return res, err
+		}
+		ob, err := other.Bone()
+		if err != nil {
+			return res, err
+		}
+		if !sameBoneLinks(ref.Links(), ob.Links()) {
+			res.ShardIdentical = false
+		}
+	}
+
+	// Scoped rebuild latency: flap one deployed-domain intra link.
+	ra, rb, lat, err := flapLink(net)
+	if err != nil {
+		return res, err
+	}
+	start = time.Now()
+	for i := 0; i < flaps; i++ {
+		evo.FailIntraLink(ra, rb)
+		evo.RestoreIntraLink(ra, rb, lat)
+	}
+	// Each flap is two events (fail + restore).
+	res.RebuildNSPerFlap = float64(time.Since(start).Nanoseconds()) / float64(2*flaps)
+
+	// Sampled deliveries across the intact internet.
+	payload := []byte("topobench")
+	stride := len(net.Hosts)/16 + 1
+	for i := 0; i < len(net.Hosts); i += stride {
+		dst := net.Hosts[(i+stride)%len(net.Hosts)]
+		if _, err := evo.Send(net.Hosts[i], dst, payload); err != nil {
+			res.SendsErr++
+		} else {
+			res.SendsOK++
+		}
+	}
+
+	// Short chaos schedule with the cheap invariants (the full oracle
+	// sweep is quadratic in hosts and belongs to the small-scale suite).
+	rep, err := chaos.Run(chaos.Scenario{
+		Name: fmt.Sprintf("topobench-%d", n),
+		Build: func() (*topology.Network, *core.Evolution, error) {
+			cn, err := generate(n, seed)
+			if err != nil {
+				return nil, nil, err
+			}
+			ce, err := buildWorld(cn, runtime.GOMAXPROCS(0))
+			return cn, ce, err
+		},
+	}, seed+1, chaosSteps, chaos.Options{Invariants: []string{"conserve", "epochtick"}})
+	if err != nil {
+		return res, err
+	}
+	res.ChaosChecks = rep.Checks
+	res.ChaosViolated = rep.Violation != nil
+	return res, nil
+}
+
+func main() {
+	var (
+		sizes      = flag.String("sizes", "1000,10000", "comma-separated domain counts")
+		flaps      = flag.Int("flaps", 50, "fail+restore cycles for the scoped-rebuild timing")
+		chaosSteps = flag.Int("chaos-steps", 40, "events in the chaos schedule (0 to skip)")
+		seed       = flag.Int64("seed", 7, "topology seed")
+		out        = flag.String("o", "BENCH_topology.json", "output JSON path")
+	)
+	flag.Parse()
+
+	r := report{Scenario: "transit-stub", Seed: *seed, MaxProcs: runtime.GOMAXPROCS(0)}
+	for _, tok := range strings.Split(*sizes, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(tok))
+		if err != nil || n < deployCount {
+			fmt.Fprintf(os.Stderr, "topobench: bad size %q\n", tok)
+			os.Exit(1)
+		}
+		sr, err := runSize(n, *seed, *flaps, *chaosSteps)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "topobench:", err)
+			os.Exit(1)
+		}
+		if sr.ChaosViolated {
+			fmt.Fprintf(os.Stderr, "topobench: chaos invariant violated at %d domains\n", n)
+			os.Exit(1)
+		}
+		if !sr.ShardIdentical {
+			fmt.Fprintf(os.Stderr, "topobench: sharded bone differs across worker counts at %d domains\n", n)
+			os.Exit(1)
+		}
+		if sr.SendsErr > 0 {
+			fmt.Fprintf(os.Stderr, "topobench: %d sampled deliveries failed at %d domains\n", sr.SendsErr, n)
+			os.Exit(1)
+		}
+		r.Sizes = append(r.Sizes, sr)
+		fmt.Printf("topobench: %d domains (%d routers): gen %.0fms, first epoch %.0fms, %.0f B/AS, rebuild %.0f µs/event, shards identical, chaos %d checks clean\n",
+			sr.Domains, sr.Routers, float64(sr.GenWallNS)/1e6, float64(sr.FirstEpochNS)/1e6,
+			sr.BytesPerAS, sr.RebuildNSPerFlap/1e3, sr.ChaosChecks)
+	}
+
+	buf, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "topobench:", err)
+		os.Exit(1)
+	}
+	buf = append(buf, '\n')
+	if err := os.WriteFile(*out, buf, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "topobench:", err)
+		os.Exit(1)
+	}
+	fmt.Println("topobench: wrote", *out)
+}

@@ -94,6 +94,45 @@ func FuzzTable4Lookup(f *testing.F) {
 					t.Fatalf("Exact(%v) = %d,%v after Lookup returned it", gotP, ev, eok)
 				}
 			}
+			// Matches must enumerate exactly the containing prefixes,
+			// longest first, ending at the Lookup winner's chain head.
+			var chain []addr.Prefix
+			table.Matches(a, func(p addr.Prefix, v int) bool {
+				if ov, ok := oracle[p]; !ok || ov != v {
+					t.Fatalf("Matches(%v) visited %v=%d, oracle %d (present %v)", a, p, v, ov, ok)
+				}
+				chain = append(chain, p)
+				return true
+			})
+			wantChain := 0
+			for p := range oracle {
+				if p.Contains(a) {
+					wantChain++
+				}
+			}
+			if len(chain) != wantChain {
+				t.Fatalf("Matches(%v) visited %d prefixes, oracle %d", a, len(chain), wantChain)
+			}
+			for i := 1; i < len(chain); i++ {
+				if chain[i-1].Len <= chain[i].Len {
+					t.Fatalf("Matches(%v) not longest-first: %v then %v", a, chain[i-1], chain[i])
+				}
+			}
+			if gotOK && (len(chain) == 0 || chain[0] != gotP) {
+				t.Fatalf("Matches(%v) head %v, Lookup matched %v", a, chain, gotP)
+			}
+		}
+
+		// Drain: deleting every surviving route must return the trie to
+		// its empty baseline — prune-on-delete means no leaked interior
+		// nodes after insert+delete cycles.
+		for p := range oracle {
+			if !table.Delete(p) {
+				t.Fatalf("drain Delete(%v) missed a live route", p)
+			}
+		}
+		if table.Len() != 0 || table.NodeCount() != 0 {
+			t.Fatalf("after drain: Len=%d NodeCount=%d, want 0,0", table.Len(), table.NodeCount())
 		}
 	})
 }
@@ -162,6 +201,17 @@ func FuzzTableVNLookup(f *testing.F) {
 			if gotOK && (gotV != wantV || gotP != wantP) {
 				t.Fatalf("Lookup(%v) = %d via %v, oracle %d via %v", a, gotV, gotP, wantV, wantP)
 			}
+		}
+
+		// Drain to the empty baseline: prune-on-delete must leave no
+		// interior nodes behind.
+		for p := range oracle {
+			if !table.Delete(p) {
+				t.Fatalf("drain Delete(%v) missed a live route", p)
+			}
+		}
+		if table.Len() != 0 || table.NodeCount() != 0 {
+			t.Fatalf("after drain: Len=%d NodeCount=%d, want 0,0", table.Len(), table.NodeCount())
 		}
 	})
 }

@@ -22,6 +22,23 @@ func (k key) bit(i uint8) byte {
 	return byte(k.lo >> (127 - i) & 1)
 }
 
+// prefix returns the first l bits of k as a key of length l.
+func (k key) prefix(l uint8) key {
+	p := key{length: l}
+	switch {
+	case l == 0:
+	case l < 64:
+		p.hi = k.hi &^ (1<<(64-l) - 1)
+	case l == 64:
+		p.hi = k.hi
+	case l < 128:
+		p.hi, p.lo = k.hi, k.lo&^(1<<(128-l)-1)
+	default:
+		p.hi, p.lo = k.hi, k.lo
+	}
+	return p
+}
+
 type node[V any] struct {
 	child [2]*node[V]
 	val   V
@@ -29,19 +46,22 @@ type node[V any] struct {
 }
 
 type trie[V any] struct {
-	root *node[V]
-	size int
+	root  *node[V]
+	size  int
+	nodes int
 }
 
 func (t *trie[V]) insert(k key, v V) {
 	if t.root == nil {
 		t.root = &node[V]{}
+		t.nodes++
 	}
 	n := t.root
 	for i := uint8(0); i < k.length; i++ {
 		b := k.bit(i)
 		if n.child[b] == nil {
 			n.child[b] = &node[V]{}
+			t.nodes++
 		}
 		n = n.child[b]
 	}
@@ -51,24 +71,73 @@ func (t *trie[V]) insert(k key, v V) {
 	n.val, n.set = v, true
 }
 
+// remove deletes the route at exactly k and prunes any interior nodes
+// left with no value and no children, so sustained insert/delete churn
+// keeps the trie at the size of its live routes.
 func (t *trie[V]) remove(k key) bool {
 	if t.root == nil {
 		return false
 	}
-	n := t.root
+	// path[i] is the node at depth i; path[k.length] is the target.
+	path := make([]*node[V], k.length+1)
+	path[0] = t.root
 	for i := uint8(0); i < k.length; i++ {
-		n = n.child[k.bit(i)]
-		if n == nil {
+		path[i+1] = path[i].child[k.bit(i)]
+		if path[i+1] == nil {
 			return false
 		}
 	}
+	n := path[k.length]
 	if !n.set {
 		return false
 	}
 	var zero V
 	n.val, n.set = zero, false
 	t.size--
+	for d := int(k.length); d >= 0; d-- {
+		n := path[d]
+		if n.set || n.child[0] != nil || n.child[1] != nil {
+			break
+		}
+		t.nodes--
+		if d == 0 {
+			t.root = nil
+		} else {
+			path[d-1].child[k.bit(uint8(d-1))] = nil
+		}
+	}
 	return true
+}
+
+// matches collects every set prefix along the key's bits, longest first —
+// the full LPM chain rather than only the single best match.
+func (t *trie[V]) matches(k key, fn func(key, V) bool) {
+	n := t.root
+	if n == nil {
+		return
+	}
+	type hit struct {
+		k key
+		n *node[V]
+	}
+	var hits []hit
+	if n.set {
+		hits = append(hits, hit{key{}, n})
+	}
+	for depth := uint8(0); depth < k.length; depth++ {
+		n = n.child[k.bit(depth)]
+		if n == nil {
+			break
+		}
+		if n.set {
+			hits = append(hits, hit{k.prefix(depth + 1), n})
+		}
+	}
+	for i := len(hits) - 1; i >= 0; i-- {
+		if !fn(hits[i].k, hits[i].n.val) {
+			return
+		}
+	}
 }
 
 // lookup returns the value of the longest set prefix along the key's bits,
@@ -170,6 +239,19 @@ func (t *Table4[V]) Exact(p addr.Prefix) (V, bool) { return t.t.exact(key4(p)) }
 // Len returns the number of routes.
 func (t *Table4[V]) Len() int { return t.t.size }
 
+// NodeCount returns the number of allocated trie nodes — the memory
+// footprint oracle. Deleting every route returns it to zero.
+func (t *Table4[V]) NodeCount() int { return t.t.nodes }
+
+// Matches visits every stored prefix containing a, longest first —
+// the whole LPM chain rather than only the best match. Returning false
+// from fn stops the walk early.
+func (t *Table4[V]) Matches(a addr.V4, fn func(addr.Prefix, V) bool) {
+	t.t.matches(key{hi: uint64(uint32(a)) << 32, length: 32}, func(k key, v V) bool {
+		return fn(addr.Prefix{Addr: addr.V4(uint32(k.hi >> 32)), Len: k.length}, v)
+	})
+}
+
 // Walk visits every route in bit order; returning false from fn stops the
 // walk early.
 func (t *Table4[V]) Walk(fn func(addr.Prefix, V) bool) {
@@ -209,6 +291,19 @@ func (t *TableVN[V]) Exact(p addr.VNPrefix) (V, bool) { return t.t.exact(keyVN(p
 
 // Len returns the number of routes.
 func (t *TableVN[V]) Len() int { return t.t.size }
+
+// NodeCount returns the number of allocated trie nodes — the memory
+// footprint oracle. Deleting every route returns it to zero.
+func (t *TableVN[V]) NodeCount() int { return t.t.nodes }
+
+// Matches visits every stored prefix containing a, longest first —
+// the whole LPM chain rather than only the best match. Returning false
+// from fn stops the walk early.
+func (t *TableVN[V]) Matches(a addr.VN, fn func(addr.VNPrefix, V) bool) {
+	t.t.matches(key{hi: a.Hi, lo: a.Lo, length: 128}, func(k key, v V) bool {
+		return fn(addr.VNPrefix{Addr: addr.VN{Hi: k.hi, Lo: k.lo}, Len: k.length}, v)
+	})
+}
 
 // Walk visits every route in bit order; returning false from fn stops the
 // walk early.

@@ -264,6 +264,117 @@ func TestTableVNExactBitBoundary(t *testing.T) {
 	}
 }
 
+func TestTable4PruneOnDelete(t *testing.T) {
+	var tbl Table4[int]
+	if tbl.NodeCount() != 0 {
+		t.Fatalf("empty NodeCount = %d", tbl.NodeCount())
+	}
+	outer := addr.MustParsePrefix("10.0.0.0/8")
+	inner := addr.MustParsePrefix("10.1.2.0/24")
+	tbl.Insert(outer, 1)
+	after8 := tbl.NodeCount()
+	tbl.Insert(inner, 2)
+	if tbl.NodeCount() != after8+16 {
+		t.Fatalf("NodeCount = %d after /24 under /8, want %d", tbl.NodeCount(), after8+16)
+	}
+	// Deleting the /24 must prune the 16 interior nodes back to the /8.
+	if !tbl.Delete(inner) {
+		t.Fatal("delete failed")
+	}
+	if tbl.NodeCount() != after8 {
+		t.Fatalf("NodeCount = %d after pruning /24, want %d", tbl.NodeCount(), after8)
+	}
+	// Deleting the /8 empties the trie completely.
+	if !tbl.Delete(outer) {
+		t.Fatal("delete failed")
+	}
+	if tbl.NodeCount() != 0 || tbl.Len() != 0 {
+		t.Fatalf("NodeCount = %d, Len = %d after full drain", tbl.NodeCount(), tbl.Len())
+	}
+	// A set interior node must survive the deletion of its descendant.
+	tbl.Insert(outer, 1)
+	tbl.Insert(inner, 2)
+	tbl.Delete(outer)
+	if _, ok := tbl.Exact(inner); !ok {
+		t.Fatal("descendant lost when ancestor deleted")
+	}
+}
+
+func TestTable4ChurnMemoryBounded(t *testing.T) {
+	// Sustained insert/delete churn must not grow the node count: this
+	// is the leak that made long-lived million-prefix tables impossible.
+	rng := rand.New(rand.NewSource(42))
+	var tbl Table4[int]
+	resident := make([]addr.Prefix, 0, 256)
+	for i := 0; i < 256; i++ {
+		p := addr.MakePrefix(addr.V4(rng.Uint32()), uint8(8+rng.Intn(25)))
+		tbl.Insert(p, i)
+		resident = append(resident, p)
+	}
+	baseline := tbl.NodeCount()
+	for cycle := 0; cycle < 50; cycle++ {
+		var churn []addr.Prefix
+		for i := 0; i < 512; i++ {
+			p := addr.MakePrefix(addr.V4(rng.Uint32()), uint8(16+rng.Intn(17)))
+			tbl.Insert(p, i)
+			churn = append(churn, p)
+		}
+		for _, p := range churn {
+			tbl.Delete(p)
+		}
+	}
+	for _, p := range resident {
+		tbl.Delete(p)
+	}
+	if got := tbl.NodeCount() + len(resident); tbl.NodeCount() != 0 {
+		t.Fatalf("NodeCount = %d after churn drain, want 0 (baseline with residents was %d, probe %d)", tbl.NodeCount(), baseline, got)
+	}
+}
+
+func TestTable4Matches(t *testing.T) {
+	var tbl Table4[string]
+	tbl.Insert(addr.MustParsePrefix("0.0.0.0/0"), "default")
+	tbl.Insert(addr.MustParsePrefix("10.0.0.0/8"), "ten")
+	tbl.Insert(addr.MustParsePrefix("10.1.0.0/16"), "ten-one")
+	tbl.Insert(addr.MustParsePrefix("192.168.0.0/16"), "private")
+
+	var got []string
+	tbl.Matches(addr.MustParseV4("10.1.2.3"), func(_ addr.Prefix, v string) bool {
+		got = append(got, v)
+		return true
+	})
+	want := []string{"ten-one", "ten", "default"}
+	if len(got) != len(want) {
+		t.Fatalf("Matches chain = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Matches chain = %v, want %v", got, want)
+		}
+	}
+	// Early stop after the longest match.
+	n := 0
+	tbl.Matches(addr.MustParseV4("10.1.2.3"), func(addr.Prefix, string) bool { n++; return false })
+	if n != 1 {
+		t.Errorf("early stop visited %d", n)
+	}
+}
+
+func TestTableVNPruneOnDelete(t *testing.T) {
+	var tbl TableVN[int]
+	for asn := 1; asn <= 100; asn++ {
+		tbl.Insert(addr.DomainVNPrefix(asn), asn)
+	}
+	for asn := 1; asn <= 100; asn++ {
+		if !tbl.Delete(addr.DomainVNPrefix(asn)) {
+			t.Fatalf("delete asn %d failed", asn)
+		}
+	}
+	if tbl.NodeCount() != 0 || tbl.Len() != 0 {
+		t.Fatalf("NodeCount = %d, Len = %d after full drain", tbl.NodeCount(), tbl.Len())
+	}
+}
+
 func BenchmarkTable4Lookup(b *testing.B) {
 	rng := rand.New(rand.NewSource(1))
 	var tbl Table4[int]

@@ -18,6 +18,15 @@
 // nothing changes. For policy-safe configurations (customer routes
 // preferred, no peer/provider transit) this converges and is
 // deterministic.
+//
+// Convergence is lazy and per-prefix: distinct prefixes never interact
+// in the fixpoint (an AS's decision for prefix p reads only the previous
+// round's routes for p), so the global fixpoint factors into independent
+// per-prefix fixpoints. Queries converge exactly the prefixes they
+// touch — a longest-prefix lookup converges only the prefixes on its
+// match chain — which is what makes 10k+-domain internets queryable:
+// converging every prefix at every AS is quadratic in domains, while a
+// forwarding walk needs only a handful of prefixes.
 package bgp
 
 import (
@@ -116,6 +125,13 @@ type origination struct {
 	exportTo map[topology.ASN]bool
 }
 
+// prefixState is the converged routing for one prefix: each AS's
+// selected route (absent = no route). States are built lazily per prefix
+// and discarded whenever something that could affect the prefix changes.
+type prefixState struct {
+	best map[topology.ASN]Route
+}
+
 // System is the BGP of a whole internet. Queries are safe for concurrent
 // use (the lazy re-convergence they trigger serializes internally);
 // origination changes and Refresh serialize against them.
@@ -128,42 +144,75 @@ type System struct {
 	mu sync.RWMutex
 	// originated[asn] lists the AS's injected prefixes in injection order.
 	originated map[topology.ASN][]origination
-	// best[asn] is the stable per-AS loc-RIB after Converge.
-	best map[topology.ASN]map[addr.Prefix]Route
-	// fib[asn] caches a longest-prefix-match view of best.
-	fib map[topology.ASN]*rib.Table4[Route]
+	// states holds the lazily-converged per-prefix routing.
+	states map[addr.Prefix]*prefixState
+	// index longest-prefix-matches over every prefix originated anywhere;
+	// the value counts live originations so withdrawal of the last one
+	// removes the entry. Lookup walks its match chain instead of a per-AS
+	// FIB — per-AS tables would be #prefixes × #ASes state at scale.
+	index rib.Table4[int]
 	// neighbors caches topology adjacency.
 	neighbors map[topology.ASN][]topology.ASNeighbor
 
-	converged bool
-	// Rounds records how many fixpoint rounds the last Converge took; read
-	// it only after convergence, not while queries are in flight.
+	// Rounds records how many fixpoint rounds the most recent per-prefix
+	// convergence took; read it only after convergence, not while queries
+	// are in flight.
 	Rounds int
 }
 
 // NewSystem builds the BGP system; every domain originates its own
-// aggregate. Call Converge before queries.
+// aggregate. Queries converge lazily; calling Converge first is optional.
 func NewSystem(net *topology.Network) *System {
 	s := &System{
 		net:        net,
 		originated: map[topology.ASN][]origination{},
-		best:       map[topology.ASN]map[addr.Prefix]Route{},
-		fib:        map[topology.ASN]*rib.Table4[Route]{},
-		neighbors:  map[topology.ASN][]topology.ASNeighbor{},
+		states:     map[addr.Prefix]*prefixState{},
+		neighbors:  net.AllNeighbors(),
 	}
 	for _, asn := range net.ASNs() {
-		s.neighbors[asn] = net.Neighbors(asn)
 		s.Originate(asn, net.Domain(asn).Prefix)
 	}
 	return s
+}
+
+// addOrigLocked registers an origination and invalidates exactly the
+// state the new advert can affect: prefix p's.
+func (s *System) addOrigLocked(asn topology.ASN, o origination) {
+	s.originated[asn] = append(s.originated[asn], o)
+	n, _ := s.index.Exact(o.prefix)
+	s.index.Insert(o.prefix, n+1)
+	delete(s.states, o.prefix)
+}
+
+// removeOrigsLocked removes every origination of p at asn, returning the
+// removed entries and maintaining index counts and state invalidation.
+func (s *System) removeOrigsLocked(asn topology.ASN, p addr.Prefix) []origination {
+	var removed []origination
+	out := s.originated[asn][:0]
+	for _, o := range s.originated[asn] {
+		if o.prefix == p {
+			removed = append(removed, o)
+			continue
+		}
+		out = append(out, o)
+	}
+	s.originated[asn] = out
+	if len(removed) > 0 {
+		if n, _ := s.index.Exact(p); n > len(removed) {
+			s.index.Insert(p, n-len(removed))
+		} else {
+			s.index.Delete(p)
+		}
+		delete(s.states, p)
+	}
+	return removed
 }
 
 // Originate injects a prefix at asn with normal global propagation.
 func (s *System) Originate(asn topology.ASN, p addr.Prefix) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	s.converged = false
-	s.originated[asn] = append(s.originated[asn], origination{prefix: p})
+	s.addOrigLocked(asn, origination{prefix: p})
 }
 
 // OriginateTo injects a prefix at asn advertised only to the given
@@ -172,12 +221,11 @@ func (s *System) Originate(asn topology.ASN, p addr.Prefix) {
 func (s *System) OriginateTo(asn topology.ASN, p addr.Prefix, neighbors ...topology.ASN) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	s.converged = false
 	scope := map[topology.ASN]bool{}
 	for _, n := range neighbors {
 		scope[n] = true
 	}
-	s.originated[asn] = append(s.originated[asn], origination{prefix: p, exportTo: scope})
+	s.addOrigLocked(asn, origination{prefix: p, exportTo: scope})
 }
 
 // Withdraw removes all originations of p at asn; it reports whether any
@@ -185,20 +233,7 @@ func (s *System) OriginateTo(asn topology.ASN, p addr.Prefix, neighbors ...topol
 func (s *System) Withdraw(asn topology.ASN, p addr.Prefix) bool {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	out := s.originated[asn][:0]
-	removed := false
-	for _, o := range s.originated[asn] {
-		if o.prefix == p {
-			removed = true
-			continue
-		}
-		out = append(out, o)
-	}
-	s.originated[asn] = out
-	if removed {
-		s.converged = false
-	}
-	return removed
+	return len(s.removeOrigsLocked(asn, p)) > 0
 }
 
 // Refresh re-reads the topology's inter-domain adjacency (after link
@@ -207,11 +242,8 @@ func (s *System) Withdraw(asn topology.ASN, p addr.Prefix) bool {
 func (s *System) Refresh() {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	s.neighbors = map[topology.ASN][]topology.ASNeighbor{}
-	for _, asn := range s.net.ASNs() {
-		s.neighbors[asn] = s.net.Neighbors(asn)
-	}
-	s.converged = false
+	s.neighbors = s.net.AllNeighbors()
+	s.states = map[addr.Prefix]*prefixState{}
 }
 
 // SuspendOriginations temporarily removes every origination of p at asn
@@ -222,27 +254,16 @@ func (s *System) Refresh() {
 func (s *System) SuspendOriginations(asn topology.ASN, p addr.Prefix) (restore func(), found bool) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	var saved []origination
-	out := s.originated[asn][:0]
-	for _, o := range s.originated[asn] {
-		if o.prefix == p {
-			saved = append(saved, o)
-			continue
-		}
-		out = append(out, o)
-	}
-	s.originated[asn] = out
-	if len(saved) > 0 {
-		s.converged = false
-	}
+	saved := s.removeOrigsLocked(asn, p)
 	return func() {
 		if len(saved) == 0 {
 			return
 		}
 		s.mu.Lock()
 		defer s.mu.Unlock()
-		s.originated[asn] = append(s.originated[asn], saved...)
-		s.converged = false
+		for _, o := range saved {
+			s.addOrigLocked(asn, o)
+		}
 	}, len(saved) > 0
 }
 
@@ -262,154 +283,137 @@ func exportsTo(r Route, rel topology.Rel) bool {
 	return rel == topology.RelProvider
 }
 
-// Converge runs the synchronous fixpoint. It is idempotent and must be
-// called after any Originate/OriginateTo/Withdraw (queries also trigger
-// it lazily).
+// Converge materialises the routing for every originated prefix. It is
+// idempotent; queries converge what they need lazily, so calling it is
+// only necessary when a caller wants the full cost paid up front.
 func (s *System) Converge() {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	s.convergeLocked()
+	s.convergeAllLocked()
 }
 
-// rlockConverged returns with the read lock held and the routing
-// converged; the loop re-checks because a mutator may slip in between the
-// upgrade and the read re-acquisition.
-func (s *System) rlockConverged() {
-	for {
-		s.mu.RLock()
-		if s.converged {
-			return
-		}
-		s.mu.RUnlock()
-		s.mu.Lock()
-		s.convergeLocked()
-		s.mu.Unlock()
+func (s *System) convergeAllLocked() {
+	// Walk order (bit order over the index) is deterministic.
+	var prefixes []addr.Prefix
+	s.index.Walk(func(p addr.Prefix, _ int) bool {
+		prefixes = append(prefixes, p)
+		return true
+	})
+	for _, p := range prefixes {
+		s.convergePrefixLocked(p)
 	}
 }
 
-func (s *System) convergeLocked() {
-	if s.converged {
-		return
+// convergePrefixLocked runs the synchronous fixpoint restricted to one
+// prefix — the old whole-internet iteration with every other prefix's
+// (non-interacting) work removed — and caches the result. In each round
+// every AS selects its best route for p from the previous round's
+// adverts and re-exports under Gao-Rexford rules, until nothing changes.
+func (s *System) convergePrefixLocked(p addr.Prefix) *prefixState {
+	if st, ok := s.states[p]; ok {
+		return st
 	}
 	asns := s.net.ASNs()
-	best := map[topology.ASN]map[addr.Prefix]Route{}
+
+	// ASes holding an origination of p, with the entries in injection
+	// order. Precomputed so each round touches origination state only
+	// where it exists.
+	origs := map[topology.ASN][]origination{}
 	for _, asn := range asns {
-		best[asn] = map[addr.Prefix]Route{}
+		for _, o := range s.originated[asn] {
+			if o.prefix == p {
+				origs[asn] = append(origs[asn], o)
+			}
+		}
 	}
-	s.Rounds = 0
+
+	best := map[topology.ASN]Route{}
+	rounds := 0
 	for {
-		s.Rounds++
+		rounds++
 		changed := false
 		// Gather adverts destined to each AS from the previous round.
+		// Self-originations advertise into one's own inbox at LocalPref
+		// prefSelf so they always win locally. Selective originations
+		// carry NO_EXPORT so the ordinary export below never
+		// re-advertises them; only the dedicated selective-advert loop
+		// does.
 		inbox := map[topology.ASN][]Route{}
 		for _, from := range asns {
-			// Self-originations advertise into one's own inbox at
-			// LocalPref prefSelf so they always win locally. Selective
-			// originations carry NO_EXPORT so the ordinary export loop
-			// below never re-advertises them; only the dedicated
-			// selective-advert loop does.
-			for _, o := range s.originated[from] {
+			fromOrigs := origs[from]
+			for _, o := range fromOrigs {
 				inbox[from] = append(inbox[from], Route{
-					Prefix:    o.prefix,
+					Prefix:    p,
 					LocalPref: prefSelf,
 					NoExport:  o.exportTo != nil,
 				})
 			}
+			r, has := best[from]
+			if !has && len(fromOrigs) == 0 {
+				continue
+			}
 			for _, nb := range s.neighbors[from] {
 				rel := nb.Rel // from's relationship toward nb
-				// Ordinary best routes.
-				for _, r := range sortedRoutes(best[from]) {
-					if !exportsTo(r, rel) {
-						continue
-					}
-					adv := Route{
-						Prefix:       r.Prefix,
+				// Ordinary best route.
+				if has && exportsTo(r, rel) {
+					inbox[nb.ASN] = append(inbox[nb.ASN], Route{
+						Prefix:       p,
 						Path:         append([]topology.ASN{from}, r.Path...),
 						LocalPref:    prefFor(rel.Invert()),
 						FromCustomer: rel.Invert() == topology.RelProvider,
-					}
-					inbox[nb.ASN] = append(inbox[nb.ASN], adv)
+					})
 				}
 				// Selective originations.
-				for _, o := range s.originated[from] {
+				for _, o := range fromOrigs {
 					if o.exportTo == nil || !o.exportTo[nb.ASN] {
 						continue
 					}
-					adv := Route{
-						Prefix:       o.prefix,
+					inbox[nb.ASN] = append(inbox[nb.ASN], Route{
+						Prefix:       p,
 						Path:         []topology.ASN{from},
 						LocalPref:    prefFor(rel.Invert()),
 						NoExport:     true,
 						FromCustomer: rel.Invert() == topology.RelProvider,
-					}
-					inbox[nb.ASN] = append(inbox[nb.ASN], adv)
+					})
 				}
 			}
 		}
-		// Decision process per AS.
+		// Decision process per AS: first-seen wins ties, matching the
+		// inbox build order above.
 		for _, asn := range asns {
-			next := map[addr.Prefix]Route{}
+			var cur Route
+			curOK := false
 			for _, cand := range inbox[asn] {
 				if cand.hasLoop(asn) {
 					continue
 				}
-				cur, ok := next[cand.Prefix]
-				if !ok || better(cand, cur) {
-					next[cand.Prefix] = cand
+				if !curOK || better(cand, cur) {
+					cur, curOK = cand, true
 				}
 			}
-			if !ribEqual(best[asn], next) {
-				best[asn] = next
+			prev, prevOK := best[asn]
+			if curOK != prevOK || (curOK && !routeEqual(prev, cur)) {
 				changed = true
+			}
+			if curOK {
+				best[asn] = cur
+			} else {
+				delete(best, asn)
 			}
 		}
 		if !changed {
 			break
 		}
-		if s.Rounds > 4*len(asns)+8 {
+		if rounds > 4*len(asns)+8 {
 			// Gao-Rexford-safe configurations converge in O(diameter);
 			// this bound only trips on genuinely unsafe policy.
-			panic(fmt.Sprintf("bgp: no convergence after %d rounds", s.Rounds))
+			panic(fmt.Sprintf("bgp: no convergence after %d rounds", rounds))
 		}
 	}
-	s.best = best
-	s.fib = map[topology.ASN]*rib.Table4[Route]{}
-	for _, asn := range asns {
-		t := &rib.Table4[Route]{}
-		for _, r := range best[asn] {
-			t.Insert(r.Prefix, r)
-		}
-		s.fib[asn] = t
-	}
-	s.converged = true
-}
-
-func sortedRoutes(m map[addr.Prefix]Route) []Route {
-	out := make([]Route, 0, len(m))
-	for _, r := range m {
-		out = append(out, r)
-	}
-	sort.Slice(out, func(i, j int) bool {
-		a, b := out[i].Prefix, out[j].Prefix
-		if a.Addr != b.Addr {
-			return a.Addr < b.Addr
-		}
-		return a.Len < b.Len
-	})
-	return out
-}
-
-func ribEqual(a, b map[addr.Prefix]Route) bool {
-	if len(a) != len(b) {
-		return false
-	}
-	for p, ra := range a {
-		rb, ok := b[p]
-		if !ok || !routeEqual(ra, rb) {
-			return false
-		}
-	}
-	return true
+	st := &prefixState{best: best}
+	s.states[p] = st
+	s.Rounds = rounds
+	return st
 }
 
 func routeEqual(a, b Route) bool {
@@ -426,45 +430,102 @@ func routeEqual(a, b Route) bool {
 	return true
 }
 
+// statesFor returns the converged states for the given prefixes,
+// converging any that are missing. It takes the write lock only when
+// something actually needs converging.
+func (s *System) statesFor(prefixes []addr.Prefix) []*prefixState {
+	for {
+		s.mu.RLock()
+		out := make([]*prefixState, len(prefixes))
+		missing := false
+		for i, p := range prefixes {
+			st, ok := s.states[p]
+			if !ok {
+				missing = true
+				break
+			}
+			out[i] = st
+		}
+		if !missing {
+			s.mu.RUnlock()
+			return out
+		}
+		s.mu.RUnlock()
+		s.mu.Lock()
+		for _, p := range prefixes {
+			s.convergePrefixLocked(p)
+		}
+		s.mu.Unlock()
+		// Loop: a mutator may have invalidated between Unlock and RLock.
+	}
+}
+
 // BestRoute returns asn's selected route for exactly prefix p.
 func (s *System) BestRoute(asn topology.ASN, p addr.Prefix) (Route, bool) {
-	s.rlockConverged()
-	defer s.mu.RUnlock()
-	r, ok := s.best[asn][p]
+	st := s.statesFor([]addr.Prefix{p})[0]
+	r, ok := st.best[asn]
 	return r, ok
 }
 
-// Lookup longest-prefix-matches dst in asn's FIB.
+// matchChain returns dst's longest-prefix match chain — every originated
+// prefix containing dst, longest first.
+func (s *System) matchChain(dst addr.V4) []addr.Prefix {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	var chain []addr.Prefix
+	s.index.Matches(dst, func(p addr.Prefix, _ int) bool {
+		chain = append(chain, p)
+		return true
+	})
+	return chain
+}
+
+// Lookup longest-prefix-matches dst in asn's routing: the most specific
+// prefix on dst's match chain for which asn holds a route. Only the
+// chain's prefixes are converged, never the whole table.
 func (s *System) Lookup(asn topology.ASN, dst addr.V4) (Route, bool) {
-	s.rlockConverged()
-	defer s.mu.RUnlock()
-	return s.lookupLocked(asn, dst)
-}
-
-func (s *System) lookupLocked(asn topology.ASN, dst addr.V4) (Route, bool) {
-	t, ok := s.fib[asn]
-	if !ok {
-		return Route{}, false
+	chain := s.matchChain(dst)
+	for _, st := range s.statesFor(chain) {
+		if r, ok := st.best[asn]; ok {
+			return r, true
+		}
 	}
-	r, _, ok := t.Lookup(dst)
-	return r, ok
+	return Route{}, false
 }
 
 // TableSize returns the number of prefixes in asn's loc-RIB (routing-state
 // experiments, §3.2 scalability discussion).
 func (s *System) TableSize(asn topology.ASN) int {
-	s.rlockConverged()
-	defer s.mu.RUnlock()
-	return len(s.best[asn])
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.convergeAllLocked()
+	n := 0
+	for _, st := range s.states {
+		if _, ok := st.best[asn]; ok {
+			n++
+		}
+	}
+	return n
 }
 
 // ASPath returns the domain-level path a packet from inside `from`
 // follows toward dst, starting with from itself. ok is false when from
 // has no route.
 func (s *System) ASPath(from topology.ASN, dst addr.V4) ([]topology.ASN, bool) {
-	s.rlockConverged()
-	defer s.mu.RUnlock()
-	r, ok := s.lookupLocked(from, dst)
+	// Every AS on the walk resolves dst against the same match chain, so
+	// one statesFor covers the whole hop-by-hop traversal.
+	chain := s.matchChain(dst)
+	states := s.statesFor(chain)
+	lookup := func(asn topology.ASN) (Route, bool) {
+		for _, st := range states {
+			if r, ok := st.best[asn]; ok {
+				return r, true
+			}
+		}
+		return Route{}, false
+	}
+
+	r, ok := lookup(from)
 	if !ok {
 		return nil, false
 	}
@@ -478,7 +539,7 @@ func (s *System) ASPath(from topology.ASN, dst addr.V4) ([]topology.ASN, bool) {
 		if i+2 == len(path) {
 			break
 		}
-		nr, ok := s.lookupLocked(cur, dst)
+		nr, ok := lookup(cur)
 		if !ok {
 			return path[:i+2], true
 		}

@@ -416,3 +416,60 @@ func BenchmarkConvergeTransitStub(b *testing.B) {
 		s.Converge()
 	}
 }
+
+// TestLazyMatchesEager checks that querying prefixes lazily (no Converge
+// call) yields exactly the routing that a full up-front Converge does,
+// including across an OriginateTo that invalidates one prefix.
+func TestLazyMatchesEager(t *testing.T) {
+	n, err := topology.TransitStub(3, 5, 0.4, topology.GenConfig{Seed: 33, RoutersPerDomain: 2, HostsPerDomain: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lazy := NewSystem(n)
+	eager := NewSystem(n)
+	eager.Converge()
+
+	compare := func() {
+		t.Helper()
+		for _, asn := range n.ASNs() {
+			for _, dstASN := range n.ASNs() {
+				p := n.Domain(dstASN).Prefix
+				lr, lok := lazy.BestRoute(asn, p)
+				er, eok := eager.BestRoute(asn, p)
+				if lok != eok || (lok && !routeEqual(lr, er)) {
+					t.Fatalf("BestRoute(AS%d, %v): lazy %v/%v vs eager %v/%v", asn, p, lr, lok, er, eok)
+				}
+				dst := n.Domain(dstASN).Prefix.Addr
+				lr, lok = lazy.Lookup(asn, dst)
+				er, eok = eager.Lookup(asn, dst)
+				if lok != eok || (lok && !routeEqual(lr, er)) {
+					t.Fatalf("Lookup(AS%d, %v): lazy vs eager differ", asn, dst)
+				}
+				lp, lok := lazy.ASPath(asn, dst)
+				ep, eok := eager.ASPath(asn, dst)
+				if lok != eok || len(lp) != len(ep) {
+					t.Fatalf("ASPath(AS%d, %v): lazy %v vs eager %v", asn, dst, lp, ep)
+				}
+				for i := range lp {
+					if lp[i] != ep[i] {
+						t.Fatalf("ASPath(AS%d, %v): lazy %v vs eager %v", asn, dst, lp, ep)
+					}
+				}
+			}
+			if ls, es := lazy.TableSize(asn), eager.TableSize(asn); ls != es {
+				t.Fatalf("TableSize(AS%d): lazy %d vs eager %d", asn, ls, es)
+			}
+		}
+	}
+	compare()
+
+	// Mutate one prefix on both and re-compare: the lazy system must
+	// invalidate exactly that prefix and reconverge it on demand.
+	anycastAS := n.ASNs()[0]
+	host := addr.Prefix{Addr: n.Domain(anycastAS).Prefix.Addr + 7, Len: 32}
+	peer := lazy.net.AllNeighbors()[anycastAS][0].ASN
+	lazy.OriginateTo(anycastAS, host, peer)
+	eager.OriginateTo(anycastAS, host, peer)
+	eager.Converge()
+	compare()
+}

@@ -186,6 +186,44 @@ func (n *Network) Neighbors(asn ASN) []ASNeighbor {
 	return out
 }
 
+// AllNeighbors returns every domain's inter-domain adjacency in one pass
+// over the link list. The per-domain slices are identical to what
+// Neighbors returns for that ASN; domains with no inter-domain links are
+// absent from the map. Callers that need adjacency for many domains
+// (BGP bring-up at 10k ASes) should use this instead of calling
+// Neighbors per domain, which rescans the whole link list each time.
+func (n *Network) AllNeighbors() map[ASN][]ASNeighbor {
+	byDomain := map[ASN]map[ASN]*ASNeighbor{}
+	add := func(subject, other ASN, rel Rel, l InterLink) {
+		m := byDomain[subject]
+		if m == nil {
+			m = map[ASN]*ASNeighbor{}
+			byDomain[subject] = m
+		}
+		nb := m[other]
+		if nb == nil {
+			nb = &ASNeighbor{ASN: other, Rel: rel}
+			m[other] = nb
+		}
+		nb.Links = append(nb.Links, l)
+	}
+	for _, l := range n.Inter {
+		fd, td := n.DomainOf(l.From), n.DomainOf(l.To)
+		add(fd, td, l.Rel, l)
+		add(td, fd, l.Rel.Invert(), InterLink{From: l.To, To: l.From, Rel: l.Rel.Invert(), Latency: l.Latency})
+	}
+	out := make(map[ASN][]ASNeighbor, len(byDomain))
+	for asn, m := range byDomain {
+		nbs := make([]ASNeighbor, 0, len(m))
+		for _, nb := range m {
+			nbs = append(nbs, *nb)
+		}
+		sort.Slice(nbs, func(i, j int) bool { return nbs[i].ASN < nbs[j].ASN })
+		out[asn] = nbs
+	}
+	return out
+}
+
 // RouterGraph returns the full router-level graph (intra + inter links),
 // used for ground-truth path costs.
 func (n *Network) RouterGraph() *graph.Graph {
@@ -286,9 +324,22 @@ func DomainPrefix(asn ASN) addr.Prefix {
 	return addr.MakePrefix(addr.V4(uint32(asn)<<16), 16)
 }
 
+// MaxDomains is the addressing ceiling: DomainPrefix packs the ASN into
+// the top 16 bits of the underlay space, so at most 0xFFFE domains fit
+// (ASN 0 is reserved, 0xFFFF would collide with the broadcast-style top).
+const MaxDomains = 0xFFFE
+
 // AddDomain creates a new domain with an automatically assigned ASN and
 // address aggregate.
 func (b *Builder) AddDomain(name string) *Domain {
+	if int(b.nextASN) > MaxDomains {
+		b.fail(fmt.Errorf("topology: domain %q exceeds the %d-domain addressing ceiling (/16 per domain)", name, MaxDomains))
+		// Return a detached placeholder so callers can keep building;
+		// Build reports the recorded error.
+		d := &Domain{ASN: b.nextASN, Name: name, Prefix: DomainPrefix(1)}
+		d.pool = addr.NewPool(d.Prefix)
+		return d
+	}
 	asn := b.nextASN
 	b.nextASN++
 	d := &Domain{
@@ -409,18 +460,24 @@ func (b *Builder) Build() (*Network, error) {
 	if len(n.Domains) == 0 {
 		return nil, fmt.Errorf("topology: no domains")
 	}
-	// Every domain's intra graph must be internally connected.
+	// Every domain's intra graph must be internally connected. One
+	// union-find pass over the whole intra adjacency replaces the old
+	// per-domain BFS (each of which allocated distance arrays sized to
+	// the full router space — quadratic at 10k domains).
+	uf := graph.NewUnionFind(len(n.Routers))
+	for rid := range n.Routers {
+		for _, e := range n.Intra.Neighbors(rid) {
+			uf.Union(rid, e.To)
+		}
+	}
 	for _, asn := range n.asns {
 		d := n.Domains[asn]
 		if len(d.Routers) == 0 {
 			return nil, fmt.Errorf("topology: domain %s has no routers", d.Name)
 		}
-		if len(d.Routers) == 1 {
-			continue
-		}
-		reach := n.Intra.BFS(int(d.Routers[0]))
-		for _, rid := range d.Routers {
-			if reach[rid] >= graph.Inf {
+		root := uf.Find(int(d.Routers[0]))
+		for _, rid := range d.Routers[1:] {
+			if uf.Find(int(rid)) != root {
 				return nil, fmt.Errorf("topology: domain %s intra graph is partitioned at router %d", d.Name, rid)
 			}
 		}

@@ -14,16 +14,52 @@ import (
 	"github.com/evolvable-net/evolve/internal/topology"
 )
 
-// viewState is one immutable generation of the cache: graph snapshots
-// taken at the last invalidation plus the lazily-filled SPT maps
-// computed against them. Queries load one state pointer and stay on it,
-// so a query mid-flight keeps a consistent view even while an
+// domainGraph is one domain's intra topology compacted to local indices.
+// Keeping per-domain subgraphs (instead of running Dijkstra over the
+// global router space) makes each IGP computation and its distance
+// arrays proportional to the domain size, not the internet size — the
+// difference between kilobytes and gigabytes of SPT state at 10k
+// domains.
+type domainGraph struct {
+	g   *graph.Graph
+	ids []topology.RouterID       // ascending; local index i ↔ ids[i]
+	idx map[topology.RouterID]int // global router id → local index
+	spt *sync.Map                 // local source index → *graph.SPT (local indices)
+}
+
+// buildDomainGraph snapshots one domain's intra links. Domain router
+// lists are ascending by construction, so local index order preserves
+// global id order and the local Dijkstra breaks ties exactly as the old
+// global-graph computation did.
+func buildDomainGraph(net *topology.Network, asn topology.ASN) *domainGraph {
+	ids := net.Domain(asn).Routers
+	dg := &domainGraph{
+		g:   graph.New(len(ids)),
+		ids: ids,
+		idx: make(map[topology.RouterID]int, len(ids)),
+		spt: &sync.Map{},
+	}
+	for i, rid := range ids {
+		dg.idx[rid] = i
+	}
+	for i, rid := range ids {
+		for _, e := range net.Intra.Neighbors(int(rid)) {
+			// Intra links never cross domains, so e.To is always local.
+			dg.g.AddEdge(i, dg.idx[topology.RouterID(e.To)], e.Weight)
+		}
+	}
+	return dg
+}
+
+// viewState is one immutable generation of the cache: per-domain graph
+// snapshots taken at the last invalidation plus the lazily-filled SPT
+// maps computed against them. Queries load one state pointer and stay on
+// it, so a query mid-flight keeps a consistent view even while an
 // invalidation publishes the next generation.
 type viewState struct {
-	intra    *graph.Graph
-	full     *graph.Graph
-	intraSPT *sync.Map // topology.RouterID → *graph.SPT
-	fullSPT  *sync.Map // topology.RouterID → *graph.SPT
+	domains map[topology.ASN]*domainGraph
+	full    *graph.Graph
+	fullSPT *sync.Map // topology.RouterID → *graph.SPT
 }
 
 // View caches single-source shortest-path trees lazily. Queries are
@@ -42,14 +78,21 @@ type View struct {
 	dijkstras atomic.Uint64
 }
 
+func (v *View) freshDomains() map[topology.ASN]*domainGraph {
+	out := make(map[topology.ASN]*domainGraph, len(v.net.Domains))
+	for _, asn := range v.net.ASNs() {
+		out[asn] = buildDomainGraph(v.net, asn)
+	}
+	return out
+}
+
 // NewView returns a view over net.
 func NewView(net *topology.Network) *View {
 	v := &View{net: net}
 	v.state.Store(&viewState{
-		intra:    net.Intra.Clone(),
-		full:     net.RouterGraph(),
-		intraSPT: &sync.Map{},
-		fullSPT:  &sync.Map{},
+		domains: v.freshDomains(),
+		full:    net.RouterGraph(),
+		fullSPT: &sync.Map{},
 	})
 	return v
 }
@@ -68,58 +111,59 @@ func (v *View) DijkstraRuns() uint64 { return v.dijkstras.Load() }
 // below preserve the unaffected trees.
 func (v *View) Invalidate() {
 	v.state.Store(&viewState{
-		intra:    v.net.Intra.Clone(),
-		full:     v.net.RouterGraph(),
-		intraSPT: &sync.Map{},
-		fullSPT:  &sync.Map{},
+		domains: v.freshDomains(),
+		full:    v.net.RouterGraph(),
+		fullSPT: &sync.Map{},
 	})
 }
 
 // InvalidateDomain discards state affected by an intra-domain change in
-// asn: that domain's intra SPTs and every full-graph SPT (cross-domain
-// paths may traverse the changed domain). Intra SPTs rooted in other
-// domains survive — the intra graph has no cross-domain edges, so a tree
-// rooted outside asn cannot touch the changed links.
+// asn: that domain's subgraph and SPTs, plus every full-graph SPT
+// (cross-domain paths may traverse the changed domain). Every other
+// domain's subgraph and cached trees are carried over untouched — the
+// intra graph has no cross-domain edges — so the cost of an intra event
+// is proportional to the touched domain plus a map copy, not to the
+// internet.
 func (v *View) InvalidateDomain(asn topology.ASN) {
 	old := v.state.Load()
-	next := &viewState{
-		intra:    v.net.Intra.Clone(),
-		full:     v.net.RouterGraph(),
-		intraSPT: &sync.Map{},
-		fullSPT:  &sync.Map{},
+	domains := make(map[topology.ASN]*domainGraph, len(old.domains))
+	for a, dg := range old.domains {
+		domains[a] = dg
 	}
-	old.intraSPT.Range(func(k, t any) bool {
-		if v.net.DomainOf(k.(topology.RouterID)) != asn {
-			next.intraSPT.Store(k, t)
-		}
-		return true
+	domains[asn] = buildDomainGraph(v.net, asn)
+	v.state.Store(&viewState{
+		domains: domains,
+		full:    v.net.RouterGraph(),
+		fullSPT: &sync.Map{},
 	})
-	v.state.Store(next)
 }
 
 // InvalidateInter discards state affected by an inter-domain link
-// change: the full-graph snapshot and its SPTs. Every intra-domain SPT
-// survives untouched — inter links do not appear in the intra graph —
-// which is the bulk of the savings under border flaps.
+// change: the full-graph snapshot and its SPTs. Every intra-domain
+// subgraph and SPT survives untouched — inter links do not appear in the
+// intra graphs — which is the bulk of the savings under border flaps.
 func (v *View) InvalidateInter() {
 	old := v.state.Load()
 	v.state.Store(&viewState{
-		intra:    old.intra,
-		full:     v.net.RouterGraph(),
-		intraSPT: old.intraSPT,
-		fullSPT:  &sync.Map{},
+		domains: old.domains,
+		full:    v.net.RouterGraph(),
+		fullSPT: &sync.Map{},
 	})
 }
 
-func (v *View) intra(src topology.RouterID) *graph.SPT {
+// intraFor returns the SPT rooted at src within its domain's subgraph,
+// along with the subgraph (needed to translate local indices).
+func (v *View) intraFor(src topology.RouterID) (*domainGraph, *graph.SPT) {
 	st := v.state.Load()
-	if t, ok := st.intraSPT.Load(src); ok {
-		return t.(*graph.SPT)
+	dg := st.domains[v.net.DomainOf(src)]
+	li := dg.idx[src]
+	if t, ok := dg.spt.Load(li); ok {
+		return dg, t.(*graph.SPT)
 	}
 	v.dijkstras.Add(1)
-	t := st.intra.Dijkstra(int(src))
-	st.intraSPT.Store(src, t)
-	return t
+	t := dg.g.Dijkstra(li)
+	dg.spt.Store(li, t)
+	return dg, t
 }
 
 func (v *View) fullFrom(src topology.RouterID) *graph.SPT {
@@ -139,7 +183,8 @@ func (v *View) IntraDist(a, b topology.RouterID) int64 {
 	if v.net.DomainOf(a) != v.net.DomainOf(b) {
 		return graph.Inf
 	}
-	return v.intra(a).Dist[b]
+	dg, t := v.intraFor(a)
+	return t.Dist[dg.idx[b]]
 }
 
 // IntraPath returns the intra-domain router path a..b, or nil.
@@ -147,7 +192,16 @@ func (v *View) IntraPath(a, b topology.RouterID) []topology.RouterID {
 	if v.net.DomainOf(a) != v.net.DomainOf(b) {
 		return nil
 	}
-	return toRouterPath(v.intra(a).PathTo(int(b)))
+	dg, t := v.intraFor(a)
+	local := t.PathTo(dg.idx[b])
+	if local == nil {
+		return nil
+	}
+	out := make([]topology.RouterID, len(local))
+	for i, li := range local {
+		out[i] = dg.ids[li]
+	}
+	return out
 }
 
 func toRouterPath(p []int) []topology.RouterID {

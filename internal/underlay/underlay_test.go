@@ -227,3 +227,58 @@ func TestInvalidateInterPreservesIntraTrees(t *testing.T) {
 		t.Errorf("ground-truth recompute ran %d dijkstras, want 1", v.DijkstraRuns()-base)
 	}
 }
+
+// TestPerDomainMatchesGlobalDijkstra cross-checks the compact per-domain
+// subgraph computation against a Dijkstra run on the global intra graph:
+// distances, paths, and tie-breaks must be identical for every router
+// pair of every domain.
+func TestPerDomainMatchesGlobalDijkstra(t *testing.T) {
+	net, err := topology.TransitStub(3, 4, 0.4, topology.GenConfig{
+		Seed: 21, RoutersPerDomain: 5, HostsPerDomain: 0, Intra: topology.IntraRandom,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := NewView(net)
+	for _, asn := range net.ASNs() {
+		d := net.Domain(asn)
+		for _, src := range d.Routers {
+			spt := net.Intra.Dijkstra(int(src))
+			for _, dst := range d.Routers {
+				want := spt.Dist[dst]
+				if got := v.IntraDist(src, dst); got != want {
+					t.Fatalf("AS%d %d→%d: per-domain dist %d, global %d", asn, src, dst, got, want)
+				}
+				wantPath := spt.PathTo(int(dst))
+				gotPath := v.IntraPath(src, dst)
+				if len(gotPath) != len(wantPath) {
+					t.Fatalf("AS%d %d→%d: path %v, global %v", asn, src, dst, gotPath, wantPath)
+				}
+				for i := range wantPath {
+					if int(gotPath[i]) != wantPath[i] {
+						t.Fatalf("AS%d %d→%d: path %v, global %v (tie-break drift)", asn, src, dst, gotPath, wantPath)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestIntraSPTMemoryIsDomainLocal asserts the SPT arrays are sized to
+// the domain, not the internet — the scaling property that makes 10k
+// domains affordable.
+func TestIntraSPTMemoryIsDomainLocal(t *testing.T) {
+	net, err := topology.RingOfDomains(50, topology.GenConfig{Seed: 1, RoutersPerDomain: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := NewView(net)
+	d := net.Domain(net.ASNs()[0])
+	dg, spt := v.intraFor(d.Routers[0])
+	if len(spt.Dist) != len(d.Routers) {
+		t.Fatalf("SPT dist array has %d entries, want domain-local %d", len(spt.Dist), len(d.Routers))
+	}
+	if len(dg.ids) != len(d.Routers) {
+		t.Fatalf("domain subgraph has %d ids, want %d", len(dg.ids), len(d.Routers))
+	}
+}

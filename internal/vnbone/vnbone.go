@@ -21,6 +21,7 @@ import (
 	"math"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"github.com/evolvable-net/evolve/internal/anycast"
 	"github.com/evolvable-net/evolve/internal/graph"
@@ -85,6 +86,12 @@ type Config struct {
 	// link the construction establishes (intra adjacency, peering
 	// tunnel, or bootstrap tunnel).
 	Trace trace.Tracer
+	// Workers bounds the worker pool that computes per-domain intra
+	// meshes. Domains are independent (intra links never leave their
+	// domain), and results are merged in ParticipatingASes order, so the
+	// built bone is byte-identical at any worker count. 0 or 1 runs
+	// serially.
+	Workers int
 }
 
 // ErrPartitioned is returned when construction finishes without a
@@ -194,6 +201,8 @@ func BuildIncremental(svc *anycast.Service, igp *underlay.View, dep *anycast.Dep
 
 // reusableFor reports whether prev's intra meshes were built under the
 // same construction knobs, a precondition for carrying them over.
+// Workers is deliberately excluded: it changes how the work is
+// scheduled, never what it produces.
 func (b *Bone) reusableFor(cfg Config) bool {
 	return b.cfg.K == cfg.K && b.cfg.BlindIntra == cfg.BlindIntra &&
 		b.cfg.DisableRepair == cfg.DisableRepair
@@ -257,12 +266,105 @@ func (b *Bone) connectComponents() {
 
 // buildIntra wires each participant domain's internal virtual topology,
 // copying domains verbatim from prev where nothing relevant changed (see
-// BuildIncremental).
+// BuildIncremental). Per-domain meshes are independent — intra links
+// never leave their domain — so they are computed on a bounded worker
+// pool (cfg.Workers) and merged in ParticipatingASes order, keeping the
+// link list byte-identical at any worker count.
 func (b *Bone) buildIntra(cfg Config, prev *Bone, dirty map[topology.ASN]bool) BuildStats {
+	asns := b.dep.ParticipatingASes()
+
+	// Pre-index the previous bone's intra links per domain in ONE pass:
+	// the old per-domain rescan of prev.links made the reuse path — the
+	// path taken for almost every domain at scale — quadratic in the
+	// number of participants.
+	var prevIntra map[topology.ASN][]Link
+	if prev != nil && prev.reusableFor(cfg) {
+		prevIntra = make(map[topology.ASN][]Link)
+		for _, l := range prev.links {
+			if l.Kind == KindIntra {
+				asn := b.net.DomainOf(l.A)
+				prevIntra[asn] = append(prevIntra[asn], l)
+			}
+		}
+	}
+
+	type result struct {
+		links           []Link
+		reused, rebuilt bool
+	}
+	results := make([]result, len(asns))
+	work := func(i int) {
+		asn := asns[i]
+		members := b.dep.MembersIn(asn)
+		if len(members) < 2 {
+			return
+		}
+		if prevIntra != nil && !dirty[asn] && sameMembers(prev.dep.MembersIn(asn), members) {
+			// Unchanged membership, untouched intra topology, identical
+			// knobs: the mesh (including any repair links) is byte-for-byte
+			// what the previous build produced. prev's links were already
+			// deduplicated and normalized when it was built.
+			results[i] = result{links: prevIntra[asn], reused: true}
+			return
+		}
+		results[i] = result{links: domainIntraMesh(b.igp, cfg, members), rebuilt: true}
+	}
+
+	workers := cfg.Workers
+	if workers > len(asns) {
+		workers = len(asns)
+	}
+	if workers <= 1 {
+		for i := range asns {
+			work(i)
+		}
+	} else {
+		// Same claim-next-index pool as experiments.RunParallel (which
+		// this package cannot import without a cycle): workers grab the
+		// next unclaimed domain until none remain; results land in slot
+		// order regardless of completion order.
+		var next atomic.Int64
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					i := int(next.Add(1)) - 1
+					if i >= len(asns) {
+						return
+					}
+					work(i)
+				}
+			}()
+		}
+		wg.Wait()
+	}
+
 	var stats BuildStats
+	for i := range results {
+		b.links = append(b.links, results[i].links...)
+		if results[i].reused {
+			stats.DomainsReused++
+		}
+		if results[i].rebuilt {
+			stats.DomainsRebuilt++
+		}
+	}
+	return stats
+}
+
+// domainIntraMesh computes one domain's intra virtual topology from
+// scratch: the k-closest mesh plus partition repair (or the blind
+// join-order tree). It touches only immutable inputs — the IGP view and
+// the member list — so meshes for different domains can run
+// concurrently. Links are returned normalized (A < B) and deduplicated,
+// in deterministic order.
+func domainIntraMesh(igp *underlay.View, cfg Config, members []topology.RouterID) []Link {
+	var links []Link
 	type pair struct{ a, b topology.RouterID }
 	have := map[pair]bool{}
-	addLink := func(x, y topology.RouterID, cost int64, kind LinkKind) {
+	addLink := func(x, y topology.RouterID, cost int64) {
 		if x == y {
 			return
 		}
@@ -274,117 +376,94 @@ func (b *Bone) buildIntra(cfg Config, prev *Bone, dirty map[topology.ASN]bool) B
 			return
 		}
 		have[p] = true
-		b.links = append(b.links, Link{A: x, B: y, Cost: cost, Kind: kind})
+		links = append(links, Link{A: x, B: y, Cost: cost, Kind: KindIntra})
 	}
 
-	for _, asn := range b.dep.ParticipatingASes() {
-		members := b.dep.MembersIn(asn)
-		if len(members) < 2 {
-			continue
-		}
-		if prev != nil && !dirty[asn] && prev.reusableFor(cfg) &&
-			sameMembers(prev.dep.MembersIn(asn), members) {
-			// Unchanged membership, untouched intra topology, identical
-			// knobs: the mesh (including any repair links) is byte-for-byte
-			// what the previous build produced.
-			for _, l := range prev.links {
-				if l.Kind == KindIntra && b.net.DomainOf(l.A) == asn {
-					addLink(l.A, l.B, l.Cost, KindIntra)
+	if cfg.BlindIntra {
+		// Footnote-3 construction: no member discovery. The i-th
+		// joiner resolves the anycast address, which lands on its
+		// closest already-present member; the resulting topology is
+		// a join-order tree (always connected, never repaired —
+		// there is nothing to detect partitions with).
+		for i := 1; i < len(members); i++ {
+			m := members[i]
+			best, bestDist := members[0], igp.IntraDist(m, members[0])
+			for _, o := range members[1:i] {
+				if d := igp.IntraDist(m, o); d < bestDist {
+					best, bestDist = o, d
 				}
 			}
-			stats.DomainsReused++
-			continue
+			addLink(m, best, bestDist)
 		}
-		stats.DomainsRebuilt++
-		if cfg.BlindIntra {
-			// Footnote-3 construction: no member discovery. The i-th
-			// joiner resolves the anycast address, which lands on its
-			// closest already-present member; the resulting topology is
-			// a join-order tree (always connected, never repaired —
-			// there is nothing to detect partitions with).
-			for i := 1; i < len(members); i++ {
-				m := members[i]
-				best, bestDist := members[0], b.igp.IntraDist(m, members[0])
-				for _, o := range members[1:i] {
-					if d := b.igp.IntraDist(m, o); d < bestDist {
-						best, bestDist = o, d
-					}
-				}
-				addLink(m, best, bestDist, KindIntra)
-			}
-			continue
+		return links
+	}
+	// k-closest neighbour selection.
+	for _, m := range members {
+		type cand struct {
+			id   topology.RouterID
+			dist int64
 		}
-		// k-closest neighbour selection.
-		for _, m := range members {
-			type cand struct {
-				id   topology.RouterID
-				dist int64
+		var cands []cand
+		for _, o := range members {
+			if o == m {
+				continue
 			}
-			var cands []cand
-			for _, o := range members {
-				if o == m {
-					continue
-				}
-				cands = append(cands, cand{o, b.igp.IntraDist(m, o)})
-			}
-			sort.Slice(cands, func(i, j int) bool {
-				if cands[i].dist != cands[j].dist {
-					return cands[i].dist < cands[j].dist
-				}
-				return cands[i].id < cands[j].id
-			})
-			k := cfg.K
-			if k > len(cands) {
-				k = len(cands)
-			}
-			for _, c := range cands[:k] {
-				addLink(m, c.id, c.dist, KindIntra)
-			}
+			cands = append(cands, cand{o, igp.IntraDist(m, o)})
 		}
-		if cfg.DisableRepair {
-			continue
+		sort.Slice(cands, func(i, j int) bool {
+			if cands[i].dist != cands[j].dist {
+				return cands[i].dist < cands[j].dist
+			}
+			return cands[i].id < cands[j].id
+		})
+		k := cfg.K
+		if k > len(cands) {
+			k = len(cands)
 		}
-		// Partition repair: cheapest link across components until one.
-		for {
-			comp := b.intraComponents(asn, members)
-			if len(comp) <= 1 {
-				break
-			}
-			bestCost := int64(graph.Inf)
-			var bestA, bestB topology.RouterID = -1, -1
-			for _, x := range comp[0] {
-				for ci := 1; ci < len(comp); ci++ {
-					for _, y := range comp[ci] {
-						if d := b.igp.IntraDist(x, y); d < bestCost {
-							bestCost, bestA, bestB = d, x, y
-						}
-					}
-				}
-			}
-			if bestA < 0 {
-				break // IGP itself partitioned; nothing to do
-			}
-			addLink(bestA, bestB, bestCost, KindIntra)
+		for _, c := range cands[:k] {
+			addLink(m, c.id, c.dist)
 		}
 	}
-	return stats
+	if cfg.DisableRepair {
+		return links
+	}
+	// Partition repair: cheapest link across components until one.
+	for {
+		comp := intraComponentsOf(links, members)
+		if len(comp) <= 1 {
+			break
+		}
+		bestCost := int64(graph.Inf)
+		var bestA, bestB topology.RouterID = -1, -1
+		for _, x := range comp[0] {
+			for ci := 1; ci < len(comp); ci++ {
+				for _, y := range comp[ci] {
+					if d := igp.IntraDist(x, y); d < bestCost {
+						bestCost, bestA, bestB = d, x, y
+					}
+				}
+			}
+		}
+		if bestA < 0 {
+			break // IGP itself partitioned; nothing to do
+		}
+		addLink(bestA, bestB, bestCost)
+	}
+	return links
 }
 
-// intraComponents returns the connected components of one domain's members
-// under the current intra links.
-func (b *Bone) intraComponents(asn topology.ASN, members []topology.RouterID) [][]topology.RouterID {
+// intraComponentsOf returns the connected components of one domain's
+// members under the given (domain-local) intra links.
+func intraComponentsOf(links []Link, members []topology.RouterID) [][]topology.RouterID {
 	local := map[topology.RouterID]int{}
 	for i, m := range members {
 		local[m] = i
 	}
 	uf := graph.NewUnionFind(len(members))
-	for _, l := range b.links {
-		if l.Kind != KindIntra {
-			continue
-		}
+	for _, l := range links {
 		ia, okA := local[l.A]
 		ib, okB := local[l.B]
-		if okA && okB && b.net.DomainOf(l.A) == asn {
+		if okA && okB {
 			uf.Union(ia, ib)
 		}
 	}

@@ -470,3 +470,61 @@ func TestBuildIncrementalReusesUntouchedDomains(t *testing.T) {
 		t.Errorf("knob change reused %d domains, want 0", stats.DomainsReused)
 	}
 }
+
+// TestWorkersOutputIdentical asserts the sharded per-domain mesh build
+// produces a byte-identical bone at 1, 4, and 16 workers, both from
+// scratch and on the incremental reuse path.
+func TestWorkersOutputIdentical(t *testing.T) {
+	n, err := topology.TransitStub(3, 5, 0.4, topology.GenConfig{Seed: 17, RoutersPerDomain: 4, Intra: topology.IntraRandom})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := newEnv(t, n)
+	dep, err := e.svc.DeployOption1(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, asn := range n.ASNs() {
+		for _, r := range n.Domain(asn).Routers {
+			e.svc.AddMember(dep, r)
+		}
+	}
+
+	build := func(workers int, prev *Bone, dirty map[topology.ASN]bool) *Bone {
+		t.Helper()
+		b, _, err := BuildIncremental(e.svc, e.igp, dep, Config{K: 2, Workers: workers}, prev, dirty)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		return b
+	}
+	sameLinks := func(a, b *Bone, label string) {
+		t.Helper()
+		la, lb := a.Links(), b.Links()
+		if len(la) != len(lb) {
+			t.Fatalf("%s: %d links vs %d", label, len(la), len(lb))
+		}
+		for i := range la {
+			if la[i] != lb[i] {
+				t.Fatalf("%s: link %d differs: %+v vs %+v", label, i, la[i], lb[i])
+			}
+		}
+	}
+
+	serial := build(1, nil, nil)
+	if len(serial.Links()) == 0 {
+		t.Fatal("no links built")
+	}
+	for _, w := range []int{4, 16} {
+		sameLinks(serial, build(w, nil, nil), fmt.Sprintf("scratch workers=%d", w))
+	}
+
+	// Incremental rebuild with one dirty domain must also be identical
+	// across worker counts (and to a from-scratch build).
+	dirty := map[topology.ASN]bool{n.ASNs()[0]: true}
+	inc1 := build(1, serial, dirty)
+	for _, w := range []int{4, 16} {
+		sameLinks(inc1, build(w, serial, dirty), fmt.Sprintf("incremental workers=%d", w))
+	}
+	sameLinks(serial, inc1, "incremental vs scratch")
+}
