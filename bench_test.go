@@ -7,7 +7,10 @@ package evolve
 // `go test -bench=. -benchmem` reproduces the complete evaluation.
 
 import (
+	"os"
+	"runtime"
 	"strconv"
+	"sync/atomic"
 	"testing"
 
 	"github.com/evolvable-net/evolve/internal/anycast"
@@ -264,6 +267,118 @@ func BenchmarkBoneRebuild(b *testing.B) {
 					b.Fatal(err)
 				}
 			}
+		})
+	}
+}
+
+// fleetSize is the endhost count BenchmarkFleetSend registers. The
+// default keeps `go test -bench` tractable; the headline configuration
+// is FLEET_HOSTS=1000000.
+func fleetSize() int {
+	if s := os.Getenv("FLEET_HOSTS"); s != "" {
+		if n, err := strconv.Atoi(s); err == nil && n > 0 {
+			return n
+		}
+	}
+	return 50000
+}
+
+// fleetWorld generates a transit–stub internet carrying about `hosts`
+// endhosts (50 per stub domain), deploys an anycast group over the
+// transit core, and bulk-registers every stub endhost so the delivery
+// plane carries one /128 per fleet member.
+func fleetWorld(b *testing.B, hosts int, cfg core.Config) (*topology.Network, *core.Evolution) {
+	b.Helper()
+	const hostsPer = 50
+	domains := hosts / hostsPer
+	if domains < 4 {
+		domains = 4
+	}
+	nTransit := domains / 100
+	if nTransit < 2 {
+		nTransit = 2
+	}
+	net, err := topology.TransitStub(nTransit, domains/nTransit-1, 0.3, topology.GenConfig{
+		Seed: 42, RoutersPerDomain: 2, HostsPerDomain: hostsPer,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg.Option = anycast.Option2
+	cfg.DefaultAS = net.DomainByName("T0").ASN
+	evo, err := core.New(net, cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < nTransit; i++ {
+		evo.DeployDomain(net.DomainByName("T"+strconv.Itoa(i)).ASN, 0)
+	}
+	if err := evo.RegisterEndhosts(net.Hosts); err != nil {
+		b.Fatal(err)
+	}
+	return net, evo
+}
+
+// BenchmarkFleetSend is the tentpole's acceptance benchmark: a
+// fleet-scale internet (FLEET_HOSTS endhosts, 1M for the headline run,
+// every one registered) hammered by 64 concurrent senders over a fixed
+// working set of flows. The unsharded arm is the pre-sharding delivery
+// plane — one shard, one counter stripe, no flow memoisation — and the
+// sharded arm is the default configuration; the ratio of their sends/sec
+// is the tentpole's ≥2× bar. Steady state on the sharded arm must report
+// 0 allocs/op.
+func BenchmarkFleetSend(b *testing.B) {
+	hosts := fleetSize()
+	for _, arm := range []struct {
+		name string
+		cfg  core.Config
+	}{
+		{"unsharded", core.Config{DeliveryShards: 1, DisableDeliveryCache: true}},
+		{"sharded", core.Config{}},
+	} {
+		b.Run(arm.name, func(b *testing.B) {
+			net, evo := fleetWorld(b, hosts, arm.cfg)
+			if arm.name == "unsharded" {
+				evo.Counters().SetStripes(1)
+			}
+			// The senders cycle a fixed flow working set spanning the
+			// whole fleet, so the sharded arm exercises memoised flows the
+			// way a steady traffic matrix would.
+			const flows = 1024
+			type pair struct{ src, dst *topology.Host }
+			pairs := make([]pair, flows)
+			stride := len(net.Hosts)/flows + 1
+			for i := range pairs {
+				pairs[i] = pair{
+					src: net.Hosts[(i*stride)%len(net.Hosts)],
+					dst: net.Hosts[(i*stride+len(net.Hosts)/2)%len(net.Hosts)],
+				}
+			}
+			payload := make([]byte, 256)
+			for i := 0; i < flows; i++ { // warm every flow once
+				if _, err := evo.Send(pairs[i].src, pairs[i].dst, payload); err != nil {
+					b.Fatal(err)
+				}
+			}
+			// 64 concurrent senders regardless of GOMAXPROCS.
+			para := 64 / runtime.GOMAXPROCS(0)
+			if para < 1 {
+				para = 1
+			}
+			b.SetParallelism(para)
+			var next atomic.Uint64
+			b.ReportAllocs()
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				for pb.Next() {
+					p := pairs[next.Add(1)%flows]
+					if _, err := evo.Send(p.src, p.dst, payload); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+			b.StopTimer()
+			b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "sends/sec")
 		})
 	}
 }

@@ -1,0 +1,252 @@
+// Command deliverybench measures the delivery plane's send throughput at
+// fleet scale: it builds a transit–stub internet carrying the requested
+// endhost fleet (every host registered, so the BGPvN tables carry one
+// /128 per fleet member), then drives concurrent senders over a fixed
+// flow working set — once against the unsharded, uncached,
+// single-stripe baseline delivery plane, and once per requested shard
+// count with the flow cache and striped counters on. It reports
+// sends/sec, ns/op and allocs/op per arm plus the sharded-over-baseline
+// speedup as JSON. CI runs it at a small fleet size and archives the
+// artifact so delivery-plane regressions show up as a number, not a
+// feeling.
+//
+// Usage:
+//
+//	go run ./cmd/deliverybench -hosts 50000 -senders 64 -shards 1,4,16 -o BENCH_delivery.json
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/evolvable-net/evolve/internal/anycast"
+	"github.com/evolvable-net/evolve/internal/core"
+	"github.com/evolvable-net/evolve/internal/topology"
+)
+
+// armResult is one delivery-plane configuration's measurement.
+type armResult struct {
+	Arm         string  `json:"arm"`
+	Shards      int     `json:"shards"`
+	FlowCache   bool    `json:"flow_cache"`
+	Stripes     int     `json:"counter_stripes"`
+	Sends       uint64  `json:"sends"`
+	WallNS      int64   `json:"wall_ns"`
+	NSPerOp     float64 `json:"ns_per_op"`
+	SendsPerSec float64 `json:"sends_per_sec"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+	BytesPerOp  float64 `json:"bytes_per_op"`
+	FlowHits    uint64  `json:"flow_hits"`
+	FlowMisses  uint64  `json:"flow_misses"`
+	Speedup     float64 `json:"speedup_vs_baseline"`
+}
+
+// report is the BENCH_delivery.json schema.
+type report struct {
+	Scenario    string      `json:"scenario"`
+	TopoSeed    int64       `json:"topo_seed"`
+	Hosts       int         `json:"hosts"`
+	Domains     int         `json:"domains"`
+	Senders     int         `json:"senders"`
+	Flows       int         `json:"flows"`
+	PayloadB    int         `json:"payload_bytes"`
+	MaxProcs    int         `json:"maxprocs"`
+	Baseline    armResult   `json:"baseline"`
+	Sharded     []armResult `json:"sharded"`
+	BestSpeedup float64     `json:"best_speedup"`
+}
+
+// buildWorld generates the fleet internet (about hosts endhosts, 50 per
+// stub domain), deploys the transit core and registers every host.
+func buildWorld(seed int64, hosts int, cfg core.Config) (*topology.Network, *core.Evolution, int, error) {
+	const hostsPer = 50
+	domains := hosts / hostsPer
+	if domains < 4 {
+		domains = 4
+	}
+	nTransit := domains / 100
+	if nTransit < 2 {
+		nTransit = 2
+	}
+	net, err := topology.TransitStub(nTransit, domains/nTransit-1, 0.3, topology.GenConfig{
+		Seed: seed, RoutersPerDomain: 2, HostsPerDomain: hostsPer,
+	})
+	if err != nil {
+		return nil, nil, 0, err
+	}
+	cfg.Option = anycast.Option2
+	cfg.DefaultAS = net.DomainByName("T0").ASN
+	evo, err := core.New(net, cfg)
+	if err != nil {
+		return nil, nil, 0, err
+	}
+	for i := 0; i < nTransit; i++ {
+		evo.DeployDomain(net.DomainByName("T"+strconv.Itoa(i)).ASN, 0)
+	}
+	if err := evo.RegisterEndhosts(net.Hosts); err != nil {
+		return nil, nil, 0, err
+	}
+	return net, evo, len(net.ASNs()), nil
+}
+
+type pair struct{ src, dst *topology.Host }
+
+// workingSet picks a fixed flow list spanning the whole fleet.
+func workingSet(net *topology.Network, flows int) []pair {
+	pairs := make([]pair, flows)
+	stride := len(net.Hosts)/flows + 1
+	for i := range pairs {
+		pairs[i] = pair{
+			src: net.Hosts[(i*stride)%len(net.Hosts)],
+			dst: net.Hosts[(i*stride+len(net.Hosts)/2)%len(net.Hosts)],
+		}
+	}
+	return pairs
+}
+
+// run drives senders concurrent goroutines over the working set for the
+// requested send count and reports the arm's numbers.
+func run(evo *core.Evolution, pairs []pair, senders int, sends uint64, payload []byte) (armResult, error) {
+	var res armResult
+	for _, p := range pairs { // warm every flow once, outside the clock
+		if _, err := evo.Send(p.src, p.dst, payload); err != nil {
+			return res, err
+		}
+	}
+	before := evo.Snapshot()
+	var memBefore, memAfter runtime.MemStats
+	runtime.ReadMemStats(&memBefore)
+
+	var next atomic.Uint64
+	var firstErr atomic.Value
+	var wg sync.WaitGroup
+	start := time.Now()
+	for s := 0; s < senders; s++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				n := next.Add(1)
+				if n > sends {
+					return
+				}
+				p := pairs[n%uint64(len(pairs))]
+				if _, err := evo.Send(p.src, p.dst, payload); err != nil {
+					firstErr.CompareAndSwap(nil, err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	wall := time.Since(start)
+	if err, ok := firstErr.Load().(error); ok {
+		return res, err
+	}
+	runtime.ReadMemStats(&memAfter)
+	after := evo.Snapshot()
+
+	res.Sends = sends
+	res.WallNS = wall.Nanoseconds()
+	res.NSPerOp = float64(wall.Nanoseconds()) / float64(sends)
+	res.SendsPerSec = float64(sends) / wall.Seconds()
+	res.AllocsPerOp = float64(memAfter.Mallocs-memBefore.Mallocs) / float64(sends)
+	res.BytesPerOp = float64(memAfter.TotalAlloc-memBefore.TotalAlloc) / float64(sends)
+	res.FlowHits = after.DeliveryFlowHits - before.DeliveryFlowHits
+	res.FlowMisses = after.DeliveryFlowMisses - before.DeliveryFlowMisses
+	return res, nil
+}
+
+func main() {
+	hosts := flag.Int("hosts", 50000, "endhost fleet size")
+	senders := flag.Int("senders", 64, "concurrent sender goroutines")
+	sends := flag.Uint64("sends", 200000, "sends per arm")
+	flows := flag.Int("flows", 1024, "distinct flows in the working set")
+	payloadB := flag.Int("payload", 256, "payload bytes per send")
+	shardList := flag.String("shards", "1,4,16", "delivery shard counts to sweep")
+	seed := flag.Int64("seed", 42, "topology seed")
+	out := flag.String("o", "BENCH_delivery.json", "output JSON path")
+	flag.Parse()
+
+	rep := report{
+		Scenario: "fleet-send",
+		TopoSeed: *seed,
+		Hosts:    *hosts,
+		Senders:  *senders,
+		Flows:    *flows,
+		PayloadB: *payloadB,
+		MaxProcs: runtime.GOMAXPROCS(0),
+	}
+	payload := make([]byte, *payloadB)
+
+	// Baseline: one shard, no flow cache, one counter stripe — the
+	// pre-sharding delivery plane.
+	net, evo, domains, err := buildWorld(*seed, *hosts, core.Config{DeliveryShards: 1, DisableDeliveryCache: true})
+	if err != nil {
+		fatal(err)
+	}
+	rep.Domains = domains
+	evo.Counters().SetStripes(1)
+	pairs := workingSet(net, *flows)
+	base, err := run(evo, pairs, *senders, *sends, payload)
+	if err != nil {
+		fatal(err)
+	}
+	base.Arm, base.Shards, base.FlowCache, base.Stripes, base.Speedup = "baseline", 1, false, 1, 1
+	rep.Baseline = base
+
+	for _, s := range strings.Split(*shardList, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(s))
+		if err != nil {
+			fatal(fmt.Errorf("bad -shards entry %q: %w", s, err))
+		}
+		armNet, evo, _, err := buildWorld(*seed, *hosts, core.Config{DeliveryShards: n})
+		if err != nil {
+			fatal(err)
+		}
+		// Same seed, fresh network: rebuild the working set against this
+		// arm's own host objects.
+		arm, err := run(evo, workingSet(armNet, *flows), *senders, *sends, payload)
+		if err != nil {
+			fatal(err)
+		}
+		arm.Arm = "shards=" + strconv.Itoa(n)
+		arm.Shards = n
+		arm.FlowCache = true
+		arm.Stripes = evo.Counters().Stripes()
+		arm.Speedup = base.NSPerOp / arm.NSPerOp
+		rep.Sharded = append(rep.Sharded, arm)
+		if arm.Speedup > rep.BestSpeedup {
+			rep.BestSpeedup = arm.Speedup
+		}
+	}
+
+	f, err := os.Create(*out)
+	if err != nil {
+		fatal(err)
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("deliverybench: %d hosts, %d senders: baseline %.0f sends/sec; best sharded %.0f sends/sec (%.1fx); wrote %s\n",
+		rep.Hosts, rep.Senders, rep.Baseline.SendsPerSec,
+		rep.Baseline.SendsPerSec*rep.BestSpeedup, rep.BestSpeedup, *out)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "deliverybench:", err)
+	os.Exit(1)
+}

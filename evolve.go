@@ -30,6 +30,16 @@
 //
 // The full experiment harness reproducing the paper's figures lives
 // behind RunExperiment / Experiments; see DESIGN.md and EXPERIMENTS.md.
+//
+// The library is built to hold fleet-scale internets: the routing plane
+// scales to 10k+ domains (cmd/topobench) and the delivery plane to
+// million-endhost fleets — Send is lock-free, memoises per-flow routing
+// skeletons inside the immutable routing epoch, runs the wire path on
+// pooled buffers (zero allocations at steady state) and counts into
+// striped counters, so 64 concurrent senders scale without sharing
+// cache lines (cmd/deliverybench; Config.DeliveryShards and
+// Config.DisableDeliveryCache are the ablation knobs, and
+// Evolution.RegisterEndhosts bulk-registers a fleet as one epoch).
 package evolve
 
 import (

@@ -9,9 +9,11 @@
 package core
 
 import (
+	"bytes"
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"math/rand/v2"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -25,7 +27,6 @@ import (
 	"github.com/evolvable-net/evolve/internal/routing/bgpvn"
 	"github.com/evolvable-net/evolve/internal/topology"
 	"github.com/evolvable-net/evolve/internal/trace"
-	"github.com/evolvable-net/evolve/internal/tunnel"
 	"github.com/evolvable-net/evolve/internal/underlay"
 	"github.com/evolvable-net/evolve/internal/vnbone"
 )
@@ -54,6 +55,17 @@ type Config struct {
 	// exists as the ablation baseline for the churn benchmarks and as a
 	// debugging escape hatch; leave it false in production use.
 	FullReconverge bool
+	// DeliveryShards is the shard count of the epoch-interior send-path
+	// structures (endhost registry, redirect cache, flow cache). 0 means
+	// the default (16); values are clamped to [1, 256] and rounded down
+	// to a power of two. DeliveryShards(1) is the unsharded ablation
+	// baseline for the delivery benchmarks.
+	DeliveryShards int
+	// DisableDeliveryCache turns off the per-epoch flow cache so every
+	// send recomputes its full routing skeleton — the pre-sharding
+	// behaviour, kept as the honest baseline arm of the delivery
+	// benchmarks.
+	DisableDeliveryCache bool
 }
 
 // ErrNotDeployed is returned by operations that need at least one IPvN
@@ -80,9 +92,11 @@ type routingEpoch struct {
 	seq uint64
 	err error
 
-	bone    *vnbone.Bone
-	vn      *bgpvn.System
-	vnAddrs map[topology.HostID]addr.VN
+	bone *vnbone.Bone
+	vn   *bgpvn.System
+	// addrs is the sharded endhost registry: per-host native IPvN
+	// addresses, copy-on-write at shard granularity across epochs.
+	addrs *addrShards
 	// dep and provDeps are deep clones frozen at publication; anycast
 	// capture on the send path resolves against them, never against the
 	// live (mutable) deployments.
@@ -92,7 +106,10 @@ type routingEpoch struct {
 	// for this epoch's routing state (routing is deterministic between
 	// reconvergences, so the cache is exact). Entries whose trajectory
 	// the next event cannot have touched are carried into the next epoch.
-	resolve *sync.Map
+	resolve *resolveShards
+	// flow memoises whole delivery skeletons per (src, dst, deployment)
+	// flow. Fresh every time routing state changes; see flowShards.
+	flow *flowShards
 }
 
 // tracerBox wraps the tracer interface so it can live in an
@@ -132,11 +149,15 @@ type Evolution struct {
 	// any shared routing state (see routingEpoch.seq).
 	mutSeq atomic.Uint64
 
-	// vnAddrs caches stable per-host IPvN addresses; pools allocate
-	// native addresses per participant domain. Mutator-side canonical
-	// state: each epoch carries its own frozen copy.
-	vnAddrs map[topology.HostID]addr.VN
-	pools   map[topology.ASN]*addr.VNPool
+	// native is the mutator-side canonical endhost registry (sharded
+	// per-host native IPvN addresses); pools allocate native addresses
+	// per participant domain. Epochs publish copy-on-write snapshots:
+	// relabelScoped clones only the shards it writes, so untouched
+	// shards are shared structurally across epochs.
+	native *addrShards
+	// shardN is the normalized Config.DeliveryShards.
+	shardN int
+	pools  map[topology.ASN]*addr.VNPool
 	// registered holds endhosts using the §3.3.2 anycast-based route
 	// advertisement; re-applied on every epoch build.
 	registered map[topology.HostID]*topology.Host
@@ -144,9 +165,6 @@ type Evolution struct {
 	// user-choice-of-provider extension; membership stays in sync with
 	// the main deployment.
 	providerDeps map[topology.ASN]*anycast.Deployment
-	// sendSeq stamps each delivery's trace tag; atomic so concurrent
-	// Sends each draw a unique tag.
-	sendSeq atomic.Uint32
 
 	// watchMu guards the epoch-watcher registry; deliberately separate
 	// from mu so subscribing never contends with mutators.
@@ -194,6 +212,7 @@ func New(net *topology.Network, cfg Config) (*Evolution, error) {
 	if err != nil {
 		return nil, err
 	}
+	shardN := normalizeShards(cfg.DeliveryShards)
 	e := &Evolution{
 		Net:          net,
 		BGP:          bgpSys,
@@ -202,15 +221,17 @@ func New(net *topology.Network, cfg Config) (*Evolution, error) {
 		Fwd:          forward.NewEngine(net, bgpSys, igp),
 		Dep:          dep,
 		cfg:          cfg,
-		vnAddrs:      map[topology.HostID]addr.VN{},
+		native:       newAddrShards(shardN),
+		shardN:       shardN,
 		pools:        map[topology.ASN]*addr.VNPool{},
 		registered:   map[topology.HostID]*topology.Host{},
 		providerDeps: map[topology.ASN]*anycast.Deployment{},
 	}
 	e.epoch.Store(&routingEpoch{
 		err:     ErrNotDeployed,
-		vnAddrs: map[topology.HostID]addr.VN{},
-		resolve: &sync.Map{},
+		addrs:   e.native,
+		resolve: newResolveShards(shardN),
+		flow:    newFlowShards(shardN),
 	})
 	return e, nil
 }
@@ -285,7 +306,7 @@ func (e *Evolution) DeployRouters(ids []topology.RouterID) {
 	} else {
 		e.counters.InvalDomain()
 	}
-	_ = e.buildEpochLocked(nil, changed, flush)
+	_ = e.buildEpochLocked(nil, changed, changed, flush)
 }
 
 // UndeployRouter withdraws one router from the deployment.
@@ -309,7 +330,8 @@ func (e *Evolution) UndeployRouter(id topology.RouterID) {
 	} else {
 		e.counters.InvalDomain()
 	}
-	_ = e.buildEpochLocked(nil, map[topology.ASN]bool{asn: true}, flush)
+	scope := map[topology.ASN]bool{asn: true}
+	_ = e.buildEpochLocked(nil, scope, scope, flush)
 }
 
 // EnableProviderChoice provisions a provider-specific anycast address for
@@ -522,6 +544,10 @@ func (e *Evolution) publishRegistrationLocked() {
 	ep := *prev
 	ep.seq = e.mutSeq.Load()
 	ep.vn = bgpvn.New(prev.bone, e.Fwd, e.Net)
+	// Registrations change the natives table, which flow skeletons bake
+	// in — the flow cache starts over (the redirect cache is untouched:
+	// anycast resolution does not depend on registrations).
+	ep.flow = newFlowShards(e.shardN)
 	for _, h := range e.registered {
 		_ = e.applyRegistration(&ep, h)
 	}
@@ -530,36 +556,18 @@ func (e *Evolution) publishRegistrationLocked() {
 	e.notifyEpoch()
 }
 
-// carryResolve copies the previous epoch's memoised resolutions into a
-// fresh map, dropping every entry whose recorded domain-level trajectory
-// crosses an evicted domain — only those could have been re-routed or
-// re-captured by the event. Copying entry by entry (rather than sharing
-// the map) also sheds any entry a racing sender managed to store after
-// the mutation sequence had already moved on.
-func carryResolve(prev *sync.Map, evict map[topology.ASN]bool) *sync.Map {
-	next := &sync.Map{}
-	prev.Range(func(k, v any) bool {
-		res := v.(*anycast.Resolution)
-		for _, asn := range res.ASPath {
-			if evict[asn] {
-				return true
-			}
-		}
-		next.Store(k, v)
-		return true
-	})
-	return next
-}
-
 // buildEpochLocked constructs and atomically publishes the next routing
 // epoch; callers hold mu, have bumped mutSeq and have already applied
 // the raw change (membership, topology, scoped IGP/BGP invalidations).
 // dirty lists bone domains whose intra mesh must be recomputed (nil
 // reuses every unchanged domain's mesh), evict scopes the redirect-cache
-// carry-over, flush drops that cache wholesale. The error (no members,
-// or a bone build failure) is also recorded in the published epoch, so
-// senders and queries keep reporting it until a mutation heals it.
-func (e *Evolution) buildEpochLocked(dirty, evict map[topology.ASN]bool, flush bool) error {
+// carry-over, relabel lists domains whose participation may have toggled
+// (only their hosts can need re-addressing; link events pass nil and
+// share the address shards untouched), flush drops the redirect cache
+// wholesale. The error (no members, or a bone build failure) is also
+// recorded in the published epoch, so senders and queries keep reporting
+// it until a mutation heals it.
+func (e *Evolution) buildEpochLocked(dirty, evict, relabel map[topology.ASN]bool, flush bool) error {
 	prev := e.epoch.Load()
 	seq := e.mutSeq.Load()
 	if e.cfg.FullReconverge {
@@ -570,8 +578,9 @@ func (e *Evolution) buildEpochLocked(dirty, evict map[topology.ASN]bool, flush b
 		e.epoch.Store(&routingEpoch{
 			seq:     seq,
 			err:     ErrNotDeployed,
-			vnAddrs: prev.vnAddrs,
-			resolve: &sync.Map{},
+			addrs:   prev.addrs,
+			resolve: newResolveShards(e.shardN),
+			flow:    newFlowShards(e.shardN),
 		})
 		e.notifyEpoch()
 		return ErrNotDeployed
@@ -599,10 +608,11 @@ func (e *Evolution) buildEpochLocked(dirty, evict map[topology.ASN]bool, flush b
 		e.epoch.Store(&routingEpoch{
 			seq:      seq,
 			err:      err,
-			vnAddrs:  prev.vnAddrs,
+			addrs:    prev.addrs,
 			dep:      dep,
 			provDeps: provs,
-			resolve:  &sync.Map{},
+			resolve:  newResolveShards(e.shardN),
+			flow:     newFlowShards(e.shardN),
 		})
 		e.notifyEpoch()
 		return err
@@ -616,11 +626,18 @@ func (e *Evolution) buildEpochLocked(dirty, evict map[topology.ASN]bool, flush b
 		dep:      dep,
 		provDeps: provs,
 	}
-	e.relabelHosts()
-	ep.vnAddrs = make(map[topology.HostID]addr.VN, len(e.vnAddrs))
-	for id, v := range e.vnAddrs {
-		ep.vnAddrs[id] = v
+	if e.cfg.FullReconverge {
+		// The ablation baseline re-examines every domain, like the
+		// pre-scoping full relabel pass did. The per-domain address pools
+		// draw in the same order either way, so the resulting addresses
+		// are identical to a scoped pass.
+		relabel = map[topology.ASN]bool{}
+		for _, asn := range e.Net.ASNs() {
+			relabel[asn] = true
+		}
 	}
+	e.relabelScoped(relabel)
+	ep.addrs = e.native
 	// Re-register endhost routes against the fresh vN routing state —
 	// the paper's "endhost would periodically repeat this process in
 	// order to adapt to spread in deployment" (§3.3.2). A host that
@@ -632,10 +649,13 @@ func (e *Evolution) buildEpochLocked(dirty, evict map[topology.ASN]bool, flush b
 		_ = e.applyRegistration(ep, h)
 	}
 	if flush || prev.err != nil {
-		ep.resolve = &sync.Map{}
+		ep.resolve = newResolveShards(e.shardN)
 	} else {
-		ep.resolve = carryResolve(prev.resolve, evict)
+		ep.resolve = prev.resolve.carry(evict)
 	}
+	// Flow skeletons bake in every routing input at once (bone, BGPvN,
+	// IGP, baseline); any rebuild starts the flow cache over.
+	ep.flow = newFlowShards(e.shardN)
 	e.counters.Epoch()
 	e.epoch.Store(ep)
 	e.notifyEpoch()
@@ -654,13 +674,24 @@ func (e *Evolution) buildEpochLocked(dirty, evict map[topology.ASN]bool, flush b
 // rebuild. An error means the deployment itself is unusable and nothing
 // was registered.
 func (e *Evolution) RegisterEndhost(h *topology.Host) error {
+	return e.RegisterEndhosts([]*topology.Host{h})
+}
+
+// RegisterEndhosts registers a batch of hosts as one mutation: the
+// registration epoch is published once, not once per host. Registering a
+// fleet host-by-host is quadratic — every publication re-applies the
+// whole registration set against fresh BGPvN tables — so bulk setup
+// (benchmarks, topology loaders) must use the batch form.
+func (e *Evolution) RegisterEndhosts(hosts []*topology.Host) error {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	if ep := e.epoch.Load(); ep.err != nil {
 		return ep.err
 	}
 	e.mutSeq.Add(1)
-	e.registered[h.ID] = h
+	for _, h := range hosts {
+		e.registered[h.ID] = h
+	}
 	e.publishRegistrationLocked()
 	return nil
 }
@@ -683,7 +714,7 @@ func (e *Evolution) UnregisterEndhost(h *topology.Host) {
 // the advertising domain against the epoch's frozen deployment. Callers
 // hold mu; ep is not yet published.
 func (e *Evolution) applyRegistration(ep *routingEpoch, h *topology.Host) error {
-	v := ep.vnAddrs[h.ID]
+	v := ep.addrs.addrOf(h)
 	if !v.IsSelf() {
 		// The host's provider adopted IPvN; its native address is
 		// routable without any registration.
@@ -697,37 +728,59 @@ func (e *Evolution) applyRegistration(ep *routingEpoch, h *topology.Host) error 
 	return nil
 }
 
-// relabelHosts updates host IPvN addresses after participation changes:
-// hosts of newly participating domains get native addresses ("such
-// endhosts will have to relabel if and when their access providers do
-// adopt IPvN"), hosts of domains that dropped out fall back to temporary
-// self-addresses.
-func (e *Evolution) relabelHosts() {
-	for _, h := range e.Net.Hosts {
-		want := e.addressFor(h)
-		e.vnAddrs[h.ID] = want
+// relabelScoped updates host IPvN addresses after participation changes
+// in the scoped domains: hosts of newly participating domains get native
+// addresses ("such endhosts will have to relabel if and when their
+// access providers do adopt IPvN"), hosts of domains that dropped out
+// fall back to temporary self-addresses (by deletion — absence means
+// self-addressed; see addrShards). Addresses depend only on domain
+// participation, so domains outside the scope cannot have changed and
+// their shards are shared with the previous epoch untouched. A host that
+// is already natively addressed in a still-participating domain keeps
+// its address — relabelling is stable. Per-domain pool draws happen in
+// host-ID order, matching the old full-scan relabel pass exactly.
+// Callers hold mu.
+func (e *Evolution) relabelScoped(scope map[topology.ASN]bool) {
+	if len(scope) == 0 {
+		return
 	}
-}
-
-func (e *Evolution) addressFor(h *topology.Host) addr.VN {
-	if !e.participatesLocked(h.Domain) {
-		return addr.SelfAddress(h.Addr)
+	next := e.native.cow()
+	cloned := make([]bool, len(next.shards))
+	shardFor := func(id topology.HostID) map[topology.HostID]addr.VN {
+		i := uint32(id) & next.mask
+		if !cloned[i] {
+			clone := make(map[topology.HostID]addr.VN, len(next.shards[i])+1)
+			for k, v := range next.shards[i] {
+				clone[k] = v
+			}
+			next.shards[i] = clone
+			cloned[i] = true
+		}
+		return next.shards[i]
 	}
-	cur, ok := e.vnAddrs[h.ID]
-	if ok && !cur.IsSelf() {
-		return cur // already natively addressed; stable
+	for asn := range scope {
+		participates := e.participatesLocked(asn)
+		for _, h := range e.Net.HostsIn(asn) {
+			_, native := next.shards[uint32(h.ID)&next.mask][h.ID]
+			switch {
+			case participates && !native:
+				pool, ok := e.pools[asn]
+				if !ok {
+					pool = addr.NewVNPool(addr.DomainVNPrefix(int(asn)))
+					e.pools[asn] = pool
+				}
+				v, err := pool.Next()
+				if err != nil {
+					// A /40 per domain cannot exhaust at simulated scales.
+					panic(fmt.Sprintf("core: native pool exhausted for AS%d: %v", asn, err))
+				}
+				shardFor(h.ID)[h.ID] = v
+			case !participates && native:
+				delete(shardFor(h.ID), h.ID)
+			}
+		}
 	}
-	pool, ok := e.pools[h.Domain]
-	if !ok {
-		pool = addr.NewVNPool(addr.DomainVNPrefix(int(h.Domain)))
-		e.pools[h.Domain] = pool
-	}
-	v, err := pool.Next()
-	if err != nil {
-		// A /40 per domain cannot exhaust at simulated scales.
-		panic(fmt.Sprintf("core: native pool exhausted for AS%d: %v", h.Domain, err))
-	}
-	return v
+	e.native = next
 }
 
 // HostVNAddr returns a host's current IPvN address: native when its
@@ -737,7 +790,7 @@ func (e *Evolution) HostVNAddr(h *topology.Host) (addr.VN, error) {
 	if ep.err != nil {
 		return addr.VN{}, ep.err
 	}
-	return ep.vnAddrs[h.ID], nil
+	return ep.addrs.addrOf(h), nil
 }
 
 // Delivery is one end-to-end IPvN transmission.
@@ -766,8 +819,8 @@ type Delivery struct {
 	// TailPath is the router-level path of the final leg, from the
 	// egress member to the destination's attach router.
 	TailPath []topology.RouterID
-	// TraceTag is the per-Evolution sequence number stamped into the
-	// header options at the source and verified at the destination.
+	// TraceTag is the per-delivery random tag stamped into the header
+	// options at the source and verified at the destination.
 	TraceTag uint32
 }
 
@@ -801,25 +854,20 @@ func (e *Evolution) SendTraced(src, dst *topology.Host, payload []byte, tr trace
 	return e.send(ep, src, dst, payload, ep.dep, tr)
 }
 
-// resolveKey identifies one memoised redirect decision.
-type resolveKey struct {
-	host topology.HostID
-	a    addr.V4
-}
-
 // resolveIngress is the redirect decision of the send path: the anycast
-// resolution from src toward d's address, memoised in the epoch (routing
-// is deterministic within an epoch, so the cache is exact, not a
-// heuristic). A resolution computed while a mutator has already moved on
-// is still correct to return — it resolved against the epoch's frozen
-// deployment — but must not be cached: the store is gated on the
-// mutation sequence still matching the epoch's, and any store that races
-// past the gate is shed by the next epoch's entry-by-entry carry-over.
+// resolution from src toward d's address, memoised in the epoch's
+// sharded redirect cache (routing is deterministic within an epoch, so
+// the cache is exact, not a heuristic). A resolution computed while a
+// mutator has already moved on is still correct to return — it resolved
+// against the epoch's frozen deployment — but must not be cached: the
+// store is gated on the mutation sequence still matching the epoch's,
+// and any store that races past the gate is shed by the next epoch's
+// entry-by-entry carry-over.
 func (e *Evolution) resolveIngress(ep *routingEpoch, d *anycast.Deployment, src *topology.Host) (anycast.Resolution, error) {
 	k := resolveKey{src.ID, d.Addr}
-	if v, ok := ep.resolve.Load(k); ok {
+	if v, ok := ep.resolve.load(k); ok {
 		e.counters.Redirect(true)
-		return *v.(*anycast.Resolution), nil
+		return *v, nil
 	}
 	res, err := e.Anycast.ResolveFromHostVia(d, src)
 	if err != nil {
@@ -827,180 +875,261 @@ func (e *Evolution) resolveIngress(ep *routingEpoch, d *anycast.Deployment, src 
 	}
 	e.counters.Redirect(false)
 	if e.mutSeq.Load() == ep.seq {
-		ep.resolve.Store(k, &res)
+		ep.resolve.store(k, &res)
 	}
 	return res, nil
 }
 
-// send runs the delivery on one routing epoch with the given ingress
-// deployment (the shared one, or a provider-specific one) and optional
-// tracer.
-func (e *Evolution) send(ep *routingEpoch, src, dst *topology.Host, payload []byte, ingressDep *anycast.Deployment, tr trace.Tracer) (Delivery, error) {
-	e.counters.Send()
-	seq := e.sendSeq.Add(1)
-	// drop closes the span as a failure, counted under its stage.
-	drop := func(reason trace.DropReason, err error) (Delivery, error) {
-		e.counters.Drop(reason)
-		if tr != nil {
-			tr.Event(trace.Event{Kind: trace.KindDrop, Seq: seq, Router: -1, Reason: reason})
-		}
-		return Delivery{}, err
-	}
-
-	ingressAddr := ingressDep.Addr
-	srcVN := ep.vnAddrs[src.ID]
-	dstVN := ep.vnAddrs[dst.ID]
-	d := Delivery{SrcVN: srcVN, DstVN: dstVN}
+// dropSend closes a delivery as a failure, counted under its stage.
+func (e *Evolution) dropSend(tr trace.Tracer, seq uint32, reason trace.DropReason, err error) (Delivery, error) {
+	e.counters.Drop(reason)
 	if tr != nil {
-		tr.Event(trace.Event{Kind: trace.KindSend, Seq: seq, Router: src.Attach, AS: src.Domain})
+		tr.Event(trace.Event{Kind: trace.KindDrop, Seq: seq, Router: -1, Reason: reason})
 	}
+	return Delivery{}, err
+}
 
-	// Leg 1 — universal access: the host encapsulates toward the
-	// deployment's anycast address; routing finds the ingress (§3.1).
-	hdr := packet.VNHeader{
-		Version: e.cfg.Version,
-		Src:     srcVN,
-		Dst:     dstVN,
-	}
-	if dstVN.IsSelf() {
-		hdr = hdr.WithUnderlayDst(dst.Addr)
-	}
-	// Tag the packet so the harness can assert the header options survive
-	// every encap/decap stage bit-for-bit. The expected tag stays local to
-	// this delivery; concurrent sends each draw their own.
-	tag := make([]byte, 4)
-	binary.BigEndian.PutUint32(tag, seq)
-	hdr.Options = append(hdr.Options, packet.Option{Type: packet.OptTraceTag, Value: tag})
-	hostEP := tunnel.NewEndpoint(src.Addr)
-	hostEP.Observe(tr, &e.counters, seq)
-	wire, err := hostEP.EncapTo(ingressAddr, hdr, payload)
-	if err != nil {
-		return drop(trace.DropEncap, err)
+// computeFlow computes one flow's delivery skeleton against ep: the
+// redirect resolution (leg 1, memoised separately in the redirect
+// cache), the vN-Bone egress pick (leg 2, §3.3.2 — a self-addressed
+// destination may still have a registered /128 in the IPvN fabric, and
+// native routing then takes precedence over egress-policy guesswork),
+// the tail leg (leg 3) and the IPv(N-1) baseline. Every path computation
+// of a send happens here and none of the wire-level work; see flowEntry.
+func (e *Evolution) computeFlow(ep *routingEpoch, src, dst *topology.Host, ingressDep *anycast.Deployment) (*flowEntry, trace.DropReason, error) {
+	fe := &flowEntry{
+		srcVN: ep.addrs.addrOf(src),
+		dstVN: ep.addrs.addrOf(dst),
 	}
 	ing, err := e.resolveIngress(ep, ingressDep, src)
 	if err != nil {
-		return drop(trace.DropNoIngress, fmt.Errorf("core: ingress: %w", err))
+		return nil, trace.DropNoIngress, fmt.Errorf("core: ingress: %w", err)
 	}
-	d.Ingress = ing
-	ingressAS := e.Net.DomainOf(ing.Member)
-	e.counters.Ingress(ingressAS)
-	if tr != nil {
-		tr.Event(trace.Event{
-			Kind: trace.KindRedirect, Seq: seq,
-			Router: ing.Member, AS: ingressAS, Cost: ing.Cost,
-		})
-	}
+	fe.ing = ing
+	fe.ingressAS = e.Net.DomainOf(ing.Member)
 
-	ingressEP := tunnel.NewEndpoint(e.Net.Router(ing.Member).Loopback)
-	ingressEP.Observe(tr, &e.counters, seq)
-	// The ingress accepts anycast-addressed packets: decapsulate there.
-	// (Outer dst is the anycast address the member serves.)
-	outer, inner, pl, err := packet.DecapVN(wire)
-	if err != nil {
-		return drop(trace.DropDecap, fmt.Errorf("core: ingress decap: %w", err))
-	}
-	if outer.Dst != ingressAddr {
-		return drop(trace.DropDecap, fmt.Errorf("core: ingress got packet for %s", outer.Dst))
-	}
-
-	// Leg 2 — vN-Bone transit and egress selection (§3.3.2). A
-	// self-addressed destination may still have a registered /128 in the
-	// IPvN fabric (RegisterEndhost); native routing then takes
-	// precedence over egress-policy guesswork.
 	var eg bgpvn.Egress
 	egDetail := trace.EgressNative
-	if dstVN.IsSelf() {
-		eg, err = ep.vn.RouteNative(ing.Member, dstVN)
+	if fe.dstVN.IsSelf() {
+		eg, err = ep.vn.RouteNative(ing.Member, fe.dstVN)
 		egDetail = trace.EgressRegistered
 		if errors.Is(err, bgpvn.ErrNoVNRoute) {
 			eg, err = ep.vn.SelectEgress(ing.Member, dst.Addr, e.cfg.Egress)
 			egDetail = eg.Policy.String()
 		}
 	} else {
-		eg, err = ep.vn.RouteNative(ing.Member, dstVN)
+		eg, err = ep.vn.RouteNative(ing.Member, fe.dstVN)
 	}
 	if err != nil {
-		return drop(trace.DropNoVNRoute, fmt.Errorf("core: vn routing: %w", err))
+		return nil, trace.DropNoVNRoute, fmt.Errorf("core: vn routing: %w", err)
 	}
-	d.Egress = eg
-	d.VNHops = len(eg.BonePath) - 1
-	if d.VNHops < 0 {
-		d.VNHops = 0
+	fe.eg = eg
+	fe.egDetail = egDetail
+	fe.vnHops = len(eg.BonePath) - 1
+	if fe.vnHops < 0 {
+		fe.vnHops = 0
 	}
-	e.counters.BoneHops(d.VNHops)
+
+	if fe.dstVN.IsSelf() {
+		tail, err := e.Fwd.FromRouter(eg.Member, dst.Addr)
+		if err != nil {
+			return nil, trace.DropTail, fmt.Errorf("core: tail: %w", err)
+		}
+		fe.tailCost = tail.Cost
+		fe.tailPath = tail.Routers
+	} else {
+		// Egress is in dst's own (participating) domain: IGP delivers.
+		fe.tailCost = e.IGP.IntraDist(eg.Member, dst.Attach) + dst.AccessLatency
+		fe.tailPath = e.IGP.IntraPath(eg.Member, dst.Attach)
+	}
+
+	base, err := e.Fwd.HostToHost(src, dst)
+	if err != nil {
+		return nil, trace.DropNoBaseline, fmt.Errorf("core: baseline: %w", err)
+	}
+	fe.baseline = base.Cost
+	return fe, trace.DropNone, nil
+}
+
+// send runs the delivery on one routing epoch with the given ingress
+// deployment (the shared one, or a provider-specific one) and optional
+// tracer. The routing skeleton comes from the epoch's sharded flow cache
+// when this flow has delivered before (routing is deterministic within
+// an epoch, so the cached skeleton is exact) and is computed and
+// memoised otherwise. The wire-level encapsulation path runs for real
+// either way, ping-ponging between two pooled tunnel endpoints — with
+// the pool warm, a steady-state Send allocates nothing.
+func (e *Evolution) send(ep *routingEpoch, src, dst *topology.Host, payload []byte, ingressDep *anycast.Deployment, tr trace.Tracer) (Delivery, error) {
+	e.counters.Send()
+	// The per-delivery tag distinguishes concurrent sends' spans and
+	// integrity checks from one another; math/rand/v2 draws it from a
+	// per-P generator, so unlike a shared atomic sequence the stamp
+	// costs no cross-sender cache-line traffic.
+	seq := rand.Uint32()
+	if tr != nil {
+		tr.Event(trace.Event{Kind: trace.KindSend, Seq: seq, Router: src.Attach, AS: src.Domain})
+	}
+
+	fk := flowKey{src: src.ID, dst: dst.ID, dep: ingressDep.Addr}
+	var fe *flowEntry
+	if !e.cfg.DisableDeliveryCache {
+		fe, _ = ep.flow.load(fk)
+	}
+	if fe != nil {
+		e.counters.FlowHit()
+		// A flow hit is served entirely from memoised state, redirect
+		// decision included — count it so the redirect hit-rate stays
+		// meaningful.
+		e.counters.Redirect(true)
+	} else {
+		e.counters.FlowMiss()
+		var reason trace.DropReason
+		var err error
+		fe, reason, err = e.computeFlow(ep, src, dst, ingressDep)
+		if err != nil {
+			return e.dropSend(tr, seq, reason, err)
+		}
+		// Like the redirect cache, a skeleton computed after a mutator
+		// has already moved on is correct to use but must not be stored.
+		if !e.cfg.DisableDeliveryCache && e.mutSeq.Load() == ep.seq {
+			ep.flow.store(fk, fe)
+		}
+	}
+	e.counters.Ingress(fe.ingressAS)
+	e.counters.BoneHops(fe.vnHops)
+
+	d := Delivery{
+		SrcVN:        fe.srcVN,
+		DstVN:        fe.dstVN,
+		Ingress:      fe.ing,
+		Egress:       fe.eg,
+		VNHops:       fe.vnHops,
+		TailCost:     fe.tailCost,
+		TailPath:     fe.tailPath,
+		BaselineCost: fe.baseline,
+	}
+	d.TotalCost = fe.ing.Cost + fe.eg.BoneCost + fe.tailCost
+	d.Stretch = metrics.Stretch(d.TotalCost, d.BaselineCost)
+
+	ctx := sendCtxPool.Get().(*sendCtx)
+	defer sendCtxPool.Put(ctx)
+
+	// Leg 1 — universal access: the host encapsulates toward the
+	// deployment's anycast address; routing finds the ingress (§3.1).
+	hdr := packet.VNHeader{
+		Version: e.cfg.Version,
+		Src:     fe.srcVN,
+		Dst:     fe.dstVN,
+	}
+	opts := ctx.hdrOpts[:0]
+	if fe.dstVN.IsSelf() {
+		// Carry the destination's IPv(N-1) address for the egress
+		// (§3.3.2's "carried in a separate option field").
+		binary.BigEndian.PutUint32(ctx.underBuf[:], uint32(dst.Addr))
+		opts = append(opts, packet.Option{Type: packet.OptUnderlayDst, Value: ctx.underBuf[:]})
+	}
+	// Tag the packet so the harness can assert the header options
+	// survive every encap/decap stage bit-for-bit. The expected tag
+	// stays local to this delivery; concurrent sends each draw their own.
+	binary.BigEndian.PutUint32(ctx.tagBuf[:], seq)
+	opts = append(opts, packet.Option{Type: packet.OptTraceTag, Value: ctx.tagBuf[:]})
+	hdr.Options = opts
+
+	ingressAddr := ingressDep.Addr
+	hostEP := ctx.epA
+	hostEP.Local = src.Addr
+	hostEP.Observe(tr, &e.counters, seq)
+	wire, err := hostEP.EncapToShared(ingressAddr, hdr, payload)
+	if err != nil {
+		return e.dropSend(tr, seq, trace.DropEncap, err)
+	}
 	if tr != nil {
 		tr.Event(trace.Event{
-			Kind: trace.KindEgress, Seq: seq,
-			Router: eg.Member, AS: e.Net.DomainOf(eg.Member),
-			Cost: eg.BoneCost, Detail: egDetail,
+			Kind: trace.KindRedirect, Seq: seq,
+			Router: fe.ing.Member, AS: fe.ingressAS, Cost: fe.ing.Cost,
 		})
 	}
 
-	// Relay the wire packet member-to-member along the bone path.
-	curEP := ingressEP
-	for i := 1; i < len(eg.BonePath); i++ {
-		hop := eg.BonePath[i]
+	// The ingress accepts anycast-addressed packets: decapsulate there.
+	// (Outer dst is the anycast address the member serves.)
+	outer, inner, pl, err := packet.DecapVNShared(wire, ctx.optA[:0])
+	if err != nil {
+		return e.dropSend(tr, seq, trace.DropDecap, fmt.Errorf("core: ingress decap: %w", err))
+	}
+	if outer.Dst != ingressAddr {
+		return e.dropSend(tr, seq, trace.DropDecap, fmt.Errorf("core: ingress got packet for %s", outer.Dst))
+	}
+	if tr != nil {
+		tr.Event(trace.Event{
+			Kind: trace.KindEgress, Seq: seq,
+			Router: fe.eg.Member, AS: e.Net.DomainOf(fe.eg.Member),
+			Cost: fe.eg.BoneCost, Detail: fe.egDetail,
+		})
+	}
+
+	// Leg 2 — relay the wire packet member-to-member along the bone
+	// path. The two pooled endpoints alternate: each re-encapsulation
+	// serializes into one endpoint's buffer while reading the header and
+	// payload that still alias the other's, so no hop copies anything.
+	relayEP, spareEP := ctx.epB, ctx.epA
+	relayOpt, spareOpt := ctx.optB, ctx.optA
+	prevLoop := e.Net.Router(fe.ing.Member).Loopback
+	for i := 1; i < len(fe.eg.BonePath); i++ {
+		hop := fe.eg.BonePath[i]
 		nextLoop := e.Net.Router(hop).Loopback
-		curEP.Add("bone-hop", nextLoop, 0)
-		wire, err = curEP.Relay(nextLoop, inner, pl)
+		relayEP.Local = prevLoop
+		relayEP.Observe(tr, &e.counters, seq)
+		wire, err = relayEP.EncapToShared(nextLoop, inner, pl)
 		if err != nil {
-			return drop(trace.DropRelay, fmt.Errorf("core: bone relay %d: %w", i, err))
+			return e.dropSend(tr, seq, trace.DropRelay, fmt.Errorf("core: bone relay %d: %w", i, err))
 		}
-		nextEP := tunnel.NewEndpoint(nextLoop)
-		nextEP.Observe(tr, &e.counters, seq)
-		_, inner, pl, err = nextEP.Decap(wire)
+		relayEP.Local = nextLoop
+		_, inner, pl, err = relayEP.DecapShared(wire, relayOpt[:0])
 		if err != nil {
-			return drop(trace.DropRelay, fmt.Errorf("core: bone decap %d: %w", i, err))
+			return e.dropSend(tr, seq, trace.DropRelay, fmt.Errorf("core: bone decap %d: %w", i, err))
 		}
 		if tr != nil {
 			tr.Event(trace.Event{
 				Kind: trace.KindBoneHop, Seq: seq,
 				Router: hop, AS: e.Net.DomainOf(hop),
-				Cost: ep.bone.Dist(eg.BonePath[i-1], hop),
+				Cost: ep.bone.Dist(fe.eg.BonePath[i-1], hop),
 			})
 		}
-		curEP = nextEP
+		prevLoop = nextLoop
+		relayEP, spareEP = spareEP, relayEP
+		relayOpt, spareOpt = spareOpt, relayOpt
 	}
 
-	// Leg 3 — exit the vN-Bone and reach the destination host.
-	if dstVN.IsSelf() {
+	// Leg 3 — exit the vN-Bone and reach the destination host. After the
+	// loop relayEP's buffer is the free one; the current header and
+	// payload alias spareEP's.
+	relayEP.Local = prevLoop
+	relayEP.Observe(tr, &e.counters, seq)
+	if fe.dstVN.IsSelf() {
 		under, ok := inner.UnderlayDst()
 		if !ok {
-			return drop(trace.DropTail, fmt.Errorf("core: self-addressed destination without underlay address"))
+			return e.dropSend(tr, seq, trace.DropTail, fmt.Errorf("core: self-addressed destination without underlay address"))
 		}
-		tail, err := e.Fwd.FromRouter(eg.Member, under)
-		if err != nil {
-			return drop(trace.DropTail, fmt.Errorf("core: tail: %w", err))
-		}
-		d.TailCost = tail.Cost
-		d.TailPath = tail.Routers
 		// Final tunnel: egress → destination host over IPv(N-1), an
 		// ad-hoc encapsulation toward the host's underlay address.
-		wire, err = curEP.EncapTo(under, inner, pl)
-		if err == nil {
-			dstEP := tunnel.NewEndpoint(dst.Addr)
-			dstEP.Observe(tr, &e.counters, seq)
-			_, _, pl, err = dstEP.Decap(wire)
-		}
+		wire, err = relayEP.EncapToShared(under, inner, pl)
 		if err != nil {
-			return drop(trace.DropTail, fmt.Errorf("core: final tunnel: %w", err))
+			return e.dropSend(tr, seq, trace.DropTail, fmt.Errorf("core: final tunnel: %w", err))
 		}
 	} else {
-		// Egress is in dst's own (participating) domain: IGP delivers.
-		d.TailCost = e.IGP.IntraDist(eg.Member, dst.Attach) + dst.AccessLatency
-		d.TailPath = e.IGP.IntraPath(eg.Member, dst.Attach)
-		wire, err = curEP.EncapTo(dst.Addr, inner, pl)
+		wire, err = relayEP.EncapToShared(dst.Addr, inner, pl)
 		if err != nil {
-			return drop(trace.DropTail, fmt.Errorf("core: native delivery encap: %w", err))
-		}
-		dstEP := tunnel.NewEndpoint(dst.Addr)
-		dstEP.Observe(tr, &e.counters, seq)
-		_, _, pl, err = dstEP.Decap(wire)
-		if err != nil {
-			return drop(trace.DropTail, fmt.Errorf("core: native delivery decap: %w", err))
+			return e.dropSend(tr, seq, trace.DropTail, fmt.Errorf("core: native delivery encap: %w", err))
 		}
 	}
-	d.Payload = pl
+	dstEP := spareEP
+	dstEP.Local = dst.Addr
+	dstEP.Observe(tr, &e.counters, seq)
+	_, inner, pl, err = dstEP.DecapShared(wire, spareOpt[:0])
+	if err != nil {
+		return e.dropSend(tr, seq, trace.DropTail, fmt.Errorf("core: final decap: %w", err))
+	}
+
 	// The trace tag must have survived the whole wire path.
 	for _, o := range inner.Options {
 		if o.Type == packet.OptTraceTag && len(o.Value) == 4 {
@@ -1008,16 +1137,16 @@ func (e *Evolution) send(ep *routingEpoch, src, dst *topology.Host, payload []by
 		}
 	}
 	if d.TraceTag != seq {
-		return drop(trace.DropIntegrity, fmt.Errorf("core: trace tag corrupted in transit (%d != %d)", d.TraceTag, seq))
+		return e.dropSend(tr, seq, trace.DropIntegrity, fmt.Errorf("core: trace tag corrupted in transit (%d != %d)", d.TraceTag, seq))
 	}
-
-	d.TotalCost = ing.Cost + eg.BoneCost + d.TailCost
-	base, err := e.Fwd.HostToHost(src, dst)
-	if err != nil {
-		return drop(trace.DropNoBaseline, fmt.Errorf("core: baseline: %w", err))
+	// The arrived payload aliases the pooled wire buffer; verify the
+	// round-trip was bit-exact, then hand the caller back their own
+	// bytes so the Delivery outlives the pooled working set.
+	if !bytes.Equal(pl, payload) {
+		return e.dropSend(tr, seq, trace.DropIntegrity, fmt.Errorf("core: payload corrupted in transit"))
 	}
-	d.BaselineCost = base.Cost
-	d.Stretch = metrics.Stretch(d.TotalCost, d.BaselineCost)
+	d.Payload = payload
+	e.counters.PayloadBytes(len(payload))
 	e.counters.Deliver()
 	if tr != nil {
 		tr.Event(trace.Event{
@@ -1128,13 +1257,13 @@ func (e *Evolution) reconvergeIntraLocked(asn topology.ASN) {
 		e.counters.InvalFull()
 		e.IGP.Invalidate()
 		e.BGP.Refresh()
-		_ = e.buildEpochLocked(nil, nil, true)
+		_ = e.buildEpochLocked(nil, nil, nil, true)
 		return
 	}
 	e.counters.InvalDomain()
 	e.IGP.InvalidateDomain(asn)
 	scope := map[topology.ASN]bool{asn: true}
-	_ = e.buildEpochLocked(scope, scope, false)
+	_ = e.buildEpochLocked(scope, scope, nil, false)
 }
 
 // reconvergeInterLocked reacts to an inter-domain link event: the
@@ -1151,7 +1280,7 @@ func (e *Evolution) reconvergeInterLocked() {
 		e.IGP.InvalidateInter()
 	}
 	e.BGP.Refresh()
-	_ = e.buildEpochLocked(nil, nil, true)
+	_ = e.buildEpochLocked(nil, nil, nil, true)
 }
 
 // IngressShare returns, for every participating domain, the fraction of

@@ -1,0 +1,6 @@
+//go:build !race
+
+package core
+
+// raceEnabled reports that this build runs under the race detector.
+const raceEnabled = false

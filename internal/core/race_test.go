@@ -1,0 +1,7 @@
+//go:build race
+
+package core
+
+// raceEnabled reports that this build runs under the race detector,
+// whose instrumentation adds allocations of its own.
+const raceEnabled = true

@@ -1,0 +1,228 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+
+	"github.com/evolvable-net/evolve/internal/topology"
+)
+
+// stripTag zeroes the fields that legitimately differ between runs: the
+// per-delivery random trace tag.
+func stripTag(d Delivery) Delivery {
+	d.TraceTag = 0
+	return d
+}
+
+// runDeliveryScript drives one Evolution through the same deployment,
+// registration, failure and send sequence and returns every delivery and
+// every host address it observed, in order.
+func runDeliveryScript(t *testing.T, e *Evolution) ([]Delivery, []string) {
+	t.Helper()
+	n := e.Net
+	t0 := n.DomainByName("T0")
+	s00 := n.DomainByName("S0.0")
+	s11 := n.DomainByName("S1.1")
+	e.DeployDomain(t0.ASN, 0)
+	e.DeployDomain(s00.ASN, 0)
+	if err := e.RegisterEndhosts(n.HostsIn(s11.ASN)); err != nil {
+		t.Fatal(err)
+	}
+
+	var deliveries []Delivery
+	sendAll := func() {
+		for _, src := range n.Hosts[:6] {
+			for _, dst := range n.Hosts[len(n.Hosts)-6:] {
+				if src == dst {
+					continue
+				}
+				d, err := e.Send(src, dst, []byte("equivalence"))
+				if err != nil {
+					t.Fatalf("send %s->%s: %v", src.Name, dst.Name, err)
+				}
+				// Send twice: the second delivery is a flow-cache hit on
+				// cached configurations and must be indistinguishable.
+				d2, err := e.Send(src, dst, []byte("equivalence"))
+				if err != nil {
+					t.Fatalf("re-send %s->%s: %v", src.Name, dst.Name, err)
+				}
+				if !reflect.DeepEqual(stripTag(d), stripTag(d2)) {
+					t.Fatalf("cached re-send differs for %s->%s:\n%+v\n%+v", src.Name, dst.Name, d, d2)
+				}
+				deliveries = append(deliveries, stripTag(d))
+			}
+		}
+	}
+
+	sendAll()
+	// Intra-domain failure in the deployed transit: scoped reconvergence.
+	rts := t0.Routers
+	e.FailIntraLink(rts[0], rts[1])
+	sendAll()
+	// Participation change: a stub adopts, its hosts relabel.
+	e.DeployDomain(n.DomainByName("S1.0").ASN, 1)
+	sendAll()
+	// Registration churn on the self-addressed side.
+	e.UnregisterEndhost(n.HostsIn(s11.ASN)[0])
+	sendAll()
+
+	var addrs []string
+	for _, h := range n.Hosts {
+		v, err := e.HostVNAddr(h)
+		if err != nil {
+			t.Fatal(err)
+		}
+		addrs = append(addrs, v.String())
+	}
+	return deliveries, addrs
+}
+
+// TestShardEquivalence runs the same script at shard counts 1, 4 and 16
+// and with the flow cache disabled entirely; every delivery and every
+// address must be identical. Sharding and memoisation are layout and
+// speed, never routing.
+func TestShardEquivalence(t *testing.T) {
+	type arm struct {
+		name string
+		cfg  Config
+	}
+	arms := []arm{
+		{"shards=1", Config{DeliveryShards: 1}},
+		{"shards=4", Config{DeliveryShards: 4}},
+		{"shards=16", Config{DeliveryShards: 16}},
+		{"uncached", Config{DeliveryShards: 1, DisableDeliveryCache: true}},
+	}
+	var refDel []Delivery
+	var refAddrs []string
+	for i, a := range arms {
+		e := newEvo(t, world(t), a.cfg)
+		del, addrs := runDeliveryScript(t, e)
+		if i == 0 {
+			refDel, refAddrs = del, addrs
+			continue
+		}
+		if !reflect.DeepEqual(refAddrs, addrs) {
+			t.Errorf("%s: host addresses diverge from %s", a.name, arms[0].name)
+		}
+		if len(refDel) != len(del) {
+			t.Fatalf("%s: %d deliveries, want %d", a.name, len(del), len(refDel))
+		}
+		for j := range refDel {
+			if !reflect.DeepEqual(refDel[j], del[j]) {
+				t.Fatalf("%s: delivery %d diverges:\n%+v\n%+v", a.name, j, refDel[j], del[j])
+			}
+		}
+	}
+}
+
+// TestFlowCacheCounters checks the delivery flow cache's own accounting:
+// a repeated flow is one miss then hits, and disabling the cache turns
+// every send into a miss.
+func TestFlowCacheCounters(t *testing.T) {
+	n := world(t)
+	e := newEvo(t, n, Config{})
+	e.DeployDomain(n.DomainByName("T0").ASN, 0)
+	src := n.HostsIn(n.DomainByName("S0.0").ASN)[0]
+	dst := n.HostsIn(n.DomainByName("S1.1").ASN)[0]
+	for i := 0; i < 5; i++ {
+		if _, err := e.Send(src, dst, []byte("x")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s := e.Snapshot()
+	if s.DeliveryFlowMisses != 1 || s.DeliveryFlowHits != 4 {
+		t.Errorf("misses=%d hits=%d, want 1/4", s.DeliveryFlowMisses, s.DeliveryFlowHits)
+	}
+	// A routing mutation invalidates the flow: the next send is a miss.
+	rts := n.DomainByName("T0").Routers
+	e.FailIntraLink(rts[0], rts[1])
+	if _, err := e.Send(src, dst, []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	if s = e.Snapshot(); s.DeliveryFlowMisses != 2 {
+		t.Errorf("misses=%d after link event, want 2", s.DeliveryFlowMisses)
+	}
+
+	un := newEvo(t, world(t), Config{DisableDeliveryCache: true})
+	un.DeployDomain(un.Net.DomainByName("T0").ASN, 0)
+	usrc := un.Net.HostsIn(un.Net.DomainByName("S0.0").ASN)[0]
+	udst := un.Net.HostsIn(un.Net.DomainByName("S1.1").ASN)[0]
+	for i := 0; i < 3; i++ {
+		if _, err := un.Send(usrc, udst, []byte("x")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if s = un.Snapshot(); s.DeliveryFlowHits != 0 || s.DeliveryFlowMisses != 3 {
+		t.Errorf("uncached: hits=%d misses=%d, want 0/3", s.DeliveryFlowHits, s.DeliveryFlowMisses)
+	}
+}
+
+// TestSendZeroAlloc pins the tentpole's steady-state claim: once the flow
+// is memoised and the buffer pools are warm, Send allocates nothing.
+func TestSendZeroAlloc(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation allocates")
+	}
+	n := world(t)
+	e := newEvo(t, n, Config{})
+	e.DeployDomain(n.DomainByName("T0").ASN, 0)
+	src := n.HostsIn(n.DomainByName("S0.0").ASN)[0]
+	dst := n.HostsIn(n.DomainByName("S1.1").ASN)[0]
+	payload := []byte("zero-alloc steady state")
+	for i := 0; i < 10; i++ {
+		if _, err := e.Send(src, dst, payload); err != nil {
+			t.Fatal(err)
+		}
+	}
+	allocs := testing.AllocsPerRun(200, func() {
+		if _, err := e.Send(src, dst, payload); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("steady-state Send allocates %.1f objects per op, want 0", allocs)
+	}
+}
+
+// TestNormalizeShards pins the shard-count clamping rules.
+func TestNormalizeShards(t *testing.T) {
+	cases := map[int]int{-1: 16, 0: 16, 1: 1, 3: 2, 4: 4, 6: 4, 16: 16, 100: 64, 1000: 256}
+	for in, want := range cases {
+		if got := normalizeShards(in); got != want {
+			t.Errorf("normalizeShards(%d) = %d, want %d", in, got, want)
+		}
+	}
+}
+
+// TestRegisterEndhostsBatch registers a whole domain's hosts as one
+// mutation: exactly one epoch publish for the batch, and every member of
+// the batch gets registered-native routing on the next send.
+func TestRegisterEndhostsBatch(t *testing.T) {
+	n := world(t)
+	e := newEvo(t, n, Config{})
+	e.DeployDomain(n.DomainByName("T0").ASN, 0)
+	hosts := n.HostsIn(n.DomainByName("S1.1").ASN)
+	src := n.HostsIn(n.DomainByName("S0.0").ASN)[0]
+	before := e.Snapshot().Epochs
+	if err := e.RegisterEndhosts(hosts); err != nil {
+		t.Fatal(err)
+	}
+	if got := e.Snapshot().Epochs - before; got != 1 {
+		t.Errorf("batch registration published %d epochs, want 1", got)
+	}
+	for _, h := range hosts {
+		d, err := e.Send(src, h, []byte("batch"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Registration does not relabel — the destination stays
+		// self-addressed; its /128 is what routing now knows.
+		if !d.DstVN.IsSelf() {
+			t.Errorf("host %s relabelled by registration", h.Name)
+		}
+	}
+	var zero []*topology.Host
+	if err := e.RegisterEndhosts(zero); err != nil {
+		t.Errorf("empty batch: %v", err)
+	}
+}

@@ -10,36 +10,72 @@
 // full packet is built as Payload, then VNHeader, then V4Header.
 package packet
 
-import "errors"
+import (
+	"errors"
+	"sync"
+)
 
 // ErrTruncated is returned when a decode runs out of bytes.
 var ErrTruncated = errors.New("packet: truncated")
 
-// SerializeBuffer builds packets back-to-front. Prepending a header is the
-// common case, so bytes grow toward the start of an internal slice.
-type SerializeBuffer struct {
-	buf   []byte
-	start int
+// bufPool recycles SerializeBuffers across encapsulations so the steady
+// state of a busy send path allocates no packet buffers at all.
+var bufPool = sync.Pool{New: func() any { return NewSerializeBuffer() }}
+
+// GetSerializeBuffer returns a cleared buffer from the package pool.
+// Return it with PutSerializeBuffer when the serialized bytes are no
+// longer referenced.
+func GetSerializeBuffer() *SerializeBuffer {
+	b := bufPool.Get().(*SerializeBuffer)
+	b.Clear()
+	return b
 }
 
-// NewSerializeBuffer returns a buffer with room for typical headers.
+// PutSerializeBuffer recycles a buffer obtained from GetSerializeBuffer.
+// The caller must not retain slices returned by Bytes afterwards.
+func PutSerializeBuffer(b *SerializeBuffer) {
+	if b != nil {
+		bufPool.Put(b)
+	}
+}
+
+// SerializeBuffer builds packets back-to-front inside one reusable
+// backing array: the payload is appended after a reserved headroom, then
+// each header prepends into the headroom. Clear rewinds to the reserved
+// marks without touching the array, so a pooled buffer reaches a steady
+// state where serializing a whole packet allocates nothing.
+type SerializeBuffer struct {
+	buf        []byte
+	start, end int
+	// head is the headroom Clear reserves for prepends; it adapts upward
+	// when a packet's headers outgrow it so the growth never repeats.
+	head int
+}
+
+// NewSerializeBuffer returns a buffer with room for typical headers and
+// payloads.
 func NewSerializeBuffer() *SerializeBuffer {
-	const room = 128
-	return &SerializeBuffer{buf: make([]byte, room), start: room}
+	const room, headroom = 512, 96
+	return &SerializeBuffer{buf: make([]byte, room), start: headroom, end: headroom, head: headroom}
 }
 
 // Bytes returns the serialized packet so far. The slice is invalidated by
 // further Prepend/Append/Clear calls.
-func (b *SerializeBuffer) Bytes() []byte { return b.buf[b.start:] }
+func (b *SerializeBuffer) Bytes() []byte { return b.buf[b.start:b.end] }
 
 // Len returns the current packet length.
-func (b *SerializeBuffer) Len() int { return len(b.buf) - b.start }
+func (b *SerializeBuffer) Len() int { return b.end - b.start }
 
-// Clear resets the buffer for reuse.
-func (b *SerializeBuffer) Clear() { b.start = len(b.buf) }
+// Clear resets the buffer for reuse, keeping the backing array.
+func (b *SerializeBuffer) Clear() {
+	if b.head > len(b.buf) {
+		b.head = len(b.buf)
+	}
+	b.start, b.end = b.head, b.head
+}
 
 // PrependBytes makes room for n bytes at the front and returns the slice to
-// fill in.
+// fill in. The caller must write every byte: the region is not zeroed.
 func (b *SerializeBuffer) PrependBytes(n int) []byte {
 	if b.start < n {
 		grow := n - b.start
@@ -47,20 +83,31 @@ func (b *SerializeBuffer) PrependBytes(n int) []byte {
 			grow = len(b.buf) // at least double
 		}
 		nb := make([]byte, len(b.buf)+grow)
-		copy(nb[grow:], b.buf)
+		copy(nb[b.start+grow:], b.buf[b.start:b.end])
 		b.buf = nb
 		b.start += grow
+		b.end += grow
+		b.head += grow
 	}
 	b.start -= n
 	return b.buf[b.start : b.start+n]
 }
 
 // AppendBytes makes room for n bytes at the back and returns the slice to
-// fill in.
+// fill in. The caller must write every byte: the region is not zeroed.
 func (b *SerializeBuffer) AppendBytes(n int) []byte {
-	old := len(b.buf)
-	b.buf = append(b.buf, make([]byte, n)...)
-	return b.buf[old:]
+	if b.end+n > len(b.buf) {
+		grow := b.end + n - len(b.buf)
+		if grow < len(b.buf) {
+			grow = len(b.buf) // at least double
+		}
+		nb := make([]byte, len(b.buf)+grow)
+		copy(nb[:b.end], b.buf[:b.end])
+		b.buf = nb
+	}
+	s := b.buf[b.end : b.end+n : b.end+n]
+	b.end += n
+	return s
 }
 
 // PushPayload appends raw payload bytes.
@@ -85,6 +132,19 @@ func Serialize(b *SerializeBuffer, payload []byte, layers ...SerializableLayer) 
 		}
 	}
 	return nil
+}
+
+// SerializeVN builds a full vn-encap packet (payload, VN header, V4
+// header) without Serialize's variadic interface indirection, so neither
+// header escapes to the heap — the zero-alloc form used by pooled send
+// paths.
+func SerializeVN(b *SerializeBuffer, payload []byte, outer *V4Header, inner *VNHeader) error {
+	b.Clear()
+	b.PushPayload(payload)
+	if err := inner.SerializeTo(b); err != nil {
+		return err
+	}
+	return outer.SerializeTo(b)
 }
 
 // Checksum is the RFC 1071 internet checksum used in the V4 header.

@@ -173,6 +173,47 @@ func DecodeVN(data []byte) (VNHeader, []byte, error) {
 	return h, data[VNHeaderLen+optLen : total], nil
 }
 
+// DecodeVNShared parses an IPvN header like DecodeVN but without copying:
+// option values alias the wire bytes, and the Options slice is built by
+// appending to scratch (pass a reused scratch[:0] to avoid the slice
+// allocation too). The returned header and payload are only valid while
+// the caller holds data unmodified — callers that retain either past the
+// wire buffer's lifetime must use DecodeVN.
+func DecodeVNShared(data []byte, scratch []Option) (VNHeader, []byte, error) {
+	if len(data) < VNHeaderLen {
+		return VNHeader{}, nil, ErrTruncated
+	}
+	payloadLen := int(binary.BigEndian.Uint16(data[2:4]))
+	optLen := int(binary.BigEndian.Uint16(data[4:6]))
+	total := VNHeaderLen + optLen + payloadLen
+	if total > len(data) {
+		return VNHeader{}, nil, ErrTruncated
+	}
+	h := VNHeader{
+		Version:  data[0],
+		HopLimit: data[1],
+		Src:      getVN(data[8:24]),
+		Dst:      getVN(data[24:40]),
+		Options:  scratch,
+	}
+	opts := data[VNHeaderLen : VNHeaderLen+optLen]
+	for len(opts) > 0 {
+		if len(opts) < 2 {
+			return VNHeader{}, nil, fmt.Errorf("packet: vn option truncated")
+		}
+		vlen := int(opts[1])
+		if len(opts) < 2+vlen {
+			return VNHeader{}, nil, fmt.Errorf("packet: vn option value truncated")
+		}
+		h.Options = append(h.Options, Option{
+			Type:  opts[0],
+			Value: opts[2 : 2+vlen : 2+vlen],
+		})
+		opts = opts[2+vlen:]
+	}
+	return h, data[VNHeaderLen+optLen : total], nil
+}
+
 // DecrementHopLimit rewrites the hop limit of a serialized VN packet in
 // place; it reports false when the packet must be dropped.
 func DecrementHopLimit(wire []byte) bool {
@@ -189,7 +230,8 @@ func DecrementHopLimit(wire []byte) bool {
 // packet vN-Bone tunnels carry between IPvN routers.
 func EncapVN(outer V4Header, inner VNHeader, payload []byte) ([]byte, error) {
 	outer.Proto = ProtoVNEncap
-	b := NewSerializeBuffer()
+	b := GetSerializeBuffer()
+	defer PutSerializeBuffer(b)
 	if err := Serialize(b, payload, &outer, &inner); err != nil {
 		return nil, err
 	}
@@ -207,6 +249,24 @@ func DecapVN(wire []byte) (V4Header, VNHeader, []byte, error) {
 		return V4Header{}, VNHeader{}, nil, fmt.Errorf("packet: protocol %s is not vn-encap", outer.Proto)
 	}
 	vn, payload, err := DecodeVN(inner)
+	if err != nil {
+		return V4Header{}, VNHeader{}, nil, err
+	}
+	return outer, vn, payload, nil
+}
+
+// DecapVNShared is the zero-copy form of DecapVN: the inner header's
+// option values and the returned payload alias wire, and the Options
+// slice appends to scratch. See DecodeVNShared for the aliasing contract.
+func DecapVNShared(wire []byte, scratch []Option) (V4Header, VNHeader, []byte, error) {
+	outer, inner, err := DecodeV4(wire)
+	if err != nil {
+		return V4Header{}, VNHeader{}, nil, err
+	}
+	if outer.Proto != ProtoVNEncap {
+		return V4Header{}, VNHeader{}, nil, fmt.Errorf("packet: protocol %s is not vn-encap", outer.Proto)
+	}
+	vn, payload, err := DecodeVNShared(inner, scratch)
 	if err != nil {
 		return V4Header{}, VNHeader{}, nil, err
 	}

@@ -10,6 +10,7 @@ package topology
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"github.com/evolvable-net/evolve/internal/addr"
 	"github.com/evolvable-net/evolve/internal/graph"
@@ -115,6 +116,32 @@ type Network struct {
 	Inter []InterLink
 
 	asns []ASN // sorted, for deterministic iteration
+
+	// Lazy O(1) lookup indexes over the (immutable after Build) node
+	// sets. Built on first use so construction pays nothing; a million
+	// FindHost calls on the delivery path pay a map probe, not a fleet
+	// scan. Link-state mutators (Fail/Restore*) never touch nodes, so
+	// the indexes stay valid for the network's lifetime.
+	indexOnce     sync.Once
+	hostByAddr    map[addr.V4]*Host
+	routerByLoop  map[addr.V4]*Router
+	hostsByDomain map[ASN][]*Host
+}
+
+// buildIndexes populates the lazy node indexes exactly once.
+func (n *Network) buildIndexes() {
+	n.indexOnce.Do(func() {
+		n.hostByAddr = make(map[addr.V4]*Host, len(n.Hosts))
+		n.hostsByDomain = make(map[ASN][]*Host)
+		for _, h := range n.Hosts {
+			n.hostByAddr[h.Addr] = h
+			n.hostsByDomain[h.Domain] = append(n.hostsByDomain[h.Domain], h)
+		}
+		n.routerByLoop = make(map[addr.V4]*Router, len(n.Routers))
+		for _, r := range n.Routers {
+			n.routerByLoop[r.Loopback] = r
+		}
+	})
 }
 
 // ASNs returns the domain numbers in ascending order.
@@ -235,36 +262,25 @@ func (n *Network) RouterGraph() *graph.Graph {
 	return g
 }
 
-// HostsIn lists a domain's hosts in id order.
+// HostsIn lists a domain's hosts in id order. The returned slice is
+// shared with the network's index; callers must not modify it.
 func (n *Network) HostsIn(asn ASN) []*Host {
-	var out []*Host
-	for _, h := range n.Hosts {
-		if h.Domain == asn {
-			out = append(out, h)
-		}
-	}
-	return out
+	n.buildIndexes()
+	return n.hostsByDomain[asn]
 }
 
 // FindHost returns the host owning the given underlay address, or nil.
+// O(1) after the first call builds the index.
 func (n *Network) FindHost(a addr.V4) *Host {
-	for _, h := range n.Hosts {
-		if h.Addr == a {
-			return h
-		}
-	}
-	return nil
+	n.buildIndexes()
+	return n.hostByAddr[a]
 }
 
 // RouterByLoopback returns the router owning the given loopback address,
-// or nil.
+// or nil. O(1) after the first call builds the index.
 func (n *Network) RouterByLoopback(a addr.V4) *Router {
-	for _, r := range n.Routers {
-		if r.Loopback == a {
-			return r
-		}
-	}
-	return nil
+	n.buildIndexes()
+	return n.routerByLoop[a]
 }
 
 // FailIntraLink removes the intra-domain link a–b (both directions). It

@@ -48,6 +48,7 @@ const (
 	numDropReasons
 )
 
+// String names the drop reason the way counters and traces print it.
 func (r DropReason) String() string {
 	switch r {
 	case DropNone:
@@ -88,14 +89,28 @@ func DropReasons() []DropReason {
 // Counters is the evolution-wide tally set. All methods are safe for
 // concurrent use and never allocate on the hot path except the first
 // time a given AS appears as an ingress. The zero value is ready to use.
+//
+// Counters touched on the send path are striped (see striped.go): each
+// increment lands on one of several cache-line-padded cells and Snapshot
+// aggregates them, so 64+ concurrent senders do not serialize on shared
+// cache lines. Mutator-side counters (rebuilds, epochs, invalidations,
+// live-plane events) stay single atomics — they are rare and their exact
+// single-cell form is occasionally read in tests via deltas.
 type Counters struct {
-	sends        atomic.Uint64
-	deliveries   atomic.Uint64
-	redirects    atomic.Uint64
-	redirectHits atomic.Uint64
-	encaps       atomic.Uint64
-	decaps       atomic.Uint64
-	boneHops     atomic.Uint64
+	// stripeEnc holds the configured stripe count (0 = default); see
+	// SetStripes.
+	stripeEnc atomic.Uint32
+
+	sends        striped
+	deliveries   striped
+	redirects    striped
+	redirectHits striped
+	encaps       striped
+	decaps       striped
+	boneHops     striped
+	flowHits     striped
+	flowMisses   striped
+	payloadBytes striped
 	boneRebuilds atomic.Uint64
 	rebuildsFail atomic.Uint64
 	epochs       atomic.Uint64
@@ -120,55 +135,84 @@ type Counters struct {
 	faultDropped   atomic.Uint64
 	faultDup       atomic.Uint64
 	faultDelayed   atomic.Uint64
-	drops          [numDropReasons]atomic.Uint64
-	// ingressByAS maps topology.ASN → *atomic.Uint64 (per-AS ingress
-	// load: how many deliveries entered the bone in that domain).
-	ingressByAS sync.Map
+	drops          [numDropReasons]striped
+	// ingressByAS is the per-AS ingress load: how many deliveries
+	// entered the bone in each domain. A plain map under an RWMutex
+	// rather than a sync.Map — the hot path is then an RLock plus one
+	// typed map probe with no interface boxing, so counting an ingress
+	// allocates nothing once the AS has been seen.
+	ingressMu   sync.RWMutex
+	ingressByAS map[topology.ASN]*striped
 }
 
 // Send counts one delivery attempt entering the send path.
-func (c *Counters) Send() { c.sends.Add(1) }
+func (c *Counters) Send() { c.sends.add(c.mask(), 1) }
 
 // Deliver counts one successful end-to-end delivery.
-func (c *Counters) Deliver() { c.deliveries.Add(1) }
+func (c *Counters) Deliver() { c.deliveries.add(c.mask(), 1) }
 
 // Drop counts one failed delivery under its reason.
 func (c *Counters) Drop(r DropReason) {
 	if r == DropNone || r >= numDropReasons {
 		return
 	}
-	c.drops[r].Add(1)
+	c.drops[r].add(c.mask(), 1)
 }
 
 // Redirect counts one anycast redirect resolution; hit reports whether
 // it was served from the redirect cache.
 func (c *Counters) Redirect(hit bool) {
-	c.redirects.Add(1)
+	m := c.mask()
+	c.redirects.add(m, 1)
 	if hit {
-		c.redirectHits.Add(1)
+		c.redirectHits.add(m, 1)
+	}
+}
+
+// FlowHit counts one send whose full delivery skeleton (ingress, egress,
+// tail, baseline) was served from the epoch's flow cache.
+func (c *Counters) FlowHit() { c.flowHits.add(c.mask(), 1) }
+
+// FlowMiss counts one send that had to compute its delivery skeleton
+// from the routing substrate (and, mutations permitting, cached it).
+func (c *Counters) FlowMiss() { c.flowMisses.add(c.mask(), 1) }
+
+// PayloadBytes counts n payload bytes carried by successful deliveries.
+func (c *Counters) PayloadBytes(n int) {
+	if n > 0 {
+		c.payloadBytes.add(c.mask(), uint64(n))
 	}
 }
 
 // Ingress counts one delivery entering the deployment in domain as.
 func (c *Counters) Ingress(as topology.ASN) {
-	if v, ok := c.ingressByAS.Load(as); ok {
-		v.(*atomic.Uint64).Add(1)
-		return
+	c.ingressMu.RLock()
+	v := c.ingressByAS[as]
+	c.ingressMu.RUnlock()
+	if v == nil {
+		c.ingressMu.Lock()
+		if c.ingressByAS == nil {
+			c.ingressByAS = map[topology.ASN]*striped{}
+		}
+		if v = c.ingressByAS[as]; v == nil {
+			v = new(striped)
+			c.ingressByAS[as] = v
+		}
+		c.ingressMu.Unlock()
 	}
-	v, _ := c.ingressByAS.LoadOrStore(as, new(atomic.Uint64))
-	v.(*atomic.Uint64).Add(1)
+	v.add(c.mask(), 1)
 }
 
 // Encap counts one tunnel encapsulation.
-func (c *Counters) Encap() { c.encaps.Add(1) }
+func (c *Counters) Encap() { c.encaps.add(c.mask(), 1) }
 
 // Decap counts one tunnel decapsulation.
-func (c *Counters) Decap() { c.decaps.Add(1) }
+func (c *Counters) Decap() { c.decaps.add(c.mask(), 1) }
 
 // BoneHops counts n vN-Bone virtual hops traversed by one delivery.
 func (c *Counters) BoneHops(n int) {
 	if n > 0 {
-		c.boneHops.Add(uint64(n))
+		c.boneHops.add(c.mask(), uint64(n))
 	}
 }
 
@@ -287,6 +331,12 @@ type Snapshot struct {
 	Encaps, Decaps uint64
 	// BoneHops is the total vN-Bone virtual hops traversed.
 	BoneHops uint64
+	// DeliveryFlowHits/DeliveryFlowMisses count sends whose delivery
+	// skeleton (ingress, egress, tail, baseline accounting) was served
+	// from the epoch's flow cache versus computed from the routing
+	// substrate. DeliveryPayloadBytes totals the payload bytes carried by
+	// successful deliveries.
+	DeliveryFlowHits, DeliveryFlowMisses, DeliveryPayloadBytes uint64
 	// BoneRebuilds counts successful vN-Bone reconstructions;
 	// RebuildsFailed counts attempts that errored and left the previous
 	// routing state live.
@@ -329,47 +379,51 @@ type Snapshot struct {
 // Snapshot returns a point-in-time copy of the counters.
 func (c *Counters) Snapshot() Snapshot {
 	s := Snapshot{
-		Sends:              c.sends.Load(),
-		Deliveries:         c.deliveries.Load(),
-		Redirects:          c.redirects.Load(),
-		RedirectCacheHits:  c.redirectHits.Load(),
-		Encaps:             c.encaps.Load(),
-		Decaps:             c.decaps.Load(),
-		BoneHops:           c.boneHops.Load(),
-		BoneRebuilds:       c.boneRebuilds.Load(),
-		RebuildsFailed:     c.rebuildsFail.Load(),
-		Epochs:             c.epochs.Load(),
-		InvalDomain:        c.invalDomain.Load(),
-		InvalInter:         c.invalInter.Load(),
-		InvalFull:          c.invalFull.Load(),
-		BoneDomainsReused:  c.boneReused.Load(),
-		BoneDomainsRebuilt: c.boneRebuilt.Load(),
-		ProbesSent:         c.probesSent.Load(),
-		ProbesMissed:       c.probesMissed.Load(),
-		PeersSuspected:     c.peersSuspected.Load(),
-		PeersRecovered:     c.peersRecovered.Load(),
-		FailoversAnycast:   c.failoverAny.Load(),
-		FailoversRoute:     c.failoverRoute.Load(),
-		Retransmits:        c.retransmits.Load(),
-		DedupDrops:         c.dedupDrops.Load(),
-		ReconcileDeltas:    c.reconDeltas.Load(),
-		ReconcileFallbacks: c.reconFallbacks.Load(),
-		FaultDropped:       c.faultDropped.Load(),
-		FaultDuplicated:    c.faultDup.Load(),
-		FaultDelayed:       c.faultDelayed.Load(),
-		DropsByReason:      map[DropReason]uint64{},
-		IngressByAS:        map[topology.ASN]uint64{},
+		Sends:                c.sends.load(),
+		Deliveries:           c.deliveries.load(),
+		Redirects:            c.redirects.load(),
+		RedirectCacheHits:    c.redirectHits.load(),
+		Encaps:               c.encaps.load(),
+		Decaps:               c.decaps.load(),
+		BoneHops:             c.boneHops.load(),
+		DeliveryFlowHits:     c.flowHits.load(),
+		DeliveryFlowMisses:   c.flowMisses.load(),
+		DeliveryPayloadBytes: c.payloadBytes.load(),
+		BoneRebuilds:         c.boneRebuilds.Load(),
+		RebuildsFailed:       c.rebuildsFail.Load(),
+		Epochs:               c.epochs.Load(),
+		InvalDomain:          c.invalDomain.Load(),
+		InvalInter:           c.invalInter.Load(),
+		InvalFull:            c.invalFull.Load(),
+		BoneDomainsReused:    c.boneReused.Load(),
+		BoneDomainsRebuilt:   c.boneRebuilt.Load(),
+		ProbesSent:           c.probesSent.Load(),
+		ProbesMissed:         c.probesMissed.Load(),
+		PeersSuspected:       c.peersSuspected.Load(),
+		PeersRecovered:       c.peersRecovered.Load(),
+		FailoversAnycast:     c.failoverAny.Load(),
+		FailoversRoute:       c.failoverRoute.Load(),
+		Retransmits:          c.retransmits.Load(),
+		DedupDrops:           c.dedupDrops.Load(),
+		ReconcileDeltas:      c.reconDeltas.Load(),
+		ReconcileFallbacks:   c.reconFallbacks.Load(),
+		FaultDropped:         c.faultDropped.Load(),
+		FaultDuplicated:      c.faultDup.Load(),
+		FaultDelayed:         c.faultDelayed.Load(),
+		DropsByReason:        map[DropReason]uint64{},
+		IngressByAS:          map[topology.ASN]uint64{},
 	}
 	for r := DropNotDeployed; r < numDropReasons; r++ {
-		if n := c.drops[r].Load(); n > 0 {
+		if n := c.drops[r].load(); n > 0 {
 			s.DropsByReason[r] = n
 			s.Drops += n
 		}
 	}
-	c.ingressByAS.Range(func(k, v any) bool {
-		s.IngressByAS[k.(topology.ASN)] = v.(*atomic.Uint64).Load()
-		return true
-	})
+	c.ingressMu.RLock()
+	for as, v := range c.ingressByAS {
+		s.IngressByAS[as] = v.load()
+	}
+	c.ingressMu.RUnlock()
 	return s
 }
 
@@ -388,37 +442,40 @@ func (s Snapshot) Sub(prev Snapshot) Snapshot {
 		return a - b
 	}
 	d := Snapshot{
-		Sends:              sub(s.Sends, prev.Sends, "sends"),
-		Deliveries:         sub(s.Deliveries, prev.Deliveries, "deliveries"),
-		Drops:              sub(s.Drops, prev.Drops, "drops"),
-		Redirects:          sub(s.Redirects, prev.Redirects, "redirects"),
-		RedirectCacheHits:  sub(s.RedirectCacheHits, prev.RedirectCacheHits, "redirects.cache_hits"),
-		Encaps:             sub(s.Encaps, prev.Encaps, "tunnel.encaps"),
-		Decaps:             sub(s.Decaps, prev.Decaps, "tunnel.decaps"),
-		BoneHops:           sub(s.BoneHops, prev.BoneHops, "bone.hops"),
-		BoneRebuilds:       sub(s.BoneRebuilds, prev.BoneRebuilds, "bone.rebuilds"),
-		RebuildsFailed:     sub(s.RebuildsFailed, prev.RebuildsFailed, "bone.rebuilds_failed"),
-		Epochs:             sub(s.Epochs, prev.Epochs, "epochs"),
-		InvalDomain:        sub(s.InvalDomain, prev.InvalDomain, "invalidate.domain"),
-		InvalInter:         sub(s.InvalInter, prev.InvalInter, "invalidate.inter"),
-		InvalFull:          sub(s.InvalFull, prev.InvalFull, "invalidate.full"),
-		BoneDomainsReused:  sub(s.BoneDomainsReused, prev.BoneDomainsReused, "bone.domains_reused"),
-		BoneDomainsRebuilt: sub(s.BoneDomainsRebuilt, prev.BoneDomainsRebuilt, "bone.domains_rebuilt"),
-		ProbesSent:         sub(s.ProbesSent, prev.ProbesSent, "live.probes_sent"),
-		ProbesMissed:       sub(s.ProbesMissed, prev.ProbesMissed, "live.probes_missed"),
-		PeersSuspected:     sub(s.PeersSuspected, prev.PeersSuspected, "live.peers_suspected"),
-		PeersRecovered:     sub(s.PeersRecovered, prev.PeersRecovered, "live.peers_recovered"),
-		FailoversAnycast:   sub(s.FailoversAnycast, prev.FailoversAnycast, "live.failover_anycast"),
-		FailoversRoute:     sub(s.FailoversRoute, prev.FailoversRoute, "live.failover_route"),
-		Retransmits:        sub(s.Retransmits, prev.Retransmits, "live.retransmits"),
-		DedupDrops:         sub(s.DedupDrops, prev.DedupDrops, "live.dedup_drops"),
-		ReconcileDeltas:    sub(s.ReconcileDeltas, prev.ReconcileDeltas, "live.reconcile_deltas"),
-		ReconcileFallbacks: sub(s.ReconcileFallbacks, prev.ReconcileFallbacks, "live.reconcile_fallbacks"),
-		FaultDropped:       sub(s.FaultDropped, prev.FaultDropped, "fault.dropped"),
-		FaultDuplicated:    sub(s.FaultDuplicated, prev.FaultDuplicated, "fault.duplicated"),
-		FaultDelayed:       sub(s.FaultDelayed, prev.FaultDelayed, "fault.delayed"),
-		DropsByReason:      map[DropReason]uint64{},
-		IngressByAS:        map[topology.ASN]uint64{},
+		Sends:                sub(s.Sends, prev.Sends, "sends"),
+		Deliveries:           sub(s.Deliveries, prev.Deliveries, "deliveries"),
+		Drops:                sub(s.Drops, prev.Drops, "drops"),
+		Redirects:            sub(s.Redirects, prev.Redirects, "redirects"),
+		RedirectCacheHits:    sub(s.RedirectCacheHits, prev.RedirectCacheHits, "redirects.cache_hits"),
+		Encaps:               sub(s.Encaps, prev.Encaps, "tunnel.encaps"),
+		Decaps:               sub(s.Decaps, prev.Decaps, "tunnel.decaps"),
+		BoneHops:             sub(s.BoneHops, prev.BoneHops, "bone.hops"),
+		DeliveryFlowHits:     sub(s.DeliveryFlowHits, prev.DeliveryFlowHits, "delivery.flow_hits"),
+		DeliveryFlowMisses:   sub(s.DeliveryFlowMisses, prev.DeliveryFlowMisses, "delivery.flow_misses"),
+		DeliveryPayloadBytes: sub(s.DeliveryPayloadBytes, prev.DeliveryPayloadBytes, "delivery.payload_bytes"),
+		BoneRebuilds:         sub(s.BoneRebuilds, prev.BoneRebuilds, "bone.rebuilds"),
+		RebuildsFailed:       sub(s.RebuildsFailed, prev.RebuildsFailed, "bone.rebuilds_failed"),
+		Epochs:               sub(s.Epochs, prev.Epochs, "epochs"),
+		InvalDomain:          sub(s.InvalDomain, prev.InvalDomain, "invalidate.domain"),
+		InvalInter:           sub(s.InvalInter, prev.InvalInter, "invalidate.inter"),
+		InvalFull:            sub(s.InvalFull, prev.InvalFull, "invalidate.full"),
+		BoneDomainsReused:    sub(s.BoneDomainsReused, prev.BoneDomainsReused, "bone.domains_reused"),
+		BoneDomainsRebuilt:   sub(s.BoneDomainsRebuilt, prev.BoneDomainsRebuilt, "bone.domains_rebuilt"),
+		ProbesSent:           sub(s.ProbesSent, prev.ProbesSent, "live.probes_sent"),
+		ProbesMissed:         sub(s.ProbesMissed, prev.ProbesMissed, "live.probes_missed"),
+		PeersSuspected:       sub(s.PeersSuspected, prev.PeersSuspected, "live.peers_suspected"),
+		PeersRecovered:       sub(s.PeersRecovered, prev.PeersRecovered, "live.peers_recovered"),
+		FailoversAnycast:     sub(s.FailoversAnycast, prev.FailoversAnycast, "live.failover_anycast"),
+		FailoversRoute:       sub(s.FailoversRoute, prev.FailoversRoute, "live.failover_route"),
+		Retransmits:          sub(s.Retransmits, prev.Retransmits, "live.retransmits"),
+		DedupDrops:           sub(s.DedupDrops, prev.DedupDrops, "live.dedup_drops"),
+		ReconcileDeltas:      sub(s.ReconcileDeltas, prev.ReconcileDeltas, "live.reconcile_deltas"),
+		ReconcileFallbacks:   sub(s.ReconcileFallbacks, prev.ReconcileFallbacks, "live.reconcile_fallbacks"),
+		FaultDropped:         sub(s.FaultDropped, prev.FaultDropped, "fault.dropped"),
+		FaultDuplicated:      sub(s.FaultDuplicated, prev.FaultDuplicated, "fault.duplicated"),
+		FaultDelayed:         sub(s.FaultDelayed, prev.FaultDelayed, "fault.delayed"),
+		DropsByReason:        map[DropReason]uint64{},
+		IngressByAS:          map[topology.ASN]uint64{},
 	}
 	for r, n := range s.DropsByReason {
 		if delta := sub(n, prev.DropsByReason[r], "drops."+r.String()); delta > 0 {
@@ -450,6 +507,9 @@ func (s Snapshot) String() string {
 	}
 	fmt.Fprintf(&b, "redirects %d\n", s.Redirects)
 	fmt.Fprintf(&b, "redirects.cache_hits %d\n", s.RedirectCacheHits)
+	fmt.Fprintf(&b, "delivery.flow_hits %d\n", s.DeliveryFlowHits)
+	fmt.Fprintf(&b, "delivery.flow_misses %d\n", s.DeliveryFlowMisses)
+	fmt.Fprintf(&b, "delivery.payload_bytes %d\n", s.DeliveryPayloadBytes)
 	fmt.Fprintf(&b, "tunnel.encaps %d\n", s.Encaps)
 	fmt.Fprintf(&b, "tunnel.decaps %d\n", s.Decaps)
 	fmt.Fprintf(&b, "bone.hops %d\n", s.BoneHops)

@@ -62,6 +62,7 @@ const (
 	KindDrop
 )
 
+// String names the event kind the way formatted traces print it.
 func (k Kind) String() string {
 	switch k {
 	case KindSend:

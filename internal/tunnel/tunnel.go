@@ -164,10 +164,74 @@ func (e *Endpoint) encap(outerDst addr.V4, ttl uint8, inner packet.VNHeader, pay
 	return append([]byte(nil), e.buf.Bytes()...), nil
 }
 
+// EncapToShared is the zero-copy form of EncapTo: the returned wire bytes
+// alias the endpoint's internal serialize buffer and are valid only until
+// the endpoint's next encapsulation. Callers that hand the bytes to
+// another endpoint's Decap before re-encapsulating (the ping-pong pattern
+// of a relay loop) never need the copy.
+func (e *Endpoint) EncapToShared(outerDst addr.V4, inner packet.VNHeader, payload []byte) ([]byte, error) {
+	if inner.HopLimit == 0 {
+		inner.HopLimit = packet.DefaultHopLimit
+	}
+	if inner.HopLimit <= 1 {
+		e.stats.Rejected++
+		return nil, ErrHopLimit
+	}
+	inner.HopLimit--
+	outer := packet.V4Header{
+		Proto: packet.ProtoVNEncap,
+		TTL:   0,
+		Src:   e.Local,
+		Dst:   outerDst,
+	}
+	if err := packet.SerializeVN(e.buf, payload, &outer, &inner); err != nil {
+		e.stats.Rejected++
+		return nil, err
+	}
+	e.stats.Encapsulated++
+	if e.counters != nil {
+		e.counters.Encap()
+	}
+	if e.tracer != nil {
+		e.tracer.Event(trace.Event{
+			Kind: trace.KindEncap, Seq: e.seq, Router: -1,
+			Src: e.Local, Dst: outerDst,
+		})
+	}
+	return e.buf.Bytes(), nil
+}
+
 // Decap unwraps a tunnelled packet addressed to this endpoint, returning
 // the outer source, the inner IPvN header and the innermost payload.
 func (e *Endpoint) Decap(wire []byte) (from addr.V4, inner packet.VNHeader, payload []byte, err error) {
 	outer, vn, pl, err := packet.DecapVN(wire)
+	if err != nil {
+		e.stats.Rejected++
+		return 0, packet.VNHeader{}, nil, err
+	}
+	if outer.Dst != e.Local {
+		e.stats.Rejected++
+		return 0, packet.VNHeader{}, nil, fmt.Errorf("%w: %s", ErrNotForUs, outer.Dst)
+	}
+	e.stats.Decapsulated++
+	if e.counters != nil {
+		e.counters.Decap()
+	}
+	if e.tracer != nil {
+		e.tracer.Event(trace.Event{
+			Kind: trace.KindDecap, Seq: e.seq, Router: -1,
+			Src: outer.Src, Dst: e.Local,
+		})
+	}
+	return outer.Src, vn, pl, nil
+}
+
+// DecapShared is the zero-copy form of Decap: the inner header's option
+// values and the payload alias wire, and the Options slice appends to
+// scratch (pass a reused scratch[:0]). See packet.DecodeVNShared for the
+// aliasing contract.
+func (e *Endpoint) DecapShared(wire []byte, scratch []packet.Option) (from addr.V4, inner packet.VNHeader, payload []byte, err error) {
+	outer, vn, pl, err := packet.DecapVNShared(wire, scratch)
 	if err != nil {
 		e.stats.Rejected++
 		return 0, packet.VNHeader{}, nil, err
