@@ -383,6 +383,67 @@ func BenchmarkFleetSend(b *testing.B) {
 	}
 }
 
+// BenchmarkSendBatch compares the batched send path against the
+// equivalent Send loop on 64-packet bursts over the fleet world — the
+// batch tentpole's acceptance pair. Every iteration is one burst; the
+// packets/sec metric is what the ≥2× batch-over-loop bar is measured on.
+// The burst cycles 8 distinct destinations (8 flow skeletons per batch,
+// 8 packets riding each), and the single-destination SendBurst arm is
+// the best case (one flow, 64 packets).
+func BenchmarkSendBatch(b *testing.B) {
+	const burst = 64
+	net, evo := fleetWorld(b, fleetSize(), core.Config{})
+	src := net.Hosts[0]
+	dsts := make([]*topology.Host, burst)
+	for i := range dsts {
+		dsts[i] = net.Hosts[(1+i%8)*len(net.Hosts)/16]
+	}
+	payload := make([]byte, 256)
+	payloads := make([][]byte, burst)
+	for i := range payloads {
+		payloads[i] = payload
+	}
+	for _, d := range dsts { // warm every flow
+		if _, err := evo.Send(src, d, payload); err != nil {
+			b.Fatal(err)
+		}
+	}
+
+	b.Run("loop", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			for j := 0; j < burst; j++ {
+				if _, err := evo.Send(src, dsts[j], payload); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+		b.ReportMetric(float64(b.N)*burst/b.Elapsed().Seconds(), "packets/sec")
+	})
+	b.Run("batch", func(b *testing.B) {
+		out := make([]core.Delivery, 0, burst)
+		var err error
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if out, err = evo.AppendSendBatch(out[:0], src, dsts, payloads); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(float64(b.N)*burst/b.Elapsed().Seconds(), "packets/sec")
+	})
+	b.Run("burst", func(b *testing.B) {
+		out := make([]core.Delivery, 0, burst)
+		var err error
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if out, err = evo.AppendSendBurst(out[:0], src, dsts[0], payloads); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(float64(b.N)*burst/b.Elapsed().Seconds(), "packets/sec")
+	})
+}
+
 // churnWorld builds the stock 15-domain transit–stub internet with an
 // option-1 deployment over the first 7 domains, plus one intra link of a
 // deployed stub domain to flap.

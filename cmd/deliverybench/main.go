@@ -49,6 +49,21 @@ type armResult struct {
 	Speedup     float64 `json:"speedup_vs_baseline"`
 }
 
+// batchPoint is one core count's batch-versus-loop measurement: the same
+// packet volume driven once as singleton Sends and once as SendBurst
+// batches, at GOMAXPROCS=Cores.
+type batchPoint struct {
+	Cores              int     `json:"cores"`
+	Burst              int     `json:"burst"`
+	LoopNSPerPacket    float64 `json:"loop_ns_per_packet"`
+	LoopPacketsPerSec  float64 `json:"loop_packets_per_sec"`
+	BatchNSPerPacket   float64 `json:"batch_ns_per_packet"`
+	BatchPacketsPerSec float64 `json:"batch_packets_per_sec"`
+	BatchFlows         uint64  `json:"batch_flows"`
+	BatchPackets       uint64  `json:"batch_packets"`
+	Speedup            float64 `json:"batch_over_loop"`
+}
+
 // report is the BENCH_delivery.json schema.
 type report struct {
 	Scenario    string      `json:"scenario"`
@@ -62,6 +77,10 @@ type report struct {
 	Baseline    armResult   `json:"baseline"`
 	Sharded     []armResult `json:"sharded"`
 	BestSpeedup float64     `json:"best_speedup"`
+	// BatchScaling is the -batch sweep: one batch-versus-loop point per
+	// measured GOMAXPROCS value, ascending.
+	BatchScaling     []batchPoint `json:"batch_scaling,omitempty"`
+	BatchBestSpeedup float64      `json:"batch_best_speedup,omitempty"`
 }
 
 // buildWorld generates the fleet internet (about hosts endhosts, 50 per
@@ -165,6 +184,117 @@ func run(evo *core.Evolution, pairs []pair, senders int, sends uint64, payload [
 	return res, nil
 }
 
+// runBursts drives senders goroutines over the working set until
+// `packets` packets have been sent, `burst` per work unit against one
+// flow — either as one SendBurst per unit (batched) or as `burst`
+// singleton Sends (the loop arm). Returns the wall time of the run.
+func runBursts(evo *core.Evolution, pairs []pair, senders int, packets uint64, payload []byte, burst int, batched bool) (time.Duration, error) {
+	bursts := packets / uint64(burst)
+	if bursts == 0 {
+		bursts = 1
+	}
+	payloads := make([][]byte, burst)
+	for i := range payloads {
+		payloads[i] = payload
+	}
+	var next atomic.Uint64
+	var firstErr atomic.Value
+	var wg sync.WaitGroup
+	start := time.Now()
+	for s := 0; s < senders; s++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			out := make([]core.Delivery, 0, burst)
+			for {
+				n := next.Add(1)
+				if n > bursts {
+					return
+				}
+				p := pairs[n%uint64(len(pairs))]
+				if batched {
+					var err error
+					if out, err = evo.AppendSendBurst(out[:0], p.src, p.dst, payloads); err != nil {
+						firstErr.CompareAndSwap(nil, err)
+						return
+					}
+					continue
+				}
+				for j := 0; j < burst; j++ {
+					if _, err := evo.Send(p.src, p.dst, payload); err != nil {
+						firstErr.CompareAndSwap(nil, err)
+						return
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	wall := time.Since(start)
+	if err, ok := firstErr.Load().(error); ok {
+		return wall, err
+	}
+	return wall, nil
+}
+
+// batchSweep runs the batch-versus-loop comparison at each GOMAXPROCS
+// value of the core ladder and reports one point per measured count.
+// Core counts beyond the machine are clamped to the largest available.
+func batchSweep(evo *core.Evolution, pairs []pair, senders int, sends uint64, payload []byte, burst int, cores []int) ([]batchPoint, error) {
+	prev := runtime.GOMAXPROCS(0)
+	defer runtime.GOMAXPROCS(prev)
+	for _, p := range pairs { // warm every flow once, outside the clock
+		if _, err := evo.Send(p.src, p.dst, payload); err != nil {
+			return nil, err
+		}
+	}
+	var points []batchPoint
+	seen := map[int]bool{}
+	for _, c := range cores {
+		if c < 1 {
+			continue
+		}
+		if c > runtime.NumCPU() {
+			c = runtime.NumCPU()
+		}
+		if seen[c] {
+			continue
+		}
+		seen[c] = true
+		runtime.GOMAXPROCS(c)
+
+		loopWall, err := runBursts(evo, pairs, senders, sends, payload, burst, false)
+		if err != nil {
+			return nil, err
+		}
+		before := evo.Snapshot()
+		batchWall, err := runBursts(evo, pairs, senders, sends, payload, burst, true)
+		if err != nil {
+			return nil, err
+		}
+		after := evo.Snapshot()
+
+		bursts := sends / uint64(burst)
+		if bursts == 0 {
+			bursts = 1
+		}
+		packets := float64(bursts) * float64(burst)
+		pt := batchPoint{
+			Cores:              c,
+			Burst:              burst,
+			LoopNSPerPacket:    float64(loopWall.Nanoseconds()) / packets,
+			LoopPacketsPerSec:  packets / loopWall.Seconds(),
+			BatchNSPerPacket:   float64(batchWall.Nanoseconds()) / packets,
+			BatchPacketsPerSec: packets / batchWall.Seconds(),
+			BatchFlows:         after.DeliveryBatchFlows - before.DeliveryBatchFlows,
+			BatchPackets:       after.DeliveryBatchPackets - before.DeliveryBatchPackets,
+		}
+		pt.Speedup = pt.BatchPacketsPerSec / pt.LoopPacketsPerSec
+		points = append(points, pt)
+	}
+	return points, nil
+}
+
 func main() {
 	hosts := flag.Int("hosts", 50000, "endhost fleet size")
 	senders := flag.Int("senders", 64, "concurrent sender goroutines")
@@ -174,6 +304,9 @@ func main() {
 	shardList := flag.String("shards", "1,4,16", "delivery shard counts to sweep")
 	seed := flag.Int64("seed", 42, "topology seed")
 	out := flag.String("o", "BENCH_delivery.json", "output JSON path")
+	batch := flag.Bool("batch", false, "also sweep SendBurst batches vs the Send loop across -cores")
+	coreList := flag.String("cores", "1,2,4,8,16,32,64", "GOMAXPROCS ladder for the -batch sweep (clamped to the machine)")
+	burst := flag.Int("burst", 64, "packets per batch in the -batch sweep")
 	flag.Parse()
 
 	rep := report{
@@ -229,6 +362,39 @@ func main() {
 		}
 	}
 
+	// The batch sweep: same fleet, default delivery plane, the packet
+	// volume driven as singleton Sends and as SendBurst batches at each
+	// core count of the ladder. A batch arm slower than its loop arm is a
+	// regression and fails the run (after the report is written).
+	regressed := false
+	if *batch {
+		batchNet, bevo, _, err := buildWorld(*seed, *hosts, core.Config{})
+		if err != nil {
+			fatal(err)
+		}
+		var cores []int
+		for _, s := range strings.Split(*coreList, ",") {
+			c, err := strconv.Atoi(strings.TrimSpace(s))
+			if err != nil {
+				fatal(fmt.Errorf("bad -cores entry %q: %w", s, err))
+			}
+			cores = append(cores, c)
+		}
+		points, err := batchSweep(bevo, workingSet(batchNet, *flows), *senders, *sends, payload, *burst, cores)
+		if err != nil {
+			fatal(err)
+		}
+		rep.BatchScaling = points
+		for _, pt := range points {
+			if pt.Speedup > rep.BatchBestSpeedup {
+				rep.BatchBestSpeedup = pt.Speedup
+			}
+			if pt.Speedup < 1 {
+				regressed = true
+			}
+		}
+	}
+
 	f, err := os.Create(*out)
 	if err != nil {
 		fatal(err)
@@ -244,6 +410,13 @@ func main() {
 	fmt.Printf("deliverybench: %d hosts, %d senders: baseline %.0f sends/sec; best sharded %.0f sends/sec (%.1fx); wrote %s\n",
 		rep.Hosts, rep.Senders, rep.Baseline.SendsPerSec,
 		rep.Baseline.SendsPerSec*rep.BestSpeedup, rep.BestSpeedup, *out)
+	for _, pt := range rep.BatchScaling {
+		fmt.Printf("deliverybench: batch sweep @%d cores: loop %.0f pkts/sec, batch %.0f pkts/sec (%.2fx)\n",
+			pt.Cores, pt.LoopPacketsPerSec, pt.BatchPacketsPerSec, pt.Speedup)
+	}
+	if regressed {
+		fatal(fmt.Errorf("batch throughput regressed below the Send loop (see %s)", *out))
+	}
 }
 
 func fatal(err error) {

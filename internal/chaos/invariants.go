@@ -1,7 +1,9 @@
 package chaos
 
 import (
+	"errors"
 	"fmt"
+	"reflect"
 	"sort"
 	"strings"
 
@@ -52,7 +54,7 @@ type Invariant interface {
 
 // InvariantNames lists the registered invariant names in check order.
 func InvariantNames() []string {
-	return []string{"ua", "bone", "conserve", "oracle", "providersync", "epochtick"}
+	return []string{"ua", "bone", "conserve", "oracle", "providersync", "epochtick", "batchsend"}
 }
 
 // Invariants instantiates fresh invariant checkers for the given names
@@ -92,6 +94,8 @@ func newInvariant(name string) Invariant {
 		return &providerSyncInvariant{}
 	case "epochtick":
 		return &epochTickInvariant{}
+	case "batchsend":
+		return &batchSendInvariant{}
 	default:
 		panic("chaos: unregistered invariant " + name)
 	}
@@ -313,6 +317,97 @@ func fmtRouterSet(rs []topology.RouterID) string {
 	}
 	sort.Strings(parts)
 	return "{" + strings.Join(parts, " ") + "}"
+}
+
+// batchSendInvariant checks the batch≡loop delivery contract under the
+// full fault schedule: after every event, a SendBatch burst on the live
+// Evolution must agree packet-for-packet with the equivalent singleton
+// Send loop — same per-packet success/failure (same error text on
+// failure), same delivery modulo the random trace tag. The bursts carry
+// in-batch duplicate destinations, so a batch torn across routing state
+// or a flow skeleton reused across the wrong destination surfaces here
+// against whatever topology the schedule has mangled.
+type batchSendInvariant struct{}
+
+func (batchSendInvariant) Name() string { return "batchsend" }
+
+func (batchSendInvariant) Check(c *CheckContext) *Failure {
+	hosts := c.W.Net.Hosts
+	n := len(hosts)
+	if n < 2 {
+		return nil
+	}
+	payload := []byte("chaos-batch")
+	// Up to four sources around the host ring, each bursting to a window
+	// of successors with the first destination repeated at the end.
+	stride := n / 4
+	if stride == 0 {
+		stride = 1
+	}
+	for i := 0; i < n; i += stride {
+		src := hosts[i]
+		var dsts []*topology.Host
+		for j := 1; j <= 5 && j < n; j++ {
+			dsts = append(dsts, hosts[(i+j)%n])
+		}
+		dsts = append(dsts, dsts[0])
+
+		loopDel := make([]core.Delivery, len(dsts))
+		loopErr := make([]error, len(dsts))
+		for k, dst := range dsts {
+			loopDel[k], loopErr[k] = c.W.Evo.Send(src, dst, payload)
+		}
+		batchDel, batchErr := c.W.Evo.SendBatch(src, dsts, nil)
+		var be *core.BatchError
+		if batchErr != nil && !errors.As(batchErr, &be) {
+			// A whole-batch error must mean the loop failed identically on
+			// every packet (the epoch error path).
+			for k, err := range loopErr {
+				if err == nil || err.Error() != batchErr.Error() {
+					return &Failure{Detail: fmt.Sprintf("h%d batch failed whole (%v) but loop send %d got %v",
+						src.ID, batchErr, k, err)}
+				}
+			}
+			continue
+		}
+		for k := range dsts {
+			var kerr error
+			if be != nil {
+				kerr = be.Errs[k]
+			}
+			switch {
+			case loopErr[k] == nil && kerr != nil:
+				return &Failure{
+					Detail: fmt.Sprintf("h%d→h%d: loop send delivers but batch packet %d fails (%v)",
+						src.ID, dsts[k].ID, k, kerr),
+					Trace: uaTrace(c.W.Evo, src, dsts[k], payload),
+				}
+			case loopErr[k] != nil && kerr == nil:
+				return &Failure{
+					Detail: fmt.Sprintf("h%d→h%d: loop send fails (%v) but batch packet %d delivers",
+						src.ID, dsts[k].ID, loopErr[k], k),
+					Trace: uaTrace(c.W.Evo, src, dsts[k], payload),
+				}
+			case loopErr[k] != nil:
+				if loopErr[k].Error() != kerr.Error() {
+					return &Failure{Detail: fmt.Sprintf("h%d→h%d: drop reasons diverge: loop %q, batch %q",
+						src.ID, dsts[k].ID, loopErr[k], kerr)}
+				}
+			default:
+				ld, bd := loopDel[k], batchDel[k]
+				ld.TraceTag, bd.TraceTag = 0, 0
+				ld.Payload, bd.Payload = nil, nil
+				if !reflect.DeepEqual(ld, bd) {
+					return &Failure{
+						Detail: fmt.Sprintf("h%d→h%d: batch packet %d diverges from loop send:\nloop:  %+v\nbatch: %+v",
+							src.ID, dsts[k].ID, k, ld, bd),
+						Trace: uaTrace(c.W.Evo, src, dsts[k], payload),
+					}
+				}
+			}
+		}
+	}
+	return nil
 }
 
 // epochTickInvariant checks the epoch-publication contract that

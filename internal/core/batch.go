@@ -1,0 +1,462 @@
+package core
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"math/rand/v2"
+	"sync"
+
+	"github.com/evolvable-net/evolve/internal/addr"
+	"github.com/evolvable-net/evolve/internal/metrics"
+	"github.com/evolvable-net/evolve/internal/packet"
+	"github.com/evolvable-net/evolve/internal/topology"
+	"github.com/evolvable-net/evolve/internal/trace"
+	"github.com/evolvable-net/evolve/internal/tunnel"
+)
+
+// redirectCounter abstracts the Redirect tally so the flow-resolution
+// path can count into the shared striped Counters (loop sends) or a
+// per-batch CounterBatch accumulator (batched sends) without branching.
+// Both implementations are pointer receivers, so passing either through
+// the interface allocates nothing.
+type redirectCounter interface {
+	// Redirect counts one anycast redirect resolution; hit reports
+	// whether it was served from the redirect cache.
+	Redirect(hit bool)
+}
+
+// BatchError reports the per-packet failures of a SendBatch, SendBurst
+// or their Append variants. One bad destination never poisons the rest
+// of the burst: every other packet is still delivered (its Delivery is
+// in the returned slice), and the failed indexes carry a zero Delivery
+// plus their error here. Test with errors.As:
+//
+//	var be *core.BatchError
+//	if errors.As(err, &be) { ... be.Errs[i] ... }
+type BatchError struct {
+	// Errs has one entry per packet of the batch, in input order; nil
+	// entries were delivered. Each non-nil entry is exactly the error
+	// the equivalent single Send would have returned.
+	Errs []error
+	// Failed is the number of non-nil entries in Errs.
+	Failed int
+}
+
+// Error summarizes the batch outcome with the first per-packet error.
+func (b *BatchError) Error() string {
+	for _, err := range b.Errs {
+		if err != nil {
+			return fmt.Sprintf("core: batch: %d of %d packets dropped (first: %v)", b.Failed, len(b.Errs), err)
+		}
+	}
+	return fmt.Sprintf("core: batch: %d of %d packets dropped", b.Failed, len(b.Errs))
+}
+
+// batchFlow is one flow skeleton materialized for a batch: the memoised
+// routing decisions (fe) plus the wire-level precomputation the loop
+// path redoes per packet — the serialized header template and the
+// underlay loopback of every bone hop. All packets of the batch to the
+// same destination reuse one batchFlow, so the whole burst observes one
+// consistent routing decision even if the epoch churns mid-batch.
+type batchFlow struct {
+	dst  topology.HostID
+	fe   *flowEntry
+	tmpl packet.VNTemplate
+	// hops[0] is the ingress member's loopback; hops[1:] follow
+	// fe.eg.BonePath[1:]. The relay pass walks it with ForwardShared.
+	hops []addr.V4
+	// final is the leg-3 outer destination (the destination host's
+	// underlay address in both the self-addressed and native cases);
+	// self distinguishes the two for drop-error fidelity.
+	final addr.V4
+	self  bool
+}
+
+// batchCtx is the pooled per-batch working set: one walking tunnel
+// endpoint for the relay pass, one destination endpoint for the final
+// decap, the reusable wire buffer the header template emits into, the
+// per-batch counter accumulator and event buffer, and the flow table.
+// With the pool warm, a steady-state all-success batch allocates
+// nothing.
+type batchCtx struct {
+	ep    *tunnel.Endpoint
+	epDst *tunnel.Endpoint
+	wire  []byte
+	opts  []packet.Option
+	// flows is a tiny linear-scan assoc array keyed by destination:
+	// bursts group naturally by flow, so for realistic batch sizes a
+	// scan beats hashing and keeps recycled entries' template and hop
+	// storage alive across batches.
+	flows    []batchFlow
+	counters trace.CounterBatch
+	events   trace.EventBuffer
+	// hdrOpts, underBuf and tagBuf build each flow's template options
+	// (OptUnderlayDst for self-addressed destinations, OptTraceTag
+	// placeholder patched per packet).
+	hdrOpts  [2]packet.Option
+	underBuf [4]byte
+	tagBuf   [4]byte
+}
+
+var batchCtxPool = sync.Pool{
+	New: func() any {
+		return &batchCtx{
+			ep:    tunnel.NewEndpoint(0),
+			epDst: tunnel.NewEndpoint(0),
+			wire:  make([]byte, 0, 512),
+			opts:  make([]packet.Option, 0, 8),
+		}
+	},
+}
+
+// reset readies a pooled context for the next batch, keeping every
+// backing array (flow templates and hop lists included).
+func (bc *batchCtx) reset() {
+	bc.flows = bc.flows[:0]
+	bc.counters.Reset()
+}
+
+// flowFor returns the batch's flow skeleton for dst, materializing it
+// from fe on first sight: header template (serialized once through the
+// real layer serializers, then patched per packet) and the bone path's
+// loopback addresses. Recycled entries keep their storage, so a warm
+// context materializes flows without allocating.
+func (bc *batchCtx) flowFor(e *Evolution, ep *routingEpoch, src, dst *topology.Host, fe *flowEntry) (*batchFlow, error) {
+	for i := range bc.flows {
+		if bc.flows[i].dst == dst.ID {
+			return &bc.flows[i], nil
+		}
+	}
+	if len(bc.flows) < cap(bc.flows) {
+		bc.flows = bc.flows[:len(bc.flows)+1]
+	} else {
+		bc.flows = append(bc.flows, batchFlow{})
+	}
+	bf := &bc.flows[len(bc.flows)-1]
+	bf.dst = dst.ID
+	bf.fe = fe
+	bf.self = fe.dstVN.IsSelf()
+	bf.final = dst.Addr
+
+	// The template freezes the packet as it leaves leg 1: the inner hop
+	// limit already decremented once by the source's encapsulation, the
+	// outer addressed from the source host to the deployment's anycast
+	// address.
+	hdr := packet.VNHeader{
+		Version:  e.cfg.Version,
+		HopLimit: packet.DefaultHopLimit - 1,
+		Src:      fe.srcVN,
+		Dst:      fe.dstVN,
+	}
+	opts := bc.hdrOpts[:0]
+	if bf.self {
+		binary.BigEndian.PutUint32(bc.underBuf[:], uint32(dst.Addr))
+		opts = append(opts, packet.Option{Type: packet.OptUnderlayDst, Value: bc.underBuf[:]})
+	}
+	bc.tagBuf = [4]byte{}
+	opts = append(opts, packet.Option{Type: packet.OptTraceTag, Value: bc.tagBuf[:]})
+	hdr.Options = opts
+	outer := packet.V4Header{Proto: packet.ProtoVNEncap, Src: src.Addr, Dst: ep.dep.Addr}
+	if err := bf.tmpl.Build(outer, hdr); err != nil {
+		bc.flows = bc.flows[:len(bc.flows)-1]
+		return nil, err
+	}
+
+	hops := append(bf.hops[:0], e.Net.Router(fe.ing.Member).Loopback)
+	for j := 1; j < len(fe.eg.BonePath); j++ {
+		hops = append(hops, e.Net.Router(fe.eg.BonePath[j]).Loopback)
+	}
+	bf.hops = hops
+	return bf, nil
+}
+
+// SendBatch delivers one payload to each destination from a single
+// source, amortizing the per-send fixed costs — epoch load, flow lookup,
+// header serialization — across the burst. It is observationally
+// identical to calling Send(src, dsts[i], payloads[i]) for each i in
+// order on one routing epoch: byte-identical deliveries, identical drop
+// reasons and counter tallies, identical trace events (batched into the
+// tracer at the end of the burst). payloads may be nil (every packet
+// then carries an empty payload); otherwise it must match dsts in
+// length. A failed packet never poisons the rest: the error is a
+// *BatchError carrying per-packet errors, and every other index's
+// Delivery is valid. When the deployment has no usable epoch at all the
+// error is that epoch error (every packet would have failed identically).
+func (e *Evolution) SendBatch(src *topology.Host, dsts []*topology.Host, payloads [][]byte) ([]Delivery, error) {
+	return e.AppendSendBatch(nil, src, dsts, payloads)
+}
+
+// AppendSendBatch is SendBatch appending into out, the allocation-free
+// form: with out's capacity sufficient and the batch all-success, a
+// steady-state call allocates nothing. It returns the extended slice
+// (one Delivery per destination, zero at failed indexes). On a non-nil
+// plain error (argument mismatch, unusable epoch) out is returned
+// unextended.
+func (e *Evolution) AppendSendBatch(out []Delivery, src *topology.Host, dsts []*topology.Host, payloads [][]byte) ([]Delivery, error) {
+	if payloads != nil && len(payloads) != len(dsts) {
+		return out, fmt.Errorf("core: batch: %d payloads for %d destinations", len(payloads), len(dsts))
+	}
+	return e.sendBatch(out, src, dsts, nil, payloads, len(dsts), e.tracerNow())
+}
+
+// SendBurst delivers every payload to one destination — the
+// single-destination batch, with no destination slice to materialize.
+// Same contract as SendBatch.
+func (e *Evolution) SendBurst(src, dst *topology.Host, payloads [][]byte) ([]Delivery, error) {
+	return e.AppendSendBurst(nil, src, dst, payloads)
+}
+
+// AppendSendBurst is SendBurst appending into out; see AppendSendBatch
+// for the allocation contract.
+func (e *Evolution) AppendSendBurst(out []Delivery, src, dst *topology.Host, payloads [][]byte) ([]Delivery, error) {
+	return e.sendBatch(out, src, nil, dst, payloads, len(payloads), e.tracerNow())
+}
+
+// growDeliveries extends out by n zeroed entries, in place when the
+// capacity is already there.
+func growDeliveries(out []Delivery, n int) []Delivery {
+	base := len(out)
+	if cap(out)-base >= n {
+		out = out[:base+n]
+		clear(out[base:])
+		return out
+	}
+	return append(out, make([]Delivery, n)...)
+}
+
+// sendBatch is the shared batch engine: dsts per-packet destinations, or
+// dst1 for every packet when dsts is nil. It loads one routing epoch and
+// runs the whole burst against it — a mutation mid-batch never tears the
+// batch across epochs (later packets just lose cache-store eligibility,
+// exactly like a loop send racing the same mutation).
+func (e *Evolution) sendBatch(out []Delivery, src *topology.Host, dsts []*topology.Host, dst1 *topology.Host, payloads [][]byte, n int, tr trace.Tracer) ([]Delivery, error) {
+	if n == 0 {
+		return out, nil
+	}
+	ep := e.epoch.Load()
+	if ep.err != nil {
+		// Each packet fails exactly as its loop Send would: counted as a
+		// send dropped not-deployed, no span events.
+		var cb trace.CounterBatch
+		for i := 0; i < n; i++ {
+			cb.Send()
+			cb.Drop(trace.DropNotDeployed)
+		}
+		cb.BatchPackets(n)
+		cb.FlushTo(&e.counters)
+		return out, ep.err
+	}
+
+	base := len(out)
+	out = growDeliveries(out, n)
+	bc := batchCtxPool.Get().(*batchCtx)
+	bc.reset()
+	var btr trace.Tracer
+	if tr != nil {
+		btr = &bc.events
+	}
+
+	var errs []error
+	failed := 0
+	dst := dst1
+	var pl []byte
+	for i := 0; i < n; i++ {
+		if e.testBatchHook != nil {
+			e.testBatchHook(i)
+		}
+		if dsts != nil {
+			dst = dsts[i]
+		}
+		if payloads != nil {
+			pl = payloads[i]
+		}
+		d, err := e.sendBatchOne(bc, ep, src, dst, pl, btr)
+		if err != nil {
+			if errs == nil {
+				errs = make([]error, n)
+			}
+			errs[i] = err
+			failed++
+			continue
+		}
+		out[base+i] = d
+	}
+
+	bc.counters.BatchFlows(len(bc.flows))
+	bc.counters.BatchPackets(n)
+	bc.counters.FlushTo(&e.counters)
+	bc.events.Flush(tr)
+	batchCtxPool.Put(bc)
+
+	if failed > 0 {
+		return out, &BatchError{Errs: errs, Failed: failed}
+	}
+	return out, nil
+}
+
+// dropBatch closes one batched packet as a failure, mirroring dropSend:
+// counted under its reason into the batch accumulator, traced as a
+// KindDrop event when tracing.
+func dropBatch(cb *trace.CounterBatch, btr trace.Tracer, seq uint32, reason trace.DropReason, err error) (Delivery, error) {
+	cb.Drop(reason)
+	if btr != nil {
+		btr.Event(trace.Event{Kind: trace.KindDrop, Seq: seq, Router: -1, Reason: reason})
+	}
+	return Delivery{}, err
+}
+
+// sendBatchOne runs one packet of a batch. It is the batched mirror of
+// send(): same flow resolution (epoch flow cache, computeFlow, gated
+// stores), same counter tallies (via the batch accumulator), same span
+// events in the same order (via the batch event buffer), same drop
+// taxonomy and error wrapping — but the wire pass emits from the flow's
+// header template and patches the packet in place per leg instead of
+// re-serializing and re-parsing at every hop.
+func (e *Evolution) sendBatchOne(bc *batchCtx, ep *routingEpoch, src, dst *topology.Host, payload []byte, btr trace.Tracer) (Delivery, error) {
+	cb := &bc.counters
+	cb.Send()
+	seq := rand.Uint32()
+	if btr != nil {
+		btr.Event(trace.Event{Kind: trace.KindSend, Seq: seq, Router: src.Attach, AS: src.Domain})
+	}
+
+	fk := flowKey{src: src.ID, dst: dst.ID, dep: ep.dep.Addr}
+	var fe *flowEntry
+	if !e.cfg.DisableDeliveryCache {
+		fe, _ = ep.flow.load(fk)
+	}
+	if fe != nil {
+		cb.FlowHit()
+		cb.Redirect(true)
+	} else {
+		cb.FlowMiss()
+		var reason trace.DropReason
+		var err error
+		fe, reason, err = e.computeFlow(ep, src, dst, ep.dep, cb)
+		if err != nil {
+			return dropBatch(cb, btr, seq, reason, err)
+		}
+		if !e.cfg.DisableDeliveryCache && e.mutSeq.Load() == ep.seq {
+			ep.flow.store(fk, fe)
+		}
+	}
+
+	bf, err := bc.flowFor(e, ep, src, dst, fe)
+	if err != nil {
+		return dropBatch(cb, btr, seq, trace.DropEncap, err)
+	}
+	// All wire-level state comes from the batch's first skeleton for
+	// this destination — within one epoch any recomputation agrees with
+	// it, so this is a no-op beyond pointer identity.
+	fe = bf.fe
+	cb.Ingress(fe.ingressAS)
+	cb.BoneHops(fe.vnHops)
+
+	d := Delivery{
+		SrcVN:        fe.srcVN,
+		DstVN:        fe.dstVN,
+		Ingress:      fe.ing,
+		Egress:       fe.eg,
+		VNHops:       fe.vnHops,
+		TailCost:     fe.tailCost,
+		TailPath:     fe.tailPath,
+		BaselineCost: fe.baseline,
+	}
+	d.TotalCost = fe.ing.Cost + fe.eg.BoneCost + fe.tailCost
+	d.Stretch = metrics.Stretch(d.TotalCost, d.BaselineCost)
+
+	// Leg 1 — emit from the template: header prefix plus payload, with
+	// lengths, trace tag and checksum patched. Byte-identical to the
+	// loop path's serialization, including its overflow errors.
+	wire, err := bf.tmpl.Emit(bc.wire, payload, seq)
+	if err != nil {
+		return dropBatch(cb, btr, seq, trace.DropEncap, err)
+	}
+	bc.wire = wire
+	cb.Encap()
+	if btr != nil {
+		btr.Event(trace.Event{
+			Kind: trace.KindEncap, Seq: seq, Router: -1,
+			Src: src.Addr, Dst: ep.dep.Addr,
+		})
+		btr.Event(trace.Event{
+			Kind: trace.KindRedirect, Seq: seq,
+			Router: fe.ing.Member, AS: fe.ingressAS, Cost: fe.ing.Cost,
+		})
+		// The ingress decap is validity-checked by construction (the
+		// template's outer destination is the anycast address), so like
+		// the loop path it is neither counted nor traced.
+		btr.Event(trace.Event{
+			Kind: trace.KindEgress, Seq: seq,
+			Router: fe.eg.Member, AS: e.Net.DomainOf(fe.eg.Member),
+			Cost: fe.eg.BoneCost, Detail: fe.egDetail,
+		})
+	}
+
+	// Leg 2 — walk the bone path in place: each ForwardShared is one
+	// complete relay hop (re-encapsulation toward the next loopback plus
+	// arrival accounting), byte- and event-identical to the loop's
+	// ping-pong encap/decap pair.
+	bc.ep.Local = bf.hops[0]
+	bc.ep.Observe(btr, nil, seq)
+	path := fe.eg.BonePath
+	for j := 1; j < len(bf.hops); j++ {
+		if err := bc.ep.ForwardShared(wire, bf.hops[j]); err != nil {
+			return dropBatch(cb, btr, seq, trace.DropRelay, fmt.Errorf("core: bone relay %d: %w", j, err))
+		}
+		cb.Encap()
+		cb.Decap()
+		if btr != nil {
+			hop := path[j]
+			btr.Event(trace.Event{
+				Kind: trace.KindBoneHop, Seq: seq,
+				Router: hop, AS: e.Net.DomainOf(hop),
+				Cost: ep.bone.Dist(path[j-1], hop),
+			})
+		}
+	}
+
+	// Leg 3 — exit toward the destination host's underlay address.
+	if err := bc.ep.PatchEncap(wire, bf.final); err != nil {
+		if bf.self {
+			return dropBatch(cb, btr, seq, trace.DropTail, fmt.Errorf("core: final tunnel: %w", err))
+		}
+		return dropBatch(cb, btr, seq, trace.DropTail, fmt.Errorf("core: native delivery encap: %w", err))
+	}
+	cb.Encap()
+
+	bc.epDst.Local = dst.Addr
+	bc.epDst.Observe(btr, nil, seq)
+	_, inner, rpl, err := bc.epDst.DecapShared(wire, bc.opts[:0])
+	if err != nil {
+		return dropBatch(cb, btr, seq, trace.DropTail, fmt.Errorf("core: final decap: %w", err))
+	}
+	cb.Decap()
+	if inner.Options != nil {
+		bc.opts = inner.Options[:0]
+	}
+
+	// The trace tag must have survived the whole wire path.
+	for _, o := range inner.Options {
+		if o.Type == packet.OptTraceTag && len(o.Value) == 4 {
+			d.TraceTag = binary.BigEndian.Uint32(o.Value)
+		}
+	}
+	if d.TraceTag != seq {
+		return dropBatch(cb, btr, seq, trace.DropIntegrity, fmt.Errorf("core: trace tag corrupted in transit (%d != %d)", d.TraceTag, seq))
+	}
+	if !bytes.Equal(rpl, payload) {
+		return dropBatch(cb, btr, seq, trace.DropIntegrity, fmt.Errorf("core: payload corrupted in transit"))
+	}
+	d.Payload = payload
+	cb.PayloadBytes(len(payload))
+	cb.Deliver()
+	if btr != nil {
+		btr.Event(trace.Event{
+			Kind: trace.KindDeliver, Seq: seq,
+			Router: dst.Attach, AS: dst.Domain, Cost: d.TotalCost,
+		})
+	}
+	return d, nil
+}

@@ -1,0 +1,549 @@
+package core
+
+import (
+	"errors"
+	"math/rand/v2"
+	"reflect"
+	"sync"
+	"testing"
+
+	"github.com/evolvable-net/evolve/internal/topology"
+	"github.com/evolvable-net/evolve/internal/trace"
+)
+
+// stripSeq zeroes the per-delivery random sequence in an event stream so
+// loop and batch traces compare on kind, order, routers and costs alone.
+func stripSeq(events []trace.Event) []trace.Event {
+	out := make([]trace.Event, len(events))
+	for i, e := range events {
+		e.Seq = 0
+		out[i] = e
+	}
+	return out
+}
+
+// errString renders an error for cross-arm comparison ("" for nil). The
+// batch path rebuilds its errors through the same fmt wrapping as the
+// loop path, so string equality is the observational contract.
+func errString(err error) string {
+	if err == nil {
+		return ""
+	}
+	return err.Error()
+}
+
+// normalizeChurnCounters erases the one legitimate divergence between a
+// batch and its equivalent loop under mid-run epoch churn: the batch pins
+// one epoch for the whole burst, so once the epoch is republished its
+// cache stores are gated off and later packets re-miss, while the loop
+// reloads a fresh epoch per send and keeps hitting. Hits versus misses is
+// a cache-placement detail, never routing: merge them and compare totals.
+func normalizeChurnCounters(s trace.Snapshot) trace.Snapshot {
+	s.DeliveryFlowMisses += s.DeliveryFlowHits
+	s.DeliveryFlowHits = 0
+	s.RedirectCacheHits = 0
+	return s
+}
+
+// diffWorld is one arm's half of the differential harness: an Evolution
+// on its own (identically seeded) network, deployed and registered by
+// the shared script.
+type diffWorld struct {
+	e     *Evolution
+	hosts []*topology.Host
+	// republish re-seals the current epoch without changing routing (an
+	// already-deployed router re-deployed) — the churn injection.
+	republish func()
+}
+
+func newDiffWorld(t *testing.T, cfg Config) *diffWorld {
+	t.Helper()
+	n := world(t)
+	e := newEvo(t, n, cfg)
+	t0 := n.DomainByName("T0")
+	e.DeployDomain(t0.ASN, 0)
+	e.DeployDomain(n.DomainByName("S0.0").ASN, 0)
+	if err := e.RegisterEndhosts(n.HostsIn(n.DomainByName("S1.1").ASN)); err != nil {
+		t.Fatal(err)
+	}
+	deployed := t0.Routers[0]
+	return &diffWorld{
+		e:         e,
+		hosts:     n.Hosts,
+		republish: func() { e.DeployRouter(deployed) },
+	}
+}
+
+// TestSendBatchDifferential is the batch≡loop differential harness: for
+// randomized bursts (sources, destination multisets with duplicates,
+// payloads including nil, empty and oversized-overflow ones) it runs
+// SendBatch/SendBurst on one world and the equivalent Send loop on an
+// identically seeded twin, and requires byte-identical deliveries,
+// identical per-packet errors in order, identical counter deltas and
+// identical trace event streams — across shard counts, cache ablation
+// and mid-batch epoch churn.
+func TestSendBatchDifferential(t *testing.T) {
+	arms := []struct {
+		name  string
+		cfg   Config
+		churn bool
+	}{
+		{"shards=1", Config{DeliveryShards: 1}, false},
+		{"shards=4", Config{DeliveryShards: 4}, false},
+		{"shards=16", Config{DeliveryShards: 16}, false},
+		{"uncached", Config{DeliveryShards: 4, DisableDeliveryCache: true}, false},
+		{"churn/shards=4", Config{DeliveryShards: 4}, true},
+		{"churn/uncached", Config{DeliveryShards: 1, DisableDeliveryCache: true}, true},
+	}
+	for _, arm := range arms {
+		t.Run(arm.name, func(t *testing.T) {
+			runBatchDifferential(t, arm.cfg, arm.churn)
+		})
+	}
+}
+
+func runBatchDifferential(t *testing.T, cfg Config, churn bool) {
+	loop := newDiffWorld(t, cfg)
+	batch := newDiffWorld(t, cfg)
+
+	// The churn hook republishes the epoch before packets 2 and 5 of a
+	// burst. The batch path fires it via testBatchHook inside sendBatch;
+	// the loop arm calls the same hook at the same indexes between Sends.
+	hook := func(w *diffWorld, i int) {
+		if churn && (i == 2 || i == 5) {
+			w.republish()
+		}
+	}
+	batch.e.testBatchHook = func(i int) { hook(batch, i) }
+	defer func() { batch.e.testBatchHook = nil }()
+
+	batchRec := trace.NewRecorder()
+	batch.e.SetTracer(batchRec)
+
+	oversized := make([]byte, 0x10000)
+	rng := rand.New(rand.NewPCG(7, 7))
+	const rounds = 30
+	for round := 0; round < rounds; round++ {
+		nb := 1 + rng.IntN(12)
+		srcIdx := rng.IntN(len(loop.hosts))
+		dstIdx := make([]int, nb)
+		payloads := make([][]byte, nb)
+		for i := range dstIdx {
+			if i > 0 && rng.IntN(4) == 0 {
+				dstIdx[i] = dstIdx[i-1] // duplicate destinations share a flow
+			} else {
+				dstIdx[i] = rng.IntN(len(loop.hosts))
+			}
+			switch rng.IntN(8) {
+			case 0:
+				payloads[i] = nil
+			case 1:
+				payloads[i] = []byte{}
+			case 2:
+				// A >64KiB payload overflows the VN length field: a
+				// deterministic mid-batch drop that must not poison the
+				// rest of the burst.
+				payloads[i] = oversized
+			default:
+				pl := make([]byte, 1+rng.IntN(64))
+				for j := range pl {
+					pl[j] = byte(rng.IntN(256))
+				}
+				payloads[i] = pl
+			}
+		}
+		burst := rng.IntN(3) == 0 // every ~3rd round exercises SendBurst
+		if burst {
+			for i := range dstIdx {
+				dstIdx[i] = dstIdx[0]
+			}
+		}
+
+		// Loop arm: one traced Send per packet, events concatenating in
+		// emission order.
+		loopRec := trace.NewRecorder()
+		loopBefore := loop.e.Snapshot()
+		loopDel := make([]Delivery, nb)
+		loopErrs := make([]string, nb)
+		for i := 0; i < nb; i++ {
+			hook(loop, i)
+			d, err := loop.e.SendTraced(loop.hosts[srcIdx], loop.hosts[dstIdx[i]], payloads[i], loopRec)
+			loopDel[i] = stripTag(d)
+			loopErrs[i] = errString(err)
+		}
+		loopDelta := loop.e.Snapshot().Sub(loopBefore)
+
+		// Batch arm: one SendBatch (or SendBurst) call.
+		batchRec.Reset()
+		batchBefore := batch.e.Snapshot()
+		var got []Delivery
+		var err error
+		if burst {
+			got, err = batch.e.SendBurst(batch.hosts[srcIdx], batch.hosts[dstIdx[0]], payloads)
+		} else {
+			dsts := make([]*topology.Host, nb)
+			for i, di := range dstIdx {
+				dsts[i] = batch.hosts[di]
+			}
+			got, err = batch.e.SendBatch(batch.hosts[srcIdx], dsts, payloads)
+		}
+		batchDelta := batch.e.Snapshot().Sub(batchBefore)
+
+		if len(got) != nb {
+			t.Fatalf("round %d: batch returned %d deliveries, want %d", round, len(got), nb)
+		}
+		batchErrs := make([]string, nb)
+		if err != nil {
+			var be *BatchError
+			if !errors.As(err, &be) {
+				t.Fatalf("round %d: batch error is %T (%v), want *BatchError", round, err, err)
+			}
+			if len(be.Errs) != nb {
+				t.Fatalf("round %d: BatchError has %d entries, want %d", round, len(be.Errs), nb)
+			}
+			n := 0
+			for i, e := range be.Errs {
+				batchErrs[i] = errString(e)
+				if e != nil {
+					n++
+				}
+			}
+			if n != be.Failed || n == 0 {
+				t.Fatalf("round %d: BatchError.Failed=%d, counted %d non-nil", round, be.Failed, n)
+			}
+		}
+
+		for i := 0; i < nb; i++ {
+			if loopErrs[i] != batchErrs[i] {
+				t.Fatalf("round %d packet %d: error diverges:\nloop:  %q\nbatch: %q",
+					round, i, loopErrs[i], batchErrs[i])
+			}
+			if !reflect.DeepEqual(loopDel[i], stripTag(got[i])) {
+				t.Fatalf("round %d packet %d: delivery diverges:\nloop:  %+v\nbatch: %+v",
+					round, i, loopDel[i], got[i])
+			}
+		}
+
+		// Counters: the batch arm additionally moves the batch_* gauges;
+		// assert them, then erase for the field-by-field comparison.
+		distinct := map[int]bool{}
+		for _, di := range dstIdx {
+			distinct[di] = true
+		}
+		if want := uint64(len(distinct)); batchDelta.DeliveryBatchFlows != want {
+			t.Fatalf("round %d: batch materialized %d flows, want %d",
+				round, batchDelta.DeliveryBatchFlows, want)
+		}
+		if batchDelta.DeliveryBatchPackets != uint64(nb) {
+			t.Fatalf("round %d: batch counted %d packets, want %d",
+				round, batchDelta.DeliveryBatchPackets, nb)
+		}
+		batchDelta.DeliveryBatchFlows, batchDelta.DeliveryBatchPackets = 0, 0
+		ld, bd := loopDelta, batchDelta
+		if churn {
+			ld, bd = normalizeChurnCounters(ld), normalizeChurnCounters(bd)
+		}
+		if !reflect.DeepEqual(ld, bd) {
+			t.Fatalf("round %d: counter deltas diverge:\nloop:  %+v\nbatch: %+v", round, ld, bd)
+		}
+
+		// Trace streams: identical content in identical order, modulo the
+		// per-delivery random sequence numbers and the batch flushing its
+		// events at burst end rather than per packet.
+		le, be := stripSeq(loopRec.Events()), stripSeq(batchRec.Events())
+		if !reflect.DeepEqual(le, be) {
+			t.Fatalf("round %d: event streams diverge (%d vs %d events):\nloop:  %+v\nbatch: %+v",
+				round, len(le), len(be), le, be)
+		}
+	}
+}
+
+// TestSendBatchSeededScript replays the shard-equivalence delivery script
+// with every sendAll expressed as one SendBatch per source and checks the
+// deliveries against the loop-driven reference — the batch path riding
+// through deployment, failure and registration churn between bursts.
+func TestSendBatchSeededScript(t *testing.T) {
+	refEvo := newEvo(t, world(t), Config{})
+	refDel, refAddrs := runDeliveryScript(t, refEvo)
+
+	e := newEvo(t, world(t), Config{})
+	n := e.Net
+	t0 := n.DomainByName("T0")
+	s11 := n.DomainByName("S1.1")
+	e.DeployDomain(t0.ASN, 0)
+	e.DeployDomain(n.DomainByName("S0.0").ASN, 0)
+	if err := e.RegisterEndhosts(n.HostsIn(s11.ASN)); err != nil {
+		t.Fatal(err)
+	}
+
+	var deliveries []Delivery
+	sendAll := func() {
+		for _, src := range n.Hosts[:6] {
+			var dsts []*topology.Host
+			for _, dst := range n.Hosts[len(n.Hosts)-6:] {
+				if src == dst {
+					continue
+				}
+				// The script sends each pair twice (cache-hit coverage);
+				// keep that shape as in-batch duplicates.
+				dsts = append(dsts, dst, dst)
+			}
+			got, err := e.SendBatch(src, dsts, nil)
+			if err != nil {
+				t.Fatalf("batch from %s: %v", src.Name, err)
+			}
+			for i := 0; i < len(got); i += 2 {
+				d, d2 := stripTag(got[i]), stripTag(got[i+1])
+				if !reflect.DeepEqual(d, d2) {
+					t.Fatalf("in-batch re-send differs for %s->%s:\n%+v\n%+v",
+						src.Name, dsts[i].Name, d, d2)
+				}
+				deliveries = append(deliveries, d)
+			}
+		}
+	}
+
+	sendAll()
+	rts := t0.Routers
+	e.FailIntraLink(rts[0], rts[1])
+	sendAll()
+	e.DeployDomain(n.DomainByName("S1.0").ASN, 1)
+	sendAll()
+	e.UnregisterEndhost(n.HostsIn(s11.ASN)[0])
+	sendAll()
+
+	// The script payload is "equivalence"; batches above carried nil
+	// payloads, so compare with payloads erased on both sides.
+	noPayload := func(ds []Delivery) []Delivery {
+		out := make([]Delivery, len(ds))
+		for i, d := range ds {
+			d.Payload = nil
+			out[i] = d
+		}
+		return out
+	}
+	if !reflect.DeepEqual(noPayload(refDel), noPayload(deliveries)) {
+		t.Fatal("batched script deliveries diverge from loop reference")
+	}
+	for i, h := range n.Hosts {
+		v, err := e.HostVNAddr(h)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v.String() != refAddrs[i] {
+			t.Errorf("host %s address %s, want %s", h.Name, v, refAddrs[i])
+		}
+	}
+}
+
+// TestSendBatchArgumentErrors pins the plain-error paths: a
+// payload/destination length mismatch fails the whole call without
+// touching counters, and an unusable epoch fails every packet with the
+// epoch error, counted exactly like the equivalent loop.
+func TestSendBatchArgumentErrors(t *testing.T) {
+	n := world(t)
+	e := newEvo(t, n, Config{})
+
+	// Undeployed: the epoch error, one not-deployed drop per packet.
+	before := e.Snapshot()
+	out, err := e.SendBatch(n.Hosts[0], []*topology.Host{n.Hosts[1], n.Hosts[2]}, nil)
+	if !errors.Is(err, ErrNotDeployed) {
+		t.Fatalf("undeployed batch: %v, want ErrNotDeployed", err)
+	}
+	if out != nil {
+		t.Fatalf("undeployed batch extended out: %v", out)
+	}
+	delta := e.Snapshot().Sub(before)
+	if delta.Sends != 2 || delta.DropsByReason[trace.DropNotDeployed] != 2 {
+		t.Fatalf("undeployed batch counted sends=%d notdeployed=%d, want 2/2",
+			delta.Sends, delta.DropsByReason[trace.DropNotDeployed])
+	}
+	if delta.DeliveryBatchPackets != 2 {
+		t.Fatalf("undeployed batch counted %d batch packets, want 2", delta.DeliveryBatchPackets)
+	}
+
+	e.DeployDomain(n.DomainByName("T0").ASN, 0)
+	before = e.Snapshot()
+	if _, err := e.SendBatch(n.Hosts[0], n.Hosts[1:3], [][]byte{{1}}); err == nil {
+		t.Fatal("payload/destination mismatch accepted")
+	}
+	if d := e.Snapshot().Sub(before); d.Sends != 0 {
+		t.Fatalf("mismatched batch moved counters: %+v", d)
+	}
+
+	// Empty batches are free.
+	if out, err := e.SendBatch(n.Hosts[0], nil, nil); err != nil || out != nil {
+		t.Fatalf("empty batch: %v, %v", out, err)
+	}
+	if out, err := e.SendBurst(n.Hosts[0], n.Hosts[1], nil); err != nil || out != nil {
+		t.Fatalf("empty burst: %v, %v", out, err)
+	}
+}
+
+// TestBatchErrorMessage pins the summary format and the errors.As
+// contract documented on BatchError.
+func TestBatchErrorMessage(t *testing.T) {
+	be := &BatchError{Errs: []error{nil, errors.New("boom"), nil}, Failed: 1}
+	want := "core: batch: 1 of 3 packets dropped (first: boom)"
+	if be.Error() != want {
+		t.Errorf("BatchError.Error() = %q, want %q", be.Error(), want)
+	}
+	var got *BatchError
+	if err := error(be); !errors.As(err, &got) || got != be {
+		t.Error("errors.As failed to recover *BatchError")
+	}
+}
+
+// TestSendBatchConcurrentChurn hammers the batch path under -race: many
+// goroutines issuing overlapping batches (with in-batch duplicate
+// destinations) while mutators churn links and membership. Every batch
+// must be torn-free: packets to the same destination within one batch
+// observed one routing epoch, so their deliveries are identical modulo
+// the trace tag.
+func TestSendBatchConcurrentChurn(t *testing.T) {
+	n := world(t)
+	e := newEvo(t, n, Config{})
+	t0 := n.DomainByName("T0")
+	e.DeployDomain(t0.ASN, 0)
+	if err := e.RegisterEndhosts(n.HostsIn(n.DomainByName("S1.1").ASN)); err != nil {
+		t.Fatal(err)
+	}
+
+	const (
+		senders = 64
+		batches = 30
+	)
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+
+	// Churn: intra-domain link failures/restores and membership flaps in
+	// the deployed transit, mirroring TestConcurrentSendsWithChurn.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		rts := t0.Routers
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			switch i % 4 {
+			case 0:
+				e.FailIntraLink(rts[0], rts[1])
+			case 1:
+				e.RestoreIntraLink(rts[0], rts[1], 1)
+			case 2:
+				e.UndeployRouter(rts[len(rts)-1])
+			case 3:
+				e.DeployRouter(rts[len(rts)-1])
+			}
+		}
+	}()
+
+	errc := make(chan error, senders)
+	for g := 0; g < senders; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewPCG(uint64(g), 17))
+			var out []Delivery
+			for b := 0; b < batches; b++ {
+				src := n.Hosts[rng.IntN(len(n.Hosts))]
+				nb := 2 + rng.IntN(14)
+				dsts := make([]*topology.Host, nb)
+				for i := range dsts {
+					if i > 0 && i%3 == 0 {
+						dsts[i] = dsts[i-1] // in-batch duplicates must agree
+					} else {
+						dsts[i] = n.Hosts[rng.IntN(len(n.Hosts))]
+					}
+				}
+				var err error
+				out, err = e.AppendSendBatch(out[:0], src, dsts, nil)
+				var be *BatchError
+				if err != nil && !errors.As(err, &be) {
+					// A whole-batch error is the epoch error: tolerable
+					// mid-churn, and out is unextended by contract.
+					if len(out) != 0 {
+						errc <- errors.New("whole-batch error extended the delivery slice")
+						return
+					}
+					continue
+				}
+				if len(out) != nb {
+					errc <- errors.New("batch returned short delivery slice")
+					return
+				}
+				for i := 1; i < nb; i++ {
+					if dsts[i] != dsts[i-1] {
+						continue
+					}
+					if be != nil && (be.Errs[i] != nil || be.Errs[i-1] != nil) {
+						continue // dropped packets carry zero deliveries
+					}
+					if !reflect.DeepEqual(stripTag(out[i-1]), stripTag(out[i])) {
+						errc <- errors.New("torn batch: duplicate destinations diverged within one batch")
+						return
+					}
+				}
+			}
+			errc <- nil
+		}(g)
+	}
+	for g := 0; g < senders; g++ {
+		if err := <-errc; err != nil {
+			t.Error(err)
+		}
+	}
+	close(stop)
+	wg.Wait()
+}
+
+// TestSendBatchZeroAlloc pins the batched steady state: with flows
+// memoised, the context pool warm and the caller reusing its output and
+// input slices, AppendSendBatch allocates nothing per burst.
+func TestSendBatchZeroAlloc(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation allocates")
+	}
+	n := world(t)
+	e := newEvo(t, n, Config{})
+	e.DeployDomain(n.DomainByName("T0").ASN, 0)
+	src := n.HostsIn(n.DomainByName("S0.0").ASN)[0]
+	hs := n.HostsIn(n.DomainByName("S1.1").ASN)
+	dsts := []*topology.Host{hs[0], hs[1], hs[0], hs[1], hs[0], hs[1], hs[0], hs[1]}
+	payloads := make([][]byte, len(dsts))
+	for i := range payloads {
+		payloads[i] = []byte("zero-alloc batch steady state")
+	}
+	out := make([]Delivery, 0, len(dsts))
+	var err error
+	for i := 0; i < 10; i++ {
+		if out, err = e.AppendSendBatch(out[:0], src, dsts, payloads); err != nil {
+			t.Fatal(err)
+		}
+	}
+	allocs := testing.AllocsPerRun(200, func() {
+		if out, err = e.AppendSendBatch(out[:0], src, dsts, payloads); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("steady-state AppendSendBatch allocates %.1f objects per op, want 0", allocs)
+	}
+
+	for i := 0; i < 10; i++ {
+		if out, err = e.AppendSendBurst(out[:0], src, hs[0], payloads); err != nil {
+			t.Fatal(err)
+		}
+	}
+	allocs = testing.AllocsPerRun(200, func() {
+		if out, err = e.AppendSendBurst(out[:0], src, hs[0], payloads); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("steady-state AppendSendBurst allocates %.1f objects per op, want 0", allocs)
+	}
+}

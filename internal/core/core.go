@@ -177,6 +177,11 @@ type Evolution struct {
 	// for Sends, swapped atomically so SetTracer never blocks senders.
 	counters trace.Counters
 	tracer   atomic.Pointer[tracerBox]
+
+	// testBatchHook, when non-nil, runs before each packet of a batched
+	// send with the packet's index. Tests use it to inject epoch churn at
+	// exact points inside a batch; production paths never set it.
+	testBatchHook func(i int)
 }
 
 // New creates an Evolution with no routers deployed yet.
@@ -863,17 +868,17 @@ func (e *Evolution) SendTraced(src, dst *topology.Host, payload []byte, tr trace
 // store is gated on the mutation sequence still matching the epoch's,
 // and any store that races past the gate is shed by the next epoch's
 // entry-by-entry carry-over.
-func (e *Evolution) resolveIngress(ep *routingEpoch, d *anycast.Deployment, src *topology.Host) (anycast.Resolution, error) {
+func (e *Evolution) resolveIngress(ep *routingEpoch, d *anycast.Deployment, src *topology.Host, rc redirectCounter) (anycast.Resolution, error) {
 	k := resolveKey{src.ID, d.Addr}
 	if v, ok := ep.resolve.load(k); ok {
-		e.counters.Redirect(true)
+		rc.Redirect(true)
 		return *v, nil
 	}
 	res, err := e.Anycast.ResolveFromHostVia(d, src)
 	if err != nil {
 		return anycast.Resolution{}, err
 	}
-	e.counters.Redirect(false)
+	rc.Redirect(false)
 	if e.mutSeq.Load() == ep.seq {
 		ep.resolve.store(k, &res)
 	}
@@ -896,12 +901,12 @@ func (e *Evolution) dropSend(tr trace.Tracer, seq uint32, reason trace.DropReaso
 // native routing then takes precedence over egress-policy guesswork),
 // the tail leg (leg 3) and the IPv(N-1) baseline. Every path computation
 // of a send happens here and none of the wire-level work; see flowEntry.
-func (e *Evolution) computeFlow(ep *routingEpoch, src, dst *topology.Host, ingressDep *anycast.Deployment) (*flowEntry, trace.DropReason, error) {
+func (e *Evolution) computeFlow(ep *routingEpoch, src, dst *topology.Host, ingressDep *anycast.Deployment, rc redirectCounter) (*flowEntry, trace.DropReason, error) {
 	fe := &flowEntry{
 		srcVN: ep.addrs.addrOf(src),
 		dstVN: ep.addrs.addrOf(dst),
 	}
-	ing, err := e.resolveIngress(ep, ingressDep, src)
+	ing, err := e.resolveIngress(ep, ingressDep, src, rc)
 	if err != nil {
 		return nil, trace.DropNoIngress, fmt.Errorf("core: ingress: %w", err)
 	}
@@ -985,7 +990,7 @@ func (e *Evolution) send(ep *routingEpoch, src, dst *topology.Host, payload []by
 		e.counters.FlowMiss()
 		var reason trace.DropReason
 		var err error
-		fe, reason, err = e.computeFlow(ep, src, dst, ingressDep)
+		fe, reason, err = e.computeFlow(ep, src, dst, ingressDep, &e.counters)
 		if err != nil {
 			return e.dropSend(tr, seq, reason, err)
 		}

@@ -1,0 +1,242 @@
+package trace
+
+import "github.com/evolvable-net/evolve/internal/topology"
+
+// CounterBatch is a plain, single-goroutine accumulator for the send-path
+// counters. The batched delivery path tallies every packet of a burst
+// into one CounterBatch with ordinary integer adds, then folds the whole
+// burst into the shared striped Counters with one FlushTo — one striped
+// add per touched counter per batch instead of one per packet. A
+// CounterBatch is not safe for concurrent use; each batch owns its own
+// (pooled alongside the batch's wire buffers).
+//
+// The method set mirrors the send-path subset of Counters exactly, so
+// the core can count through either behind one interface and the
+// batch≡loop differential contract holds counter by counter.
+type CounterBatch struct {
+	sends        uint64
+	deliveries   uint64
+	redirects    uint64
+	redirectHits uint64
+	encaps       uint64
+	decaps       uint64
+	boneHops     uint64
+	flowHits     uint64
+	flowMisses   uint64
+	payloadBytes uint64
+	batchFlows   uint64
+	batchPackets uint64
+	drops        [numDropReasons]uint64
+	// ingress is a tiny assoc array: bursts touch one (or very few)
+	// ingress domains, so a linear scan beats a map and allocates
+	// nothing once the slice has grown.
+	ingress []ingressDelta
+}
+
+type ingressDelta struct {
+	as topology.ASN
+	n  uint64
+}
+
+// Send counts one delivery attempt entering the send path.
+func (b *CounterBatch) Send() { b.sends++ }
+
+// Deliver counts one successful end-to-end delivery.
+func (b *CounterBatch) Deliver() { b.deliveries++ }
+
+// Drop counts one failed delivery under its reason.
+func (b *CounterBatch) Drop(r DropReason) {
+	if r == DropNone || r >= numDropReasons {
+		return
+	}
+	b.drops[r]++
+}
+
+// Redirect counts one anycast redirect resolution; hit reports whether
+// it was served from the redirect cache.
+func (b *CounterBatch) Redirect(hit bool) {
+	b.redirects++
+	if hit {
+		b.redirectHits++
+	}
+}
+
+// FlowHit counts one send served from the epoch's flow cache.
+func (b *CounterBatch) FlowHit() { b.flowHits++ }
+
+// FlowMiss counts one send that computed its delivery skeleton.
+func (b *CounterBatch) FlowMiss() { b.flowMisses++ }
+
+// PayloadBytes counts n payload bytes carried by successful deliveries.
+func (b *CounterBatch) PayloadBytes(n int) {
+	if n > 0 {
+		b.payloadBytes += uint64(n)
+	}
+}
+
+// BatchFlows counts n distinct flow skeletons materialized by this batch.
+func (b *CounterBatch) BatchFlows(n int) {
+	if n > 0 {
+		b.batchFlows += uint64(n)
+	}
+}
+
+// BatchPackets counts n packets carried by this batch.
+func (b *CounterBatch) BatchPackets(n int) {
+	if n > 0 {
+		b.batchPackets += uint64(n)
+	}
+}
+
+// Ingress counts one delivery entering the deployment in domain as.
+func (b *CounterBatch) Ingress(as topology.ASN) {
+	for i := range b.ingress {
+		if b.ingress[i].as == as {
+			b.ingress[i].n++
+			return
+		}
+	}
+	b.ingress = append(b.ingress, ingressDelta{as: as, n: 1})
+}
+
+// Encap counts one tunnel encapsulation.
+func (b *CounterBatch) Encap() { b.encaps++ }
+
+// Decap counts one tunnel decapsulation.
+func (b *CounterBatch) Decap() { b.decaps++ }
+
+// BoneHops counts n vN-Bone virtual hops traversed by one delivery.
+func (b *CounterBatch) BoneHops(n int) {
+	if n > 0 {
+		b.boneHops += uint64(n)
+	}
+}
+
+// Reset zeroes the accumulator for reuse, keeping the ingress slice's
+// capacity.
+func (b *CounterBatch) Reset() {
+	b.ingress = b.ingress[:0]
+	*b = CounterBatch{ingress: b.ingress}
+}
+
+// FlushTo folds the accumulated tallies into c: one striped add per
+// non-zero counter. After FlushTo, c's Snapshot reflects the batch
+// exactly as if every packet had counted through c directly.
+func (b *CounterBatch) FlushTo(c *Counters) {
+	m := c.mask()
+	if b.sends > 0 {
+		c.sends.add(m, b.sends)
+	}
+	if b.deliveries > 0 {
+		c.deliveries.add(m, b.deliveries)
+	}
+	if b.redirects > 0 {
+		c.redirects.add(m, b.redirects)
+	}
+	if b.redirectHits > 0 {
+		c.redirectHits.add(m, b.redirectHits)
+	}
+	if b.encaps > 0 {
+		c.encaps.add(m, b.encaps)
+	}
+	if b.decaps > 0 {
+		c.decaps.add(m, b.decaps)
+	}
+	if b.boneHops > 0 {
+		c.boneHops.add(m, b.boneHops)
+	}
+	if b.flowHits > 0 {
+		c.flowHits.add(m, b.flowHits)
+	}
+	if b.flowMisses > 0 {
+		c.flowMisses.add(m, b.flowMisses)
+	}
+	if b.payloadBytes > 0 {
+		c.payloadBytes.add(m, b.payloadBytes)
+	}
+	if b.batchFlows > 0 {
+		c.batchFlows.add(m, b.batchFlows)
+	}
+	if b.batchPackets > 0 {
+		c.batchPackets.add(m, b.batchPackets)
+	}
+	for r := DropNotDeployed; r < numDropReasons; r++ {
+		if n := b.drops[r]; n > 0 {
+			c.drops[r].add(m, n)
+		}
+	}
+	for _, d := range b.ingress {
+		c.ingressN(d.as, d.n, m)
+	}
+}
+
+// ingressN adds n to the per-AS ingress tally in one striped add.
+func (c *Counters) ingressN(as topology.ASN, n uint64, m uint32) {
+	c.ingressMu.RLock()
+	v := c.ingressByAS[as]
+	c.ingressMu.RUnlock()
+	if v == nil {
+		c.ingressMu.Lock()
+		if c.ingressByAS == nil {
+			c.ingressByAS = map[topology.ASN]*striped{}
+		}
+		if v = c.ingressByAS[as]; v == nil {
+			v = new(striped)
+			c.ingressByAS[as] = v
+		}
+		c.ingressMu.Unlock()
+	}
+	v.add(m, n)
+}
+
+// BulkTracer is an optional Tracer extension: sinks that can ingest a
+// whole batch of events under one synchronization point implement it,
+// and EventBuffer.Flush uses it instead of per-event Event calls. The
+// method is named EventBatch (not Events) because Recorder already uses
+// Events as its accessor.
+type BulkTracer interface {
+	// EventBatch receives a batch of events in emission order. The slice
+	// is only valid for the duration of the call; implementations must
+	// copy what they keep.
+	EventBatch([]Event)
+}
+
+// EventBatch implements BulkTracer: the whole batch is appended under a
+// single lock acquisition.
+func (r *Recorder) EventBatch(events []Event) {
+	r.mu.Lock()
+	r.events = append(r.events, events...)
+	r.mu.Unlock()
+}
+
+// EventBuffer is a Tracer that buffers events in memory for a later
+// single-sink Flush. The batched delivery path points the tunnel
+// endpoints and its own emissions at one EventBuffer so a traced burst
+// costs one sink synchronization per batch, not one per event. Not safe
+// for concurrent use; each batch owns its own.
+type EventBuffer struct {
+	buf []Event
+}
+
+// Event implements Tracer by buffering the event.
+func (eb *EventBuffer) Event(e Event) { eb.buf = append(eb.buf, e) }
+
+// Len reports the number of buffered events.
+func (eb *EventBuffer) Len() int { return len(eb.buf) }
+
+// Flush hands the buffered events to sink in emission order and empties
+// the buffer (keeping its capacity). Sinks implementing BulkTracer
+// receive the whole batch in one EventBatch call; other sinks get the
+// events one by one. A nil sink just discards the buffer.
+func (eb *EventBuffer) Flush(sink Tracer) {
+	if sink != nil && len(eb.buf) > 0 {
+		if bulk, ok := sink.(BulkTracer); ok {
+			bulk.EventBatch(eb.buf)
+		} else {
+			for _, e := range eb.buf {
+				sink.Event(e)
+			}
+		}
+	}
+	eb.buf = eb.buf[:0]
+}

@@ -111,6 +111,8 @@ type Counters struct {
 	flowHits     striped
 	flowMisses   striped
 	payloadBytes striped
+	batchFlows   striped
+	batchPackets striped
 	boneRebuilds atomic.Uint64
 	rebuildsFail atomic.Uint64
 	epochs       atomic.Uint64
@@ -176,6 +178,22 @@ func (c *Counters) FlowHit() { c.flowHits.add(c.mask(), 1) }
 // FlowMiss counts one send that had to compute its delivery skeleton
 // from the routing substrate (and, mutations permitting, cached it).
 func (c *Counters) FlowMiss() { c.flowMisses.add(c.mask(), 1) }
+
+// BatchFlows counts n distinct flow skeletons materialized by batched
+// sends (one per (src, dst) pair that appeared in a SendBatch burst).
+func (c *Counters) BatchFlows(n int) {
+	if n > 0 {
+		c.batchFlows.add(c.mask(), uint64(n))
+	}
+}
+
+// BatchPackets counts n packets carried by batched sends (every packet
+// handed to SendBatch/SendBurst, delivered or dropped).
+func (c *Counters) BatchPackets(n int) {
+	if n > 0 {
+		c.batchPackets.add(c.mask(), uint64(n))
+	}
+}
 
 // PayloadBytes counts n payload bytes carried by successful deliveries.
 func (c *Counters) PayloadBytes(n int) {
@@ -337,6 +355,11 @@ type Snapshot struct {
 	// substrate. DeliveryPayloadBytes totals the payload bytes carried by
 	// successful deliveries.
 	DeliveryFlowHits, DeliveryFlowMisses, DeliveryPayloadBytes uint64
+	// DeliveryBatchFlows/DeliveryBatchPackets measure the batched send
+	// path: how many distinct flow skeletons SendBatch bursts
+	// materialized and how many packets rode them. Loop sends never move
+	// these, so BatchPackets/Sends is the batch-adoption ratio.
+	DeliveryBatchFlows, DeliveryBatchPackets uint64
 	// BoneRebuilds counts successful vN-Bone reconstructions;
 	// RebuildsFailed counts attempts that errored and left the previous
 	// routing state live.
@@ -389,6 +412,8 @@ func (c *Counters) Snapshot() Snapshot {
 		DeliveryFlowHits:     c.flowHits.load(),
 		DeliveryFlowMisses:   c.flowMisses.load(),
 		DeliveryPayloadBytes: c.payloadBytes.load(),
+		DeliveryBatchFlows:   c.batchFlows.load(),
+		DeliveryBatchPackets: c.batchPackets.load(),
 		BoneRebuilds:         c.boneRebuilds.Load(),
 		RebuildsFailed:       c.rebuildsFail.Load(),
 		Epochs:               c.epochs.Load(),
@@ -453,6 +478,8 @@ func (s Snapshot) Sub(prev Snapshot) Snapshot {
 		DeliveryFlowHits:     sub(s.DeliveryFlowHits, prev.DeliveryFlowHits, "delivery.flow_hits"),
 		DeliveryFlowMisses:   sub(s.DeliveryFlowMisses, prev.DeliveryFlowMisses, "delivery.flow_misses"),
 		DeliveryPayloadBytes: sub(s.DeliveryPayloadBytes, prev.DeliveryPayloadBytes, "delivery.payload_bytes"),
+		DeliveryBatchFlows:   sub(s.DeliveryBatchFlows, prev.DeliveryBatchFlows, "delivery.batch_flows"),
+		DeliveryBatchPackets: sub(s.DeliveryBatchPackets, prev.DeliveryBatchPackets, "delivery.batch_packets"),
 		BoneRebuilds:         sub(s.BoneRebuilds, prev.BoneRebuilds, "bone.rebuilds"),
 		RebuildsFailed:       sub(s.RebuildsFailed, prev.RebuildsFailed, "bone.rebuilds_failed"),
 		Epochs:               sub(s.Epochs, prev.Epochs, "epochs"),
@@ -510,6 +537,8 @@ func (s Snapshot) String() string {
 	fmt.Fprintf(&b, "delivery.flow_hits %d\n", s.DeliveryFlowHits)
 	fmt.Fprintf(&b, "delivery.flow_misses %d\n", s.DeliveryFlowMisses)
 	fmt.Fprintf(&b, "delivery.payload_bytes %d\n", s.DeliveryPayloadBytes)
+	fmt.Fprintf(&b, "delivery.batch_flows %d\n", s.DeliveryBatchFlows)
+	fmt.Fprintf(&b, "delivery.batch_packets %d\n", s.DeliveryBatchPackets)
 	fmt.Fprintf(&b, "tunnel.encaps %d\n", s.Encaps)
 	fmt.Fprintf(&b, "tunnel.decaps %d\n", s.Decaps)
 	fmt.Fprintf(&b, "bone.hops %d\n", s.BoneHops)

@@ -201,6 +201,67 @@ func (e *Endpoint) EncapToShared(outerDst addr.V4, inner packet.VNHeader, payloa
 	return e.buf.Bytes(), nil
 }
 
+// PatchEncap re-encapsulates a serialized vn-encap packet in place for
+// its next tunnel leg, the batched form of EncapToShared: instead of
+// re-serializing both headers around the payload, it decrements the
+// inner hop limit and rewrites the outer addresses/TTL/checksum directly
+// in the wire bytes. The result is byte-identical to decapsulating and
+// re-encapsulating through the serializers, and the encap is counted and
+// traced exactly as EncapToShared would.
+func (e *Endpoint) PatchEncap(wire []byte, outerDst addr.V4) error {
+	if len(wire) < packet.V4HeaderLen+packet.VNHeaderLen {
+		e.stats.Rejected++
+		return packet.ErrTruncated
+	}
+	hop := &wire[packet.V4HeaderLen+1]
+	if *hop == 0 {
+		*hop = packet.DefaultHopLimit
+	}
+	if *hop <= 1 {
+		e.stats.Rejected++
+		return ErrHopLimit
+	}
+	*hop--
+	packet.RewriteOuter(wire, e.Local, outerDst)
+	e.stats.Encapsulated++
+	if e.counters != nil {
+		e.counters.Encap()
+	}
+	if e.tracer != nil {
+		e.tracer.Event(trace.Event{
+			Kind: trace.KindEncap, Seq: e.seq, Router: -1,
+			Src: e.Local, Dst: outerDst,
+		})
+	}
+	return nil
+}
+
+// ForwardShared performs one complete relay hop in place: the packet is
+// re-encapsulated toward next (PatchEncap) and its arrival there is
+// accounted as a decapsulation, after which the endpoint itself stands
+// at next (Local advances). One ForwardShared is observationally
+// identical — counters, stats and span events — to the ping-pong
+// EncapToShared/DecapShared pair the loop send path runs per bone hop;
+// the wire bytes are valid by construction, so no re-parse is needed.
+func (e *Endpoint) ForwardShared(wire []byte, next addr.V4) error {
+	from := e.Local
+	if err := e.PatchEncap(wire, next); err != nil {
+		return err
+	}
+	e.Local = next
+	e.stats.Decapsulated++
+	if e.counters != nil {
+		e.counters.Decap()
+	}
+	if e.tracer != nil {
+		e.tracer.Event(trace.Event{
+			Kind: trace.KindDecap, Seq: e.seq, Router: -1,
+			Src: from, Dst: next,
+		})
+	}
+	return nil
+}
+
 // Decap unwraps a tunnelled packet addressed to this endpoint, returning
 // the outer source, the inner IPvN header and the innermost payload.
 func (e *Endpoint) Decap(wire []byte) (from addr.V4, inner packet.VNHeader, payload []byte, err error) {
