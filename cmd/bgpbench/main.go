@@ -1,0 +1,405 @@
+// Command bgpbench measures the transient behavior of the event-driven
+// BGP sessions — the picture the paper's "seamless" anycast story
+// hand-waves. Per internet size it runs four arms on Barabási–Albert
+// internets:
+//
+//   - cold start: time-to-quiescence and message cost of establishing
+//     every session and propagating every aggregate;
+//   - origination: an anycast origination at a leaf, with per-AS
+//     time-to-first-route measured by loc-RIB observation;
+//   - withdrawal: one origin of an anycast pair withdraws; the black-hole
+//     window is, per AS, how long it keeps forwarding toward the
+//     withdrawn origin before re-homing;
+//   - flap: a transit link flaps mid-stream; the arm passes only if the
+//     loc-RIBs match the batch fixpoint at quiescence (differential).
+//
+// Results land in BENCH_bgp.json; CI archives the artifact. Exit status
+// is 1 if any arm fails to quiesce or the flap differential diverges.
+//
+// Usage:
+//
+//	go run ./cmd/bgpbench -sizes 10,20,40 -o BENCH_bgp.json
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"github.com/evolvable-net/evolve/internal/addr"
+	"github.com/evolvable-net/evolve/internal/netsim"
+	"github.com/evolvable-net/evolve/internal/routing/bgp"
+	"github.com/evolvable-net/evolve/internal/topology"
+)
+
+// coldResult is the session-establishment arm.
+type coldResult struct {
+	QuiesceUS  int64  `json:"quiesce_us"`
+	Updates    uint64 `json:"updates"`
+	Keepalives uint64 `json:"keepalives"`
+	Sessions   uint64 `json:"sessions_established"`
+	WallNS     int64  `json:"wall_ns"`
+}
+
+// originationResult is the anycast-propagation arm.
+type originationResult struct {
+	FirstRouteMinUS  int64   `json:"first_route_min_us"`
+	FirstRouteMeanUS float64 `json:"first_route_mean_us"`
+	FirstRouteMaxUS  int64   `json:"first_route_max_us"`
+	QuiesceUS        int64   `json:"quiesce_us"`
+	Updates          uint64  `json:"updates"`
+}
+
+// withdrawalResult is the black-hole-window arm.
+type withdrawalResult struct {
+	AffectedAS      int     `json:"affected_as"`
+	BlackHoleMeanUS float64 `json:"black_hole_mean_us"`
+	BlackHoleMaxUS  int64   `json:"black_hole_max_us"`
+	QuiesceUS       int64   `json:"quiesce_us"`
+	Updates         uint64  `json:"updates"`
+	Withdrawals     uint64  `json:"withdrawals"`
+	StaleAtQuiesce  int     `json:"stale_at_quiesce"`
+}
+
+// flapResult is the loss-recovery differential arm.
+type flapResult struct {
+	ShortFlapResyncs uint64 `json:"short_flap_resyncs"`
+	LongFlapDowns    uint64 `json:"long_flap_downs"`
+	Updates          uint64 `json:"updates"`
+	DifferentialOK   bool   `json:"differential_ok"`
+	QuiesceUS        int64  `json:"quiesce_us"`
+}
+
+// sizeResult is everything measured for one internet size.
+type sizeResult struct {
+	ASCount     int               `json:"as_count"`
+	Cold        coldResult        `json:"cold"`
+	Origination originationResult `json:"origination"`
+	Withdrawal  withdrawalResult  `json:"withdrawal"`
+	Flap        flapResult        `json:"flap"`
+	OK          bool              `json:"ok"`
+}
+
+// report is the BENCH_bgp.json schema.
+type report struct {
+	Scenario    string       `json:"scenario"`
+	Seed        int64        `json:"seed"`
+	KeepaliveUS int64        `json:"keepalive_us"`
+	HoldUS      int64        `json:"hold_us"`
+	MRAIUS      int64        `json:"mrai_us"`
+	Sizes       []sizeResult `json:"sizes"`
+	OK          bool         `json:"ok"`
+}
+
+func build(nAS int, seed int64) (*topology.Network, *SessionWorld, error) {
+	net, err := topology.BarabasiAlbert(nAS, 2, topology.GenConfig{
+		Seed: seed, RoutersPerDomain: 1,
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	eng := netsim.NewEngine()
+	fab := netsim.NewFabric(eng)
+	ss := bgp.NewSessionSystemConfig(net, fab, bgp.DefaultSessionConfig())
+	return net, &SessionWorld{eng: eng, fab: fab, ss: ss}, nil
+}
+
+// SessionWorld bundles one arm's engine, fabric and speakers.
+type SessionWorld struct {
+	eng *netsim.Engine
+	fab *netsim.Fabric
+	ss  *bgp.SessionSystem
+}
+
+func runSize(nAS int, seed int64) (sizeResult, error) {
+	res := sizeResult{ASCount: nAS, OK: true}
+
+	// --- cold start ---
+	_, w, err := build(nAS, seed)
+	if err != nil {
+		return res, err
+	}
+	wallStart := time.Now()
+	quiet, converged := w.ss.RunToConvergence(0)
+	res.Cold = coldResult{
+		QuiesceUS:  int64(quiet),
+		Updates:    w.ss.TotalUpdates(),
+		Keepalives: w.ss.TotalKeepalives(),
+		WallNS:     time.Since(wallStart).Nanoseconds(),
+	}
+	est, _ := w.ss.SessionTransitions()
+	res.Cold.Sessions = est
+	if !converged {
+		res.OK = false
+	}
+
+	// --- origination: per-AS time to first route ---
+	net, w, err := build(nAS, seed)
+	if err != nil {
+		return res, err
+	}
+	if _, ok := w.ss.RunToConvergence(0); !ok {
+		res.OK = false
+	}
+	a4, err := addr.Option1Address(0)
+	if err != nil {
+		return res, err
+	}
+	hp := addr.HostPrefix(a4)
+	asns := net.ASNs()
+	leaf := asns[len(asns)-1]
+	firstRoute := map[topology.ASN]netsim.Time{}
+	for _, asn := range asns {
+		asn := asn
+		w.ss.Speakers[asn].OnLocChange = func(p addr.Prefix, _ bgp.Route, have bool) {
+			if p == hp && have {
+				if _, seen := firstRoute[asn]; !seen {
+					firstRoute[asn] = w.eng.Now()
+				}
+			}
+		}
+	}
+	preUpdates := w.ss.TotalUpdates()
+	t0 := w.eng.Now()
+	w.ss.Speakers[leaf].Originate(hp)
+	quiet, converged = w.ss.RunToConvergence(0)
+	if !converged || len(firstRoute) != len(asns) {
+		res.OK = false
+	}
+	var minT, maxT, sumT int64
+	minT = int64(^uint64(0) >> 1)
+	for _, at := range firstRoute {
+		d := int64(at - t0)
+		if d < minT {
+			minT = d
+		}
+		if d > maxT {
+			maxT = d
+		}
+		sumT += d
+	}
+	if len(firstRoute) == 0 {
+		minT = 0
+	}
+	res.Origination = originationResult{
+		FirstRouteMinUS:  minT,
+		FirstRouteMaxUS:  maxT,
+		FirstRouteMeanUS: float64(sumT) / float64(max(1, len(firstRoute))),
+		QuiesceUS:        int64(quiet - t0),
+		Updates:          w.ss.TotalUpdates() - preUpdates,
+	}
+
+	// --- withdrawal: black-hole windows ---
+	// Reuse the origination world: add a second origin (the hub), let it
+	// settle, then withdraw the leaf origin and watch every AS that was
+	// homed on it until it stops forwarding toward the withdrawn origin.
+	hub := asns[0]
+	w.ss.Speakers[hub].Originate(hp)
+	if _, ok := w.ss.RunToConvergence(0); !ok {
+		res.OK = false
+	}
+	pointsAt := func(holder topology.ASN, r bgp.Route, have bool) bool {
+		if !have {
+			return false
+		}
+		if o := r.Origin(); o == leaf || (o == -1 && holder == leaf) {
+			return true
+		}
+		return false
+	}
+	stale := map[topology.ASN]bool{}
+	for _, asn := range asns {
+		r, have := w.ss.Speakers[asn].Best(hp)
+		if pointsAt(asn, r, have) {
+			stale[asn] = true
+		}
+	}
+	affected := len(stale)
+	lastStale := map[topology.ASN]netsim.Time{}
+	for _, asn := range asns {
+		asn := asn
+		w.ss.Speakers[asn].OnLocChange = func(p addr.Prefix, r bgp.Route, have bool) {
+			if p != hp {
+				return
+			}
+			now := w.eng.Now()
+			if pointsAt(asn, r, have) {
+				stale[asn] = true
+			} else if stale[asn] {
+				// Black-hole window closes (until path exploration
+				// reopens it; the last closure wins).
+				delete(stale, asn)
+				lastStale[asn] = now
+			}
+		}
+	}
+	preUpdates = w.ss.TotalUpdates()
+	preWithdrawals := w.ss.TotalWithdrawals()
+	t0 = w.eng.Now()
+	w.ss.Speakers[leaf].Withdraw(hp)
+	quiet, converged = w.ss.RunToConvergence(0)
+	if !converged {
+		res.OK = false
+	}
+	var bhMax, bhSum int64
+	for _, at := range lastStale {
+		d := int64(at - t0)
+		if d > bhMax {
+			bhMax = d
+		}
+		bhSum += d
+	}
+	res.Withdrawal = withdrawalResult{
+		AffectedAS:      affected,
+		BlackHoleMaxUS:  bhMax,
+		BlackHoleMeanUS: float64(bhSum) / float64(max(1, len(lastStale))),
+		QuiesceUS:       int64(quiet - t0),
+		Updates:         w.ss.TotalUpdates() - preUpdates,
+		Withdrawals:     w.ss.TotalWithdrawals() - preWithdrawals,
+		StaleAtQuiesce:  len(stale),
+	}
+	if len(stale) != 0 {
+		// Somebody still forwards toward the withdrawn origin: a
+		// permanent black hole. This is exactly what the session resync
+		// machinery exists to prevent.
+		res.OK = false
+	}
+
+	// --- flap: loss-recovery differential ---
+	net, w, err = build(nAS, seed)
+	if err != nil {
+		return res, err
+	}
+	if _, ok := w.ss.RunToConvergence(0); !ok {
+		res.OK = false
+	}
+	cfg := w.ss.Config()
+	asns = net.ASNs()
+	hubNbrs := net.Neighbors(asns[0])
+	preUpdates = w.ss.TotalUpdates()
+	t0 = w.eng.Now()
+	a4b, aerr := addr.Option1Address(1)
+	if aerr != nil {
+		return res, aerr
+	}
+	flapPrefix := addr.HostPrefix(a4b)
+	if len(hubNbrs) > 0 {
+		// One short flap (sequence-gap resync) and one long flap
+		// (hold-timer expiry) on two of the hub's links, with a
+		// withdrawal-in-the-blind-window on the short one.
+		short := hubNbrs[0].ASN
+		w.eng.At(t0+10, func() { w.fab.FlapLink(int(asns[0]), int(short), cfg.Keepalive/2) })
+		if len(hubNbrs) > 1 {
+			long := hubNbrs[1].ASN
+			w.eng.At(t0+10, func() { w.fab.FlapLink(int(asns[0]), int(long), 2*cfg.Hold) })
+		}
+		w.ss.Speakers[short].Originate(flapPrefix)
+		w.eng.At(t0+20, func() { w.ss.Speakers[short].Withdraw(flapPrefix) })
+	}
+	w.eng.RunUntil(t0 + 8000 + 3*cfg.Hold)
+	quiet, converged = w.ss.RunToConvergence(0)
+	if !converged {
+		res.OK = false
+	}
+	fix := bgp.NewSystem(net)
+	fix.Converge()
+	diffOK := true
+	for _, holder := range asns {
+		for _, origin := range asns {
+			p := net.Domain(origin).Prefix
+			fr, fok := fix.BestRoute(holder, p)
+			sr, sok := w.ss.Speakers[holder].Best(p)
+			if fok != sok || (fok && !bgp.RouteEqual(fr, sr)) {
+				diffOK = false
+			}
+		}
+		// The anycast prefix was withdrawn during the flap's blind
+		// window; if resync failed, somebody still holds it.
+		if _, have := w.ss.Speakers[holder].Best(flapPrefix); have {
+			diffOK = false
+		}
+	}
+	_, downs := w.ss.SessionTransitions()
+	res.Flap = flapResult{
+		ShortFlapResyncs: w.ss.TotalResyncs(),
+		LongFlapDowns:    downs,
+		Updates:          w.ss.TotalUpdates() - preUpdates,
+		DifferentialOK:   diffOK,
+		QuiesceUS:        int64(quiet - t0),
+	}
+	if !diffOK {
+		res.OK = false
+	}
+	return res, nil
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func main() {
+	var (
+		sizesFlag = flag.String("sizes", "10,20,40", "comma-separated internet sizes (AS counts)")
+		seed      = flag.Int64("seed", 1, "topology seed")
+		out       = flag.String("o", "BENCH_bgp.json", "output JSON path")
+	)
+	flag.Parse()
+
+	var sizes []int
+	for _, s := range strings.Split(*sizesFlag, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(s))
+		if err != nil || n < 3 {
+			fmt.Fprintf(os.Stderr, "bgpbench: bad size %q\n", s)
+			os.Exit(2)
+		}
+		sizes = append(sizes, n)
+	}
+
+	cfg := bgp.DefaultSessionConfig()
+	rep := report{
+		Scenario:    "barabasi-albert m=2, event-driven BGP sessions",
+		Seed:        *seed,
+		KeepaliveUS: int64(cfg.Keepalive),
+		HoldUS:      int64(cfg.Hold),
+		MRAIUS:      int64(cfg.MRAI),
+		OK:          true,
+	}
+	for _, n := range sizes {
+		sr, err := runSize(n, *seed)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "bgpbench: size %d: %v\n", n, err)
+			os.Exit(2)
+		}
+		rep.Sizes = append(rep.Sizes, sr)
+		if !sr.OK {
+			rep.OK = false
+		}
+		fmt.Printf("bgpbench %3d AS: cold %6dµs/%4d upd · first-route max %5dµs · black-hole max %5dµs (%d AS affected, %d stale) · flap diff ok=%v (resyncs=%d downs=%d)\n",
+			n, sr.Cold.QuiesceUS, sr.Cold.Updates, sr.Origination.FirstRouteMaxUS,
+			sr.Withdrawal.BlackHoleMaxUS, sr.Withdrawal.AffectedAS, sr.Withdrawal.StaleAtQuiesce,
+			sr.Flap.DifferentialOK, sr.Flap.ShortFlapResyncs, sr.Flap.LongFlapDowns)
+	}
+
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "bgpbench: %v\n", err)
+		os.Exit(2)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "bgpbench: writing %s: %v\n", *out, err)
+		os.Exit(2)
+	}
+	fmt.Printf("bgpbench: wrote %s\n", *out)
+	if !rep.OK {
+		fmt.Fprintln(os.Stderr, "bgpbench: FAILED — an arm did not quiesce, left a black hole, or diverged from the fixpoint")
+		os.Exit(1)
+	}
+}

@@ -11,6 +11,12 @@
 //	go run ./cmd/chaos -runs 200 -steps 50
 //	go run ./cmd/chaos -seed 7 -invariants ua,oracle -v
 //	go run ./cmd/chaos -inject-bug   # demo: catches a skipped reconvergence
+//	go run ./cmd/chaos -session-runs 20   # BGP session sweep: faults mid-convergence
+//
+// The session sweep (-session-runs > 0) drives the event-driven BGP
+// speakers with link flaps, originations, and withdrawals injected while
+// convergence is in flight, probing transient path invariants throughout
+// and checking the batch-fixpoint oracle at quiescence.
 //
 // Exit status is 1 when any run violates an invariant, 0 otherwise.
 package main
@@ -35,8 +41,37 @@ func main() {
 		injectBug  = flag.Bool("inject-bug", false, "deliberately skip reconvergence on link restores (harness self-test)")
 		out        = flag.String("out", "", "also write a violation report to this file")
 		verbose    = flag.Bool("v", false, "log every run")
+
+		sessionRuns   = flag.Int("session-runs", 0, "BGP session chaos runs (faults injected mid-convergence); 0 disables")
+		sessionAS     = flag.Int("session-as", 12, "internet size (ASes) for the session sweep")
+		sessionEvents = flag.Int("session-events", 14, "faults per session run")
+		sessionLegacy = flag.Bool("session-legacy", false, "ablation: run the session sweep against the fire-and-forget speaker (expected to fail)")
 	)
 	flag.Parse()
+
+	if *sessionRuns > 0 {
+		failed := 0
+		for r := 0; r < *sessionRuns; r++ {
+			rep, err := chaos.RunSessionChaos(*seed+int64(r), *sessionAS, *sessionEvents, *sessionLegacy)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "chaos: session run %d: %v\n", r, err)
+				os.Exit(2)
+			}
+			if !rep.Ok() {
+				failed++
+				fmt.Print(chaos.FormatSessionReport(rep))
+			} else if *verbose {
+				fmt.Print(chaos.FormatSessionReport(rep))
+			}
+		}
+		if failed > 0 {
+			fmt.Printf("chaos: session sweep: %d/%d runs FAILED\n", failed, *sessionRuns)
+			os.Exit(1)
+		}
+		fmt.Printf("chaos: session sweep: %d run(s) × %d faults on %d-AS internets: no violations, oracle clean\n",
+			*sessionRuns, *sessionEvents, *sessionAS)
+		return
+	}
 
 	var names []string
 	if *invariants != "" {

@@ -1,0 +1,66 @@
+package chaos
+
+import "testing"
+
+// TestSessionChaosInvariantsHoldMidConvergence: with real session
+// machinery, every seeded fault schedule — flaps straddling the hold
+// timer, originations, mid-stream withdrawals, all injected while
+// UPDATE traffic is in flight — keeps the transient path invariants at
+// every probe and matches the batch fixpoint at quiescence.
+func TestSessionChaosInvariantsHoldMidConvergence(t *testing.T) {
+	for seed := int64(1); seed <= 8; seed++ {
+		rep, err := RunSessionChaos(seed, 12, 14, false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rep.Probes == 0 || rep.Checks == 0 {
+			t.Fatalf("seed %d: probes never ran (%d probes, %d checks)", seed, rep.Probes, rep.Checks)
+		}
+		if rep.Events == 0 {
+			t.Fatalf("seed %d: no faults injected", seed)
+		}
+		if !rep.Ok() {
+			t.Errorf("seed %d failed:\n%s", seed, FormatSessionReport(rep))
+		}
+	}
+}
+
+// TestSessionChaosLegacyAblationSeesTheBug: the same schedules against
+// the fire-and-forget speaker (no sessions) must fail the quiescence
+// oracle — a WITHDRAW or UPDATE dropped on a downed link is permanently
+// lost. This proves the harness detects the bug class the session
+// machinery fixes; if legacy mode ever starts passing these seeds, the
+// harness has gone blind, not the speaker correct.
+func TestSessionChaosLegacyAblationSeesTheBug(t *testing.T) {
+	failed := 0
+	for seed := int64(1); seed <= 8; seed++ {
+		rep, err := RunSessionChaos(seed, 12, 14, true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !rep.OracleOK {
+			failed++
+		}
+	}
+	if failed == 0 {
+		t.Error("no legacy run failed the oracle — the harness can no longer see lost-message staleness")
+	}
+}
+
+// TestSessionChaosDeterministic: the same seed replays to the identical
+// report — the property every shrinking/repro workflow depends on.
+func TestSessionChaosDeterministic(t *testing.T) {
+	a, err := RunSessionChaos(5, 12, 14, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunSessionChaos(5, 12, 14, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Updates != b.Updates || a.Withdrawals != b.Withdrawals ||
+		a.Resyncs != b.Resyncs || a.Downs != b.Downs ||
+		a.Probes != b.Probes || a.Checks != b.Checks || a.Events != b.Events {
+		t.Errorf("replay diverged:\n%s\nvs\n%s", FormatSessionReport(a), FormatSessionReport(b))
+	}
+}

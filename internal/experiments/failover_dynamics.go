@@ -46,10 +46,13 @@ func AnycastFailoverDynamics(seed int64) (*Table, error) {
 			eng := netsim.NewEngine()
 			fab := netsim.NewFabric(eng)
 			ss := bgp.NewSessionSystem(net, fab)
-			eng.Run(0)
+			quiet, converged := ss.RunToConvergence(0)
+			if !converged {
+				r.ok = false
+			}
 			coldUpdates := ss.TotalUpdates()
 			r.rows = append(r.rows, []string{fmt.Sprintf("%d AS", nAS), "cold start",
-				eng.Now().String(), fmt.Sprintf("%d", coldUpdates), "-"})
+				quiet.String(), fmt.Sprintf("%d", coldUpdates), "-"})
 
 			// Two anycast origins: the hub and a leaf.
 			a, err := addr.Option1Address(0)
@@ -61,14 +64,19 @@ func AnycastFailoverDynamics(seed int64) (*Table, error) {
 			leaf := net.ASNs()[len(net.ASNs())-1]
 			ss.Speakers[hub].Originate(hp)
 			ss.Speakers[leaf].Originate(hp)
-			eng.Run(0)
+			if _, ok := ss.RunToConvergence(0); !ok {
+				r.ok = false
+			}
 			preUpdates := ss.TotalUpdates()
 
 			// The leaf origin withdraws (its ISP un-deploys).
 			start := eng.Now()
 			ss.Speakers[leaf].Withdraw(hp)
-			eng.Run(0)
-			failTime := eng.Now() - start
+			quiet, converged = ss.RunToConvergence(0)
+			if !converged {
+				r.ok = false
+			}
+			failTime := quiet - start
 			failUpdates := ss.TotalUpdates() - preUpdates
 
 			// Every AS must now route the anycast address to the hub.

@@ -285,20 +285,27 @@ func ConvergenceDynamics(seed int64) (*Table, error) {
 			eng := netsim.NewEngine()
 			fab := netsim.NewFabric(eng)
 			ss := bgp.NewSessionSystem(net, fab)
-			eng.Run(0)
+			quiet, converged := ss.RunToConvergence(0)
+			if !converged {
+				b.ok = false
+			}
 			cold := ss.TotalUpdates()
 			b.rows = append(b.rows, []string{"BGP (sessions)", fmt.Sprintf("%d AS", nAS), "cold start",
-				eng.Now().String(), fmt.Sprintf("%d", cold)})
+				quiet.String(), fmt.Sprintf("%d", cold)})
 			// A new anycast origination at a leaf: incremental convergence.
 			a, err := addr.Option1Address(0)
 			if err != nil {
 				return block{}, err
 			}
 			leaf := net.ASNs()[len(net.ASNs())-1]
+			start := eng.Now()
 			ss.Speakers[leaf].Originate(addr.HostPrefix(a))
-			eng.Run(0)
+			quiet, converged = ss.RunToConvergence(0)
+			if !converged {
+				b.ok = false
+			}
 			b.rows = append(b.rows, []string{"BGP (sessions)", fmt.Sprintf("%d AS", nAS), "anycast origination",
-				eng.Now().String(), fmt.Sprintf("%d", ss.TotalUpdates()-cold)})
+				(quiet - start).String(), fmt.Sprintf("%d", ss.TotalUpdates()-cold)})
 			// Everyone must hold the anycast route (provider tree reachability).
 			for _, asn := range net.ASNs() {
 				if _, ok := ss.Speakers[asn].Best(addr.HostPrefix(a)); !ok {

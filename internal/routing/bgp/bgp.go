@@ -416,6 +416,10 @@ func (s *System) convergePrefixLocked(p addr.Prefix) *prefixState {
 	return st
 }
 
+// RouteEqual reports whether two routes are identical in every
+// attribute — the comparison the session-vs-fixpoint differentials use.
+func RouteEqual(a, b Route) bool { return routeEqual(a, b) }
+
 func routeEqual(a, b Route) bool {
 	if a.Prefix != b.Prefix || a.LocalPref != b.LocalPref ||
 		a.NoExport != b.NoExport || a.FromCustomer != b.FromCustomer ||
