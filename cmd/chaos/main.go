@@ -10,7 +10,9 @@
 //
 //	go run ./cmd/chaos -runs 200 -steps 50
 //	go run ./cmd/chaos -seed 7 -invariants ua,oracle -v
+//	go run ./cmd/chaos -list-invariants   # print the invariant registry
 //	go run ./cmd/chaos -inject-bug   # demo: catches a skipped reconvergence
+//	go run ./cmd/chaos -fallback     # fallback-enabled world under the availability SLO
 //	go run ./cmd/chaos -session-runs 20   # BGP session sweep: faults mid-convergence
 //
 // The session sweep (-session-runs > 0) drives the event-driven BGP
@@ -41,6 +43,8 @@ func main() {
 		injectBug  = flag.Bool("inject-bug", false, "deliberately skip reconvergence on link restores (harness self-test)")
 		out        = flag.String("out", "", "also write a violation report to this file")
 		verbose    = flag.Bool("v", false, "log every run")
+		listInvs   = flag.Bool("list-invariants", false, "print the invariant registry with one-line docs and exit")
+		fallback   = flag.Bool("fallback", false, "run against the fallback-enabled stock world (graceful-degradation arm); defaults -invariants to the health-history-agnostic set")
 
 		sessionRuns   = flag.Int("session-runs", 0, "BGP session chaos runs (faults injected mid-convergence); 0 disables")
 		sessionAS     = flag.Int("session-as", 12, "internet size (ASes) for the session sweep")
@@ -48,6 +52,13 @@ func main() {
 		sessionLegacy = flag.Bool("session-legacy", false, "ablation: run the session sweep against the fire-and-forget speaker (expected to fail)")
 	)
 	flag.Parse()
+
+	if *listInvs {
+		for _, name := range chaos.InvariantNames() {
+			fmt.Printf("%-14s %s\n", name, chaos.InvariantDoc(name))
+		}
+		return
+	}
 
 	if *sessionRuns > 0 {
 		failed := 0
@@ -77,11 +88,20 @@ func main() {
 	if *invariants != "" {
 		names = strings.Split(*invariants, ",")
 	}
+	sc := chaos.StockScenario(*topoSeed)
+	if *fallback {
+		sc = chaos.StockFallbackScenario(*topoSeed)
+		if names == nil {
+			// The oracle-equivalence invariants (ua, oracle, batchsend)
+			// cannot referee a fallback-enabled live world: its per-flow
+			// health history legitimately diverges from any fresh rebuild.
+			names = []string{"availability", "bone", "conserve", "providersync", "epochtick"}
+		}
+	}
 	opts := chaos.Options{Invariants: names, Shrink: *shrink}
 	if *injectBug {
 		opts.Apply = chaos.BuggyRestoreApply
 	}
-	sc := chaos.StockScenario(*topoSeed)
 
 	for r := 0; r < *runs; r++ {
 		rep, err := chaos.Run(sc, *seed+int64(r), *steps, opts)

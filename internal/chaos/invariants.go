@@ -25,6 +25,14 @@ type CheckContext struct {
 	oracle      *core.Evolution
 	oracleErr   error
 	oracleBuilt bool
+
+	fbOracle      *core.Evolution
+	fbOracleErr   error
+	fbOracleBuilt bool
+
+	abOracle      *core.Evolution
+	abOracleErr   error
+	abOracleBuilt bool
 }
 
 // Oracle returns the shared from-scratch rebuild for this step.
@@ -34,6 +42,40 @@ func (c *CheckContext) Oracle() (*core.Evolution, error) {
 		c.oracleBuilt = true
 	}
 	return c.oracle, c.oracleErr
+}
+
+// FallbackOracle returns the step's shared from-scratch rebuild with the
+// graceful-degradation layer force-enabled — the referee the availability
+// invariant sends through regardless of how the live world is configured.
+// Built lazily and cached like Oracle.
+func (c *CheckContext) FallbackOracle() (*core.Evolution, error) {
+	if c.W.Evo.Config().Fallback.Enabled {
+		return c.Oracle()
+	}
+	if !c.fbOracleBuilt {
+		c.fbOracle, c.fbOracleErr = c.W.BuildOracleWith(func(cfg *core.Config) {
+			cfg.Fallback.Enabled = true
+		})
+		c.fbOracleBuilt = true
+	}
+	return c.fbOracle, c.fbOracleErr
+}
+
+// AblationOracle is FallbackOracle's counterpart: the step's shared
+// from-scratch rebuild with the degradation layer force-disabled — the
+// fail-fast twin the availability invariant compares degraded deliveries
+// against. Reuses Oracle when the live world is already ablated.
+func (c *CheckContext) AblationOracle() (*core.Evolution, error) {
+	if !c.W.Evo.Config().Fallback.Enabled {
+		return c.Oracle()
+	}
+	if !c.abOracleBuilt {
+		c.abOracle, c.abOracleErr = c.W.BuildOracleWith(func(cfg *core.Config) {
+			cfg.Fallback = core.FallbackConfig{}
+		})
+		c.abOracleBuilt = true
+	}
+	return c.abOracle, c.abOracleErr
 }
 
 // Failure describes one invariant violation: a human-readable detail
@@ -54,7 +96,32 @@ type Invariant interface {
 
 // InvariantNames lists the registered invariant names in check order.
 func InvariantNames() []string {
-	return []string{"ua", "bone", "conserve", "oracle", "providersync", "epochtick", "batchsend"}
+	return []string{"ua", "bone", "conserve", "oracle", "providersync", "epochtick", "batchsend", "availability"}
+}
+
+// InvariantDoc returns the one-line description of a registered
+// invariant (cmd/chaos -list-invariants renders these).
+func InvariantDoc(name string) string {
+	switch name {
+	case "ua":
+		return "live Send agrees with the from-scratch oracle on every sampled host pair (§3.1 universal access)"
+	case "bone":
+		return "incrementally maintained vN-Bone equals the from-scratch construction (§3.3)"
+	case "conserve":
+		return "trace counters conserve (sends == deliveries + drops) and stay monotonic"
+	case "oracle":
+		return "every host's anycast resolution matches the from-scratch oracle"
+	case "providersync":
+		return "provider-specific deployments never drift from the main deployment (§2.1)"
+	case "epochtick":
+		return "every routing-epoch store ticks WatchEpochs subscribers, and only those"
+	case "batchsend":
+		return "SendBatch agrees packet-for-packet with the equivalent singleton Send loop"
+	case "availability":
+		return "a fallback-enabled world never loses a baseline-intact packet and never degrades a delivery the ablation arm completes"
+	default:
+		return ""
+	}
 }
 
 // Invariants instantiates fresh invariant checkers for the given names
@@ -96,6 +163,8 @@ func newInvariant(name string) Invariant {
 		return &epochTickInvariant{}
 	case "batchsend":
 		return &batchSendInvariant{}
+	case "availability":
+		return &availabilityInvariant{}
 	default:
 		panic("chaos: unregistered invariant " + name)
 	}
@@ -455,6 +524,72 @@ func (inv *epochTickInvariant) Check(c *CheckContext) *Failure {
 	if published == 0 && ticks > 0 {
 		return &Failure{Detail: fmt.Sprintf(
 			"watcher ticked %d time(s) though %s published no epoch", ticks, c.Event)}
+	}
+	return nil
+}
+
+// availabilityInvariant is the graceful-degradation SLO made operational:
+// against the current (mutated) topology, a fallback-enabled Evolution
+// must deliver to every sampled host pair whose IPv(N-1) baseline is
+// intact — degraded, maybe, but never dark — and must never degrade a
+// delivery that an ablation-configured twin of the same state completes
+// over the vN path. The checks run against a fresh fallback-enabled
+// oracle (so per-flow health history cannot mask a systematic hole), and,
+// when the live world itself has fallback enabled, against the live
+// Evolution too.
+type availabilityInvariant struct{}
+
+func (availabilityInvariant) Name() string { return "availability" }
+
+func (availabilityInvariant) Check(c *CheckContext) *Failure {
+	fb, err := c.FallbackOracle()
+	if err != nil {
+		// The current state admits no Evolution at all; ua already
+		// cross-checks total unusability.
+		return nil
+	}
+	hosts := c.W.Net.Hosts
+	n := len(hosts)
+	if n < 2 {
+		return nil
+	}
+	payload := []byte("chaos-avail")
+	liveFallback := c.W.Evo.Config().Fallback.Enabled
+	for i := 0; i < n; i++ {
+		src, dst := hosts[i], hosts[(i+1)%n]
+		_, baseErr := c.W.Evo.Fwd.HostToHost(src, dst)
+		baselineIntact := baseErr == nil
+		d, sendErr := fb.Send(src, dst, payload)
+		if baselineIntact && sendErr != nil {
+			return &Failure{
+				Detail: fmt.Sprintf("h%d→h%d: baseline intact but fallback-enabled send black-holed (%v)",
+					src.ID, dst.ID, sendErr),
+				Trace: uaTrace(fb, src, dst, payload),
+			}
+		}
+		if sendErr == nil && d.Fallback {
+			// A fresh oracle's first send per flow starts healthy, so a
+			// degraded delivery means the vN attempt failed — the ablation
+			// twin of the same state must fail too.
+			if abl, aerr := c.AblationOracle(); aerr == nil {
+				if _, ablErr := abl.Send(src, dst, payload); ablErr == nil {
+					return &Failure{
+						Detail: fmt.Sprintf("h%d→h%d: fallback-enabled send degraded to the baseline though the ablation twin delivers over vN",
+							src.ID, dst.ID),
+						Trace: uaTrace(fb, src, dst, payload),
+					}
+				}
+			}
+		}
+		if liveFallback && baselineIntact {
+			if _, liveErr := c.W.Evo.Send(src, dst, payload); liveErr != nil {
+				return &Failure{
+					Detail: fmt.Sprintf("h%d→h%d: baseline intact but the live fallback-enabled evolution black-holed (%v)",
+						src.ID, dst.ID, liveErr),
+					Trace: uaTrace(c.W.Evo, src, dst, payload),
+				}
+			}
+		}
 	}
 	return nil
 }

@@ -261,7 +261,20 @@ func BuggyRestoreApply(w *World, ev Event) {
 // skipped reconvergence in the incremental path. The oracle shares
 // w.Net but only reads it.
 func (w *World) BuildOracle() (*core.Evolution, error) {
-	oracle, err := core.New(w.Net, w.Evo.Config())
+	return w.BuildOracleWith(nil)
+}
+
+// BuildOracleWith is BuildOracle with a configuration hook: mutate (when
+// non-nil) edits a copy of the live configuration before the oracle is
+// constructed. The availability invariant uses it to referee an
+// ablation-configured live world against a fallback-enabled oracle of
+// the same state.
+func (w *World) BuildOracleWith(mutate func(*core.Config)) (*core.Evolution, error) {
+	cfg := w.Evo.Config()
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	oracle, err := core.New(w.Net, cfg)
 	if err != nil {
 		return nil, fmt.Errorf("chaos: oracle build: %w", err)
 	}
@@ -285,8 +298,24 @@ func (w *World) BuildOracle() (*core.Evolution, error) {
 // 3 routers and 2 hosts per domain, with an option-1 deployment covering
 // the first 7 domains.
 func StockScenario(seed int64) Scenario {
+	return stockScenario(seed, false)
+}
+
+// StockFallbackScenario is StockScenario with the core's graceful-
+// degradation layer enabled (per-flow health plus universal-access
+// fallback): the live arm of availability sweeps, and the twin of the
+// ablation-configured StockScenario in the availbench differential.
+func StockFallbackScenario(seed int64) Scenario {
+	return stockScenario(seed, true)
+}
+
+func stockScenario(seed int64, fallback bool) Scenario {
+	name := fmt.Sprintf("transit-stub-15/seed=%d", seed)
+	if fallback {
+		name = fmt.Sprintf("transit-stub-15-fallback/seed=%d", seed)
+	}
 	return Scenario{
-		Name: fmt.Sprintf("transit-stub-15/seed=%d", seed),
+		Name: name,
 		Build: func() (*topology.Network, *core.Evolution, error) {
 			net, err := topology.TransitStub(3, 4, 0.4, topology.GenConfig{
 				Seed:             seed,
@@ -296,7 +325,11 @@ func StockScenario(seed int64) Scenario {
 			if err != nil {
 				return nil, nil, err
 			}
-			evo, err := core.New(net, core.Config{Option: anycast.Option1})
+			cfg := core.Config{Option: anycast.Option1}
+			if fallback {
+				cfg.Fallback = core.FallbackConfig{Enabled: true}
+			}
+			evo, err := core.New(net, cfg)
 			if err != nil {
 				return nil, nil, err
 			}

@@ -93,10 +93,12 @@ type batchCtx struct {
 	events   trace.EventBuffer
 	// hdrOpts, underBuf and tagBuf build each flow's template options
 	// (OptUnderlayDst for self-addressed destinations, OptTraceTag
-	// placeholder patched per packet).
+	// placeholder patched per packet); markBuf holds the OptFallback
+	// marker byte of baseline deliveries.
 	hdrOpts  [2]packet.Option
 	underBuf [4]byte
 	tagBuf   [4]byte
+	markBuf  [1]byte
 }
 
 var batchCtxPool = sync.Pool{
@@ -236,6 +238,11 @@ func (e *Evolution) sendBatch(out []Delivery, src *topology.Host, dsts []*topolo
 	}
 	ep := e.epoch.Load()
 	if ep.err != nil {
+		if e.health != nil {
+			// The graceful-degradation layer turns an error epoch from a
+			// whole-batch failure into per-packet baseline deliveries.
+			return e.sendBatchErrEpoch(out, ep, src, dsts, dst1, payloads, n, tr)
+		}
 		// Each packet fails exactly as its loop Send would: counted as a
 		// send dropped not-deployed, no span events.
 		var cb trace.CounterBatch
@@ -307,12 +314,10 @@ func dropBatch(cb *trace.CounterBatch, btr trace.Tracer, seq uint32, reason trac
 }
 
 // sendBatchOne runs one packet of a batch. It is the batched mirror of
-// send(): same flow resolution (epoch flow cache, computeFlow, gated
-// stores), same counter tallies (via the batch accumulator), same span
-// events in the same order (via the batch event buffer), same drop
-// taxonomy and error wrapping — but the wire pass emits from the flow's
-// header template and patches the packet in place per leg instead of
-// re-serializing and re-parsing at every hop.
+// send(): it opens the span (send tally, per-delivery tag) and hands off
+// to the vN path — directly when the graceful-degradation layer is off,
+// through the flow's health decision when it is on, mirroring
+// sendWithHealth tallied into the batch accumulator.
 func (e *Evolution) sendBatchOne(bc *batchCtx, ep *routingEpoch, src, dst *topology.Host, payload []byte, btr trace.Tracer) (Delivery, error) {
 	cb := &bc.counters
 	cb.Send()
@@ -320,7 +325,55 @@ func (e *Evolution) sendBatchOne(bc *batchCtx, ep *routingEpoch, src, dst *topol
 	if btr != nil {
 		btr.Event(trace.Event{Kind: trace.KindSend, Seq: seq, Router: src.Attach, AS: src.Domain})
 	}
+	if e.health == nil {
+		d, _, reason, err := e.sendBatchOneVN(bc, ep, src, dst, payload, btr, seq)
+		if err != nil {
+			return dropBatch(cb, btr, seq, reason, err)
+		}
+		return d, nil
+	}
+	fc := &e.cfg.Fallback
+	h := e.health.get(flowKey{src: src.ID, dst: dst.ID, dep: ep.dep.Addr})
+	attempt, probe := h.decide(ep.seq, fc, ep.addrs.addrOf(dst), cb)
+	if attempt {
+		d, fe, reason, err := e.sendBatchOneVN(bc, ep, src, dst, payload, btr, seq)
+		if err == nil {
+			h.noteSuccess(fe, probe, fc, cb, btr, seq)
+			return d, nil
+		}
+		if reason == trace.DropNoBaseline {
+			// Nothing to rescue over, and nothing learned about the vN path.
+			return dropBatch(cb, btr, seq, reason, err)
+		}
+		h.noteFailure(fe, ep.seq, fc, cb, btr, seq)
+		d, dropReason, ferr := e.deliverFallback(ep, h, src, dst, payload,
+			seq, reason, trace.DetailFallbackRescue, packet.FallbackMarkRescue,
+			btr, cb, bc.ep, bc.epDst, bc.opts[:0], bc.hdrOpts[:0], bc.markBuf[:], bc.tagBuf[:])
+		if ferr != nil {
+			return dropBatch(cb, btr, seq, dropReason, ferr)
+		}
+		return d, nil
+	}
+	d, dropReason, ferr := e.deliverFallback(ep, h, src, dst, payload,
+		seq, trace.DropNone, trace.DetailFallbackState, packet.FallbackMarkState,
+		btr, cb, bc.ep, bc.epDst, bc.opts[:0], bc.hdrOpts[:0], bc.markBuf[:], bc.tagBuf[:])
+	if ferr != nil {
+		return dropBatch(cb, btr, seq, dropReason, ferr)
+	}
+	return d, nil
+}
 
+// sendBatchOneVN runs the vN delivery of one batched packet: same flow
+// resolution as the loop path (epoch flow cache, computeFlow, gated
+// stores), same counter tallies (via the batch accumulator), same span
+// events in the same order (via the batch event buffer), same drop
+// taxonomy and error wrapping — but the wire pass emits from the flow's
+// header template and patches the packet in place per leg instead of
+// re-serializing and re-parsing at every hop. Like sendVN, failures are
+// returned with their drop reason neither counted nor traced, and the
+// returned flowEntry feeds the health layer's signal matching.
+func (e *Evolution) sendBatchOneVN(bc *batchCtx, ep *routingEpoch, src, dst *topology.Host, payload []byte, btr trace.Tracer, seq uint32) (Delivery, *flowEntry, trace.DropReason, error) {
+	cb := &bc.counters
 	fk := flowKey{src: src.ID, dst: dst.ID, dep: ep.dep.Addr}
 	var fe *flowEntry
 	if !e.cfg.DisableDeliveryCache {
@@ -335,7 +388,7 @@ func (e *Evolution) sendBatchOne(bc *batchCtx, ep *routingEpoch, src, dst *topol
 		var err error
 		fe, reason, err = e.computeFlow(ep, src, dst, ep.dep, cb)
 		if err != nil {
-			return dropBatch(cb, btr, seq, reason, err)
+			return Delivery{}, nil, reason, err
 		}
 		if !e.cfg.DisableDeliveryCache && e.mutSeq.Load() == ep.seq {
 			ep.flow.store(fk, fe)
@@ -344,7 +397,7 @@ func (e *Evolution) sendBatchOne(bc *batchCtx, ep *routingEpoch, src, dst *topol
 
 	bf, err := bc.flowFor(e, ep, src, dst, fe)
 	if err != nil {
-		return dropBatch(cb, btr, seq, trace.DropEncap, err)
+		return Delivery{}, fe, trace.DropEncap, err
 	}
 	// All wire-level state comes from the batch's first skeleton for
 	// this destination — within one epoch any recomputation agrees with
@@ -371,7 +424,7 @@ func (e *Evolution) sendBatchOne(bc *batchCtx, ep *routingEpoch, src, dst *topol
 	// loop path's serialization, including its overflow errors.
 	wire, err := bf.tmpl.Emit(bc.wire, payload, seq)
 	if err != nil {
-		return dropBatch(cb, btr, seq, trace.DropEncap, err)
+		return Delivery{}, fe, trace.DropEncap, err
 	}
 	bc.wire = wire
 	cb.Encap()
@@ -403,7 +456,7 @@ func (e *Evolution) sendBatchOne(bc *batchCtx, ep *routingEpoch, src, dst *topol
 	path := fe.eg.BonePath
 	for j := 1; j < len(bf.hops); j++ {
 		if err := bc.ep.ForwardShared(wire, bf.hops[j]); err != nil {
-			return dropBatch(cb, btr, seq, trace.DropRelay, fmt.Errorf("core: bone relay %d: %w", j, err))
+			return Delivery{}, fe, trace.DropRelay, fmt.Errorf("core: bone relay %d: %w", j, err)
 		}
 		cb.Encap()
 		cb.Decap()
@@ -420,9 +473,9 @@ func (e *Evolution) sendBatchOne(bc *batchCtx, ep *routingEpoch, src, dst *topol
 	// Leg 3 — exit toward the destination host's underlay address.
 	if err := bc.ep.PatchEncap(wire, bf.final); err != nil {
 		if bf.self {
-			return dropBatch(cb, btr, seq, trace.DropTail, fmt.Errorf("core: final tunnel: %w", err))
+			return Delivery{}, fe, trace.DropTail, fmt.Errorf("core: final tunnel: %w", err)
 		}
-		return dropBatch(cb, btr, seq, trace.DropTail, fmt.Errorf("core: native delivery encap: %w", err))
+		return Delivery{}, fe, trace.DropTail, fmt.Errorf("core: native delivery encap: %w", err)
 	}
 	cb.Encap()
 
@@ -430,7 +483,7 @@ func (e *Evolution) sendBatchOne(bc *batchCtx, ep *routingEpoch, src, dst *topol
 	bc.epDst.Observe(btr, nil, seq)
 	_, inner, rpl, err := bc.epDst.DecapShared(wire, bc.opts[:0])
 	if err != nil {
-		return dropBatch(cb, btr, seq, trace.DropTail, fmt.Errorf("core: final decap: %w", err))
+		return Delivery{}, fe, trace.DropTail, fmt.Errorf("core: final decap: %w", err)
 	}
 	cb.Decap()
 	if inner.Options != nil {
@@ -444,10 +497,10 @@ func (e *Evolution) sendBatchOne(bc *batchCtx, ep *routingEpoch, src, dst *topol
 		}
 	}
 	if d.TraceTag != seq {
-		return dropBatch(cb, btr, seq, trace.DropIntegrity, fmt.Errorf("core: trace tag corrupted in transit (%d != %d)", d.TraceTag, seq))
+		return Delivery{}, fe, trace.DropIntegrity, fmt.Errorf("core: trace tag corrupted in transit (%d != %d)", d.TraceTag, seq)
 	}
 	if !bytes.Equal(rpl, payload) {
-		return dropBatch(cb, btr, seq, trace.DropIntegrity, fmt.Errorf("core: payload corrupted in transit"))
+		return Delivery{}, fe, trace.DropIntegrity, fmt.Errorf("core: payload corrupted in transit")
 	}
 	d.Payload = payload
 	cb.PayloadBytes(len(payload))
@@ -458,5 +511,5 @@ func (e *Evolution) sendBatchOne(bc *batchCtx, ep *routingEpoch, src, dst *topol
 			Router: dst.Attach, AS: dst.Domain, Cost: d.TotalCost,
 		})
 	}
-	return d, nil
+	return d, fe, trace.DropNone, nil
 }

@@ -94,6 +94,15 @@ func TestSendBatchDifferential(t *testing.T) {
 		{"uncached", Config{DeliveryShards: 4, DisableDeliveryCache: true}, false},
 		{"churn/shards=4", Config{DeliveryShards: 4}, true},
 		{"churn/uncached", Config{DeliveryShards: 1, DisableDeliveryCache: true}, true},
+		// The graceful-degradation arms: the health layer's decisions are a
+		// pure function of the flow's history and the epoch sequence, so the
+		// batch≡loop contract must extend to suspect transitions, rescues
+		// and fallback-state sends. (No churn arm here: a mid-batch epoch
+		// republish legitimately diverges probe timing between the pinned
+		// batch epoch and the loop's per-send reload.)
+		{"fallback/shards=1", Config{DeliveryShards: 1, Fallback: FallbackConfig{Enabled: true}}, false},
+		{"fallback/shards=4", Config{DeliveryShards: 4, Fallback: FallbackConfig{Enabled: true}}, false},
+		{"fallback/shards=16", Config{DeliveryShards: 16, Fallback: FallbackConfig{Enabled: true}}, false},
 	}
 	for _, arm := range arms {
 		t.Run(arm.name, func(t *testing.T) {

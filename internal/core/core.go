@@ -66,6 +66,12 @@ type Config struct {
 	// behaviour, kept as the honest baseline arm of the delivery
 	// benchmarks.
 	DisableDeliveryCache bool
+	// Fallback configures the graceful-degradation layer (DESIGN.md §12):
+	// per-flow health tracking and automatic delivery over the IPv(N-1)
+	// baseline when the vN path is broken. The zero value disables it —
+	// sends fail fast exactly as without the layer, the ablation arm of
+	// the availability experiments.
+	Fallback FallbackConfig
 }
 
 // ErrNotDeployed is returned by operations that need at least one IPvN
@@ -178,6 +184,11 @@ type Evolution struct {
 	counters trace.Counters
 	tracer   atomic.Pointer[tracerBox]
 
+	// health is the per-flow health registry of the graceful-degradation
+	// layer; nil when Config.Fallback.Enabled is false (the ablation),
+	// which is also the send path's branch condition.
+	health *healthShards
+
 	// testBatchHook, when non-nil, runs before each packet of a batched
 	// send with the packet's index. Tests use it to inject epoch churn at
 	// exact points inside a batch; production paths never set it.
@@ -192,6 +203,7 @@ func New(net *topology.Network, cfg Config) (*Evolution, error) {
 	if cfg.Option == 0 {
 		cfg.Option = anycast.Option2
 	}
+	cfg.Fallback = cfg.Fallback.withDefaults()
 	igp := underlay.NewView(net)
 	bgpSys := bgp.NewSystem(net)
 	svc := anycast.NewService(net, bgpSys, igp)
@@ -231,6 +243,9 @@ func New(net *topology.Network, cfg Config) (*Evolution, error) {
 		pools:        map[topology.ASN]*addr.VNPool{},
 		registered:   map[topology.HostID]*topology.Host{},
 		providerDeps: map[topology.ASN]*anycast.Deployment{},
+	}
+	if cfg.Fallback.Enabled {
+		e.health = newHealthShards(shardN, cfg.Fallback.ProbeJitterSeed)
 	}
 	e.epoch.Store(&routingEpoch{
 		err:     ErrNotDeployed,
@@ -404,6 +419,13 @@ func (e *Evolution) ProviderMembers(asn topology.ASN) []topology.RouterID {
 func (e *Evolution) SendVia(src, dst *topology.Host, provider topology.ASN, payload []byte) (Delivery, error) {
 	ep := e.epoch.Load()
 	if ep.err != nil {
+		if e.health != nil {
+			dep := e.Dep.Addr
+			if pd, ok := ep.provDeps[provider]; ok {
+				dep = pd.Addr
+			}
+			return e.sendErrEpoch(ep, src, dst, dep, payload, e.tracerNow())
+		}
 		e.counters.Send()
 		e.counters.Drop(trace.DropNotDeployed)
 		return Delivery{}, ep.err
@@ -827,6 +849,13 @@ type Delivery struct {
 	// TraceTag is the per-delivery random tag stamped into the header
 	// options at the source and verified at the destination.
 	TraceTag uint32
+	// Fallback reports that this delivery rode the IPv(N-1) baseline path
+	// instead of the vN-Bone — the graceful-degradation layer engaged
+	// (because the flow was in the fallback state, the vN attempt was
+	// rescued in-line, or the routing epoch was an error epoch). TotalCost
+	// then equals BaselineCost, Stretch is 1 and the vN-Bone fields
+	// (Ingress, Egress, VNHops, TailCost, TailPath) are zero.
+	Fallback bool
 }
 
 // Send delivers an IPvN packet with the given payload from src to dst,
@@ -838,6 +867,9 @@ type Delivery struct {
 func (e *Evolution) Send(src, dst *topology.Host, payload []byte) (Delivery, error) {
 	ep := e.epoch.Load()
 	if ep.err != nil {
+		if e.health != nil {
+			return e.sendErrEpoch(ep, src, dst, e.Dep.Addr, payload, e.tracerNow())
+		}
 		e.counters.Send()
 		e.counters.Drop(trace.DropNotDeployed)
 		return Delivery{}, ep.err
@@ -852,6 +884,9 @@ func (e *Evolution) Send(src, dst *topology.Host, payload []byte) (Delivery, err
 func (e *Evolution) SendTraced(src, dst *topology.Host, payload []byte, tr trace.Tracer) (Delivery, error) {
 	ep := e.epoch.Load()
 	if ep.err != nil {
+		if e.health != nil {
+			return e.sendErrEpoch(ep, src, dst, e.Dep.Addr, payload, tr)
+		}
 		e.counters.Send()
 		e.counters.Drop(trace.DropNotDeployed)
 		return Delivery{}, ep.err
@@ -958,12 +993,10 @@ func (e *Evolution) computeFlow(ep *routingEpoch, src, dst *topology.Host, ingre
 
 // send runs the delivery on one routing epoch with the given ingress
 // deployment (the shared one, or a provider-specific one) and optional
-// tracer. The routing skeleton comes from the epoch's sharded flow cache
-// when this flow has delivered before (routing is deterministic within
-// an epoch, so the cached skeleton is exact) and is computed and
-// memoised otherwise. The wire-level encapsulation path runs for real
-// either way, ping-ponging between two pooled tunnel endpoints — with
-// the pool warm, a steady-state Send allocates nothing.
+// tracer. It opens the span (send tally, per-delivery tag), acquires the
+// pooled wire-path working set, and hands off to the vN path — directly
+// when the graceful-degradation layer is off, through the flow's health
+// decision (sendWithHealth) when it is on.
 func (e *Evolution) send(ep *routingEpoch, src, dst *topology.Host, payload []byte, ingressDep *anycast.Deployment, tr trace.Tracer) (Delivery, error) {
 	e.counters.Send()
 	// The per-delivery tag distinguishes concurrent sends' spans and
@@ -974,7 +1007,30 @@ func (e *Evolution) send(ep *routingEpoch, src, dst *topology.Host, payload []by
 	if tr != nil {
 		tr.Event(trace.Event{Kind: trace.KindSend, Seq: seq, Router: src.Attach, AS: src.Domain})
 	}
+	ctx := sendCtxPool.Get().(*sendCtx)
+	defer sendCtxPool.Put(ctx)
+	if e.health != nil {
+		return e.sendWithHealth(ctx, ep, src, dst, payload, ingressDep, tr, seq)
+	}
+	d, _, reason, err := e.sendVN(ctx, ep, src, dst, payload, ingressDep, tr, seq)
+	if err != nil {
+		return e.dropSend(tr, seq, reason, err)
+	}
+	return d, nil
+}
 
+// sendVN runs the vN delivery proper. The routing skeleton comes from
+// the epoch's sharded flow cache when this flow has delivered before
+// (routing is deterministic within an epoch, so the cached skeleton is
+// exact) and is computed and memoised otherwise. The wire-level
+// encapsulation path runs for real either way, ping-ponging between the
+// two pooled tunnel endpoints — with the pool warm, a steady-state Send
+// allocates nothing. Failures are returned with their drop reason
+// neither counted nor traced: the caller decides whether the packet
+// drops (dropSend) or gets rescued over the baseline. The returned
+// flowEntry (nil when flow resolution itself failed) feeds the health
+// layer's signal matching.
+func (e *Evolution) sendVN(ctx *sendCtx, ep *routingEpoch, src, dst *topology.Host, payload []byte, ingressDep *anycast.Deployment, tr trace.Tracer, seq uint32) (Delivery, *flowEntry, trace.DropReason, error) {
 	fk := flowKey{src: src.ID, dst: dst.ID, dep: ingressDep.Addr}
 	var fe *flowEntry
 	if !e.cfg.DisableDeliveryCache {
@@ -992,7 +1048,7 @@ func (e *Evolution) send(ep *routingEpoch, src, dst *topology.Host, payload []by
 		var err error
 		fe, reason, err = e.computeFlow(ep, src, dst, ingressDep, &e.counters)
 		if err != nil {
-			return e.dropSend(tr, seq, reason, err)
+			return Delivery{}, nil, reason, err
 		}
 		// Like the redirect cache, a skeleton computed after a mutator
 		// has already moved on is correct to use but must not be stored.
@@ -1015,9 +1071,6 @@ func (e *Evolution) send(ep *routingEpoch, src, dst *topology.Host, payload []by
 	}
 	d.TotalCost = fe.ing.Cost + fe.eg.BoneCost + fe.tailCost
 	d.Stretch = metrics.Stretch(d.TotalCost, d.BaselineCost)
-
-	ctx := sendCtxPool.Get().(*sendCtx)
-	defer sendCtxPool.Put(ctx)
 
 	// Leg 1 — universal access: the host encapsulates toward the
 	// deployment's anycast address; routing finds the ingress (§3.1).
@@ -1046,7 +1099,7 @@ func (e *Evolution) send(ep *routingEpoch, src, dst *topology.Host, payload []by
 	hostEP.Observe(tr, &e.counters, seq)
 	wire, err := hostEP.EncapToShared(ingressAddr, hdr, payload)
 	if err != nil {
-		return e.dropSend(tr, seq, trace.DropEncap, err)
+		return Delivery{}, fe, trace.DropEncap, err
 	}
 	if tr != nil {
 		tr.Event(trace.Event{
@@ -1059,10 +1112,10 @@ func (e *Evolution) send(ep *routingEpoch, src, dst *topology.Host, payload []by
 	// (Outer dst is the anycast address the member serves.)
 	outer, inner, pl, err := packet.DecapVNShared(wire, ctx.optA[:0])
 	if err != nil {
-		return e.dropSend(tr, seq, trace.DropDecap, fmt.Errorf("core: ingress decap: %w", err))
+		return Delivery{}, fe, trace.DropDecap, fmt.Errorf("core: ingress decap: %w", err)
 	}
 	if outer.Dst != ingressAddr {
-		return e.dropSend(tr, seq, trace.DropDecap, fmt.Errorf("core: ingress got packet for %s", outer.Dst))
+		return Delivery{}, fe, trace.DropDecap, fmt.Errorf("core: ingress got packet for %s", outer.Dst)
 	}
 	if tr != nil {
 		tr.Event(trace.Event{
@@ -1086,12 +1139,12 @@ func (e *Evolution) send(ep *routingEpoch, src, dst *topology.Host, payload []by
 		relayEP.Observe(tr, &e.counters, seq)
 		wire, err = relayEP.EncapToShared(nextLoop, inner, pl)
 		if err != nil {
-			return e.dropSend(tr, seq, trace.DropRelay, fmt.Errorf("core: bone relay %d: %w", i, err))
+			return Delivery{}, fe, trace.DropRelay, fmt.Errorf("core: bone relay %d: %w", i, err)
 		}
 		relayEP.Local = nextLoop
 		_, inner, pl, err = relayEP.DecapShared(wire, relayOpt[:0])
 		if err != nil {
-			return e.dropSend(tr, seq, trace.DropRelay, fmt.Errorf("core: bone decap %d: %w", i, err))
+			return Delivery{}, fe, trace.DropRelay, fmt.Errorf("core: bone decap %d: %w", i, err)
 		}
 		if tr != nil {
 			tr.Event(trace.Event{
@@ -1113,18 +1166,18 @@ func (e *Evolution) send(ep *routingEpoch, src, dst *topology.Host, payload []by
 	if fe.dstVN.IsSelf() {
 		under, ok := inner.UnderlayDst()
 		if !ok {
-			return e.dropSend(tr, seq, trace.DropTail, fmt.Errorf("core: self-addressed destination without underlay address"))
+			return Delivery{}, fe, trace.DropTail, fmt.Errorf("core: self-addressed destination without underlay address")
 		}
 		// Final tunnel: egress → destination host over IPv(N-1), an
 		// ad-hoc encapsulation toward the host's underlay address.
 		wire, err = relayEP.EncapToShared(under, inner, pl)
 		if err != nil {
-			return e.dropSend(tr, seq, trace.DropTail, fmt.Errorf("core: final tunnel: %w", err))
+			return Delivery{}, fe, trace.DropTail, fmt.Errorf("core: final tunnel: %w", err)
 		}
 	} else {
 		wire, err = relayEP.EncapToShared(dst.Addr, inner, pl)
 		if err != nil {
-			return e.dropSend(tr, seq, trace.DropTail, fmt.Errorf("core: native delivery encap: %w", err))
+			return Delivery{}, fe, trace.DropTail, fmt.Errorf("core: native delivery encap: %w", err)
 		}
 	}
 	dstEP := spareEP
@@ -1132,7 +1185,7 @@ func (e *Evolution) send(ep *routingEpoch, src, dst *topology.Host, payload []by
 	dstEP.Observe(tr, &e.counters, seq)
 	_, inner, pl, err = dstEP.DecapShared(wire, spareOpt[:0])
 	if err != nil {
-		return e.dropSend(tr, seq, trace.DropTail, fmt.Errorf("core: final decap: %w", err))
+		return Delivery{}, fe, trace.DropTail, fmt.Errorf("core: final decap: %w", err)
 	}
 
 	// The trace tag must have survived the whole wire path.
@@ -1142,13 +1195,13 @@ func (e *Evolution) send(ep *routingEpoch, src, dst *topology.Host, payload []by
 		}
 	}
 	if d.TraceTag != seq {
-		return e.dropSend(tr, seq, trace.DropIntegrity, fmt.Errorf("core: trace tag corrupted in transit (%d != %d)", d.TraceTag, seq))
+		return Delivery{}, fe, trace.DropIntegrity, fmt.Errorf("core: trace tag corrupted in transit (%d != %d)", d.TraceTag, seq)
 	}
 	// The arrived payload aliases the pooled wire buffer; verify the
 	// round-trip was bit-exact, then hand the caller back their own
 	// bytes so the Delivery outlives the pooled working set.
 	if !bytes.Equal(pl, payload) {
-		return e.dropSend(tr, seq, trace.DropIntegrity, fmt.Errorf("core: payload corrupted in transit"))
+		return Delivery{}, fe, trace.DropIntegrity, fmt.Errorf("core: payload corrupted in transit")
 	}
 	d.Payload = payload
 	e.counters.PayloadBytes(len(payload))
@@ -1159,7 +1212,7 @@ func (e *Evolution) send(ep *routingEpoch, src, dst *topology.Host, payload []by
 			Router: dst.Attach, AS: dst.Domain, Cost: d.TotalCost,
 		})
 	}
-	return d, nil
+	return d, fe, trace.DropNone, nil
 }
 
 // FormatTrace renders a recorded event sequence as a per-hop path trace

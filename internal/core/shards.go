@@ -228,10 +228,12 @@ type sendCtx struct {
 	// optA/optB are the decode scratches for epA/epB's DecapShared.
 	optA, optB []packet.Option
 	// hdrOpts, underBuf and tagBuf build the source header's options
-	// (OptUnderlayDst for self-addressed destinations, OptTraceTag).
+	// (OptUnderlayDst for self-addressed destinations, OptTraceTag);
+	// markBuf holds the OptFallback marker byte of baseline deliveries.
 	hdrOpts  [2]packet.Option
 	underBuf [4]byte
 	tagBuf   [4]byte
+	markBuf  [1]byte
 }
 
 var sendCtxPool = sync.Pool{

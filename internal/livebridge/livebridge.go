@@ -258,6 +258,11 @@ func (o *Overlay) Reconcile() error {
 		if o.relCfg != nil {
 			n.EnableReliable(*o.relCfg)
 		}
+		// A reliable send that exhausts its retransmission budget is the
+		// live plane's per-flow delivery-failure signal: feed it back into
+		// the simulator's flow-health layer (a no-op when the Evolution's
+		// fallback layer is disabled).
+		n.SetSendFailureObserver(func(dst addr.VN) { o.evo.ReportUnackedVN(dst) })
 		o.Hosts[h.ID] = n
 		deltas++
 	}
@@ -314,6 +319,9 @@ func (o *Overlay) Watch() (stop func()) {
 				// counted inside) or socket exhaustion; the watcher keeps
 				// going — the next good epoch heals the overlay.
 				_ = o.Reconcile()
+				// Each epoch tick also pushes the live plane's current
+				// suspicion verdicts into the flow-health layer.
+				o.FeedPeerHealth()
 			}
 		}
 	}()
@@ -322,6 +330,41 @@ func (o *Overlay) Watch() (stop func()) {
 		close(quit)
 		<-done
 	}
+}
+
+// FeedPeerHealth pushes the live plane's current suspicion verdicts into
+// the simulator's flow-health layer: every member node's peer-health
+// table is scanned, suspected peers are mapped back to their bone
+// routers, and each suspect is reported through
+// Evolution.ReportPeerSuspect so flows whose memoised delivery skeletons
+// ride through a suspected router degrade without waiting for their own
+// delivery errors. Called from the Watch loop on every epoch tick; safe
+// to call directly after a liveness sweep. Returns the number of
+// flow-health records signalled (0 when the Evolution's fallback layer
+// is disabled).
+func (o *Overlay) FeedPeerHealth() int {
+	o.mu.Lock()
+	nodes := make([]*overlaynet.Node, 0, len(o.Members))
+	for _, n := range o.Members {
+		nodes = append(nodes, n)
+	}
+	o.mu.Unlock()
+	suspects := map[topology.RouterID]bool{}
+	for _, n := range nodes {
+		for _, ps := range n.PeerHealth() {
+			if !ps.Suspected {
+				continue
+			}
+			if r := o.evo.Net.RouterByLoopback(ps.Peer); r != nil {
+				suspects[r.ID] = true
+			}
+		}
+	}
+	total := 0
+	for id := range suspects {
+		total += o.evo.ReportPeerSuspect(id)
+	}
+	return total
 }
 
 // EnableLiveness turns on keepalive probing for every current and future

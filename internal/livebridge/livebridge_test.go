@@ -434,6 +434,167 @@ func TestWatchReconcilesOnEpochPublication(t *testing.T) {
 	t.Fatal("watcher never reconciled the undeploy")
 }
 
+func TestUnackedFlowEntersFallback(t *testing.T) {
+	// The live plane's delivery failures must drive the simulator's
+	// per-flow health: when reliable sends toward a destination repeatedly
+	// exhaust their retransmission budget, the observer wiring reports
+	// each ErrNotAcked into Evolution.ReportUnackedVN and the flow ends up
+	// in the fallback state.
+	net, err := topology.TransitStub(2, 2, 0.3, topology.GenConfig{
+		Seed: 5, RoutersPerDomain: 2, HostsPerDomain: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	evo, err := core.New(net, core.Config{
+		Option:    anycast.Option2,
+		DefaultAS: net.DomainByName("T0").ASN,
+		Egress:    bgpvn.PathInformed,
+		Fallback:  core.FallbackConfig{Enabled: true},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	evo.DeployDomain(net.DomainByName("T0").ASN, 0)
+	evo.DeployDomain(net.DomainByName("S1.0").ASN, 0)
+
+	o, err := Provision(evo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer o.Close()
+	o.EnableReliable(overlaynet.ReliableConfig{
+		JitterSeed:     1,
+		MaxAttempts:    1,
+		RetransmitBase: time.Millisecond,
+		RetransmitMax:  time.Millisecond,
+	})
+
+	src := net.HostsIn(net.DomainByName("S0.0").ASN)[0]
+	dst := net.HostsIn(net.DomainByName("S1.0").ASN)[0]
+
+	// Prime the flow-health record through the simulator's send path (the
+	// live observer's reports match on the flow's recorded IPvN
+	// destination).
+	if _, err := evo.Send(src, dst, []byte("prime")); err != nil {
+		t.Fatal(err)
+	}
+	if info, ok := evo.FlowHealth(src, dst); !ok || info.State != core.HealthHealthy {
+		t.Fatalf("primed flow health = %+v (ok=%v), want healthy", info, ok)
+	}
+
+	// Black-hole the wire: every reliable send now exhausts its budget.
+	o.Reg.SetFaultTransport(overlaynet.NewFaultTransport(overlaynet.FaultConfig{
+		Seed: 7, DropRate: 1,
+	}))
+
+	deadline := time.Now().Add(timeout)
+	for {
+		if _, err := o.SendReliable(src, dst, []byte("lost"), 10*time.Millisecond); err == nil {
+			t.Fatal("send over a fully dropped wire succeeded")
+		}
+		info, ok := evo.FlowHealth(src, dst)
+		if ok && info.State == core.HealthFallback {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("flow never entered fallback: %+v (ok=%v)", info, ok)
+		}
+	}
+
+	// Degraded but not dark: the simulator's send path now rides the
+	// IPv(N-1) baseline for this flow.
+	d, err := evo.Send(src, dst, []byte("degraded"))
+	if err != nil {
+		t.Fatalf("fallback send: %v", err)
+	}
+	if !d.Fallback {
+		t.Errorf("delivery in fallback state not marked Fallback: %+v", d)
+	}
+}
+
+func TestFeedPeerHealthSignalsSuspectedRouters(t *testing.T) {
+	// Suspicion raised by the live plane's keepalive probing must reach
+	// the simulator's flow-health layer: after a member node dies and its
+	// peers' probes go unanswered, FeedPeerHealth maps the suspected
+	// loopback back to its bone router and signals every flow riding
+	// through it.
+	net, err := topology.TransitStub(2, 2, 0.3, topology.GenConfig{
+		Seed: 5, RoutersPerDomain: 2, HostsPerDomain: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	evo, err := core.New(net, core.Config{
+		Option:    anycast.Option2,
+		DefaultAS: net.DomainByName("T0").ASN,
+		Egress:    bgpvn.PathInformed,
+		Fallback:  core.FallbackConfig{Enabled: true},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	evo.DeployDomain(net.DomainByName("T0").ASN, 0)
+	evo.DeployDomain(net.DomainByName("S1.0").ASN, 0)
+	o, err := Provision(evo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer o.Close()
+
+	src := net.HostsIn(net.DomainByName("S0.0").ASN)[0]
+	dst := net.HostsIn(net.DomainByName("S1.0").ASN)[0]
+	if _, err := evo.Send(src, dst, []byte("prime")); err != nil {
+		t.Fatal(err)
+	}
+
+	// No suspicion: feeding is a no-op.
+	if n := o.FeedPeerHealth(); n != 0 {
+		t.Fatalf("FeedPeerHealth with a healthy overlay signalled %d flows", n)
+	}
+
+	o.EnableLiveness(overlaynet.LivenessConfig{
+		Interval:     5 * time.Millisecond,
+		SuspectAfter: 2,
+	})
+
+	// Kill the flow's simulated ingress member; its probing peers will
+	// suspect it.
+	sim, err := evo.Send(src, dst, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	victim := sim.Ingress.Member
+	victimLoopback := net.Router(victim).Loopback
+	o.Members[victim].Close()
+	// Make sure at least one survivor probes the dead member (route
+	// tables need not reference every peer in a small topology).
+	for id, n := range o.Members {
+		if id != victim {
+			n.AddPeer(victimLoopback)
+		}
+	}
+
+	deadline := time.Now().Add(timeout)
+	for {
+		if o.Reg.Suspected(victimLoopback) {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("victim never suspected by live probing")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	if n := o.FeedPeerHealth(); n == 0 {
+		t.Fatal("FeedPeerHealth signalled no flows despite a suspected ingress")
+	}
+	info, ok := evo.FlowHealth(src, dst)
+	if !ok || info.State == core.HealthHealthy {
+		t.Fatalf("flow health after suspicion feed = %+v (ok=%v), want degraded", info, ok)
+	}
+}
+
 func TestReliableSendOverBridge(t *testing.T) {
 	net, evo := buildEvo(t, bgpvn.PathInformed)
 	o, err := Provision(evo)

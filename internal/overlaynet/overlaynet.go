@@ -342,6 +342,9 @@ type Node struct {
 	peers map[addr.V4]*peerState
 	live  *livenessState
 	rel   *reliableState
+	// sendFailObs, when set, hears every reliable send that exhausts its
+	// retransmission budget (see SetSendFailureObserver).
+	sendFailObs func(dst addr.VN)
 
 	// Inbox receives payloads addressed to this node. Buffered; overflow
 	// is dropped and counted.
@@ -763,6 +766,29 @@ func (n *Node) WaitInbox(timeout time.Duration) (Received, error) {
 		return Received{}, fmt.Errorf("overlaynet: timeout waiting for delivery at %s", n.Underlay)
 	case <-n.done:
 		return Received{}, ErrClosed
+	}
+}
+
+// SetSendFailureObserver installs a callback invoked whenever one of this
+// node's reliable sends exhausts its retransmission budget (ErrNotAcked)
+// toward an IPvN destination — the live plane's strongest per-flow
+// delivery-failure signal. A bridged control plane subscribes here to
+// feed its per-flow health state (livebridge wires the observer to
+// Evolution.ReportUnackedVN). A nil fn removes the observer. The callback
+// runs on the failing sender's goroutine; keep it brief.
+func (n *Node) SetSendFailureObserver(fn func(dst addr.VN)) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.sendFailObs = fn
+}
+
+// notifySendFailure invokes the send-failure observer, if any.
+func (n *Node) notifySendFailure(dst addr.VN) {
+	n.mu.RLock()
+	fn := n.sendFailObs
+	n.mu.RUnlock()
+	if fn != nil {
+		fn(dst)
 	}
 }
 

@@ -144,6 +144,7 @@ func (n *Node) SendVNReliable(anycastAddr addr.V4, dst addr.VN, payload []byte) 
 			// Resolution can fail transiently while an ingress dies and
 			// failover converges; keep retrying on the backoff schedule.
 			if attempt == rel.cfg.MaxAttempts-1 {
+				n.notifySendFailure(dst)
 				return fmt.Errorf("%w: seq %d: %v", ErrNotAcked, seq, err)
 			}
 		}
@@ -162,6 +163,7 @@ func (n *Node) SendVNReliable(anycastAddr addr.V4, dst addr.VN, payload []byte) 
 			backoff = rel.cfg.RetransmitMax
 		}
 	}
+	n.notifySendFailure(dst)
 	return fmt.Errorf("%w: seq %d after %d attempts", ErrNotAcked, seq, rel.cfg.MaxAttempts)
 }
 

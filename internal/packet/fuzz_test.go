@@ -29,6 +29,15 @@ func seedWires(f *testing.F) {
 	}
 	f.Add(wire)
 
+	// A fallback-marked delivery (the graceful-degradation wire form).
+	fb := VNHeader{Version: 8, HopLimit: 9, Src: addr.SelfAddress(3), Dst: addr.SelfAddress(4)}
+	fb.Options = []Option{{Type: OptFallback, Value: []byte{FallbackMarkState}}}
+	fbw, err := EncapVN(V4Header{Src: 3, Dst: 4}, fb, []byte("degraded"))
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(fbw)
+
 	// Degenerate inputs.
 	f.Add([]byte{})
 	f.Add([]byte{4})
@@ -124,6 +133,68 @@ func FuzzDecapVN(f *testing.F) {
 		}
 		if !bytes.Equal(p2, payload) {
 			t.Fatal("payload diverged")
+		}
+	})
+}
+
+// FuzzFallbackMarker pins the fallback marker option byte-identically
+// against the serializer oracle: a header carrying OptFallback with any
+// marker value must decode to the same marker (through both the copying
+// and the zero-copy decoder) and re-serialize to the exact wire bytes
+// the first serialization produced. The delivery plane stamps this
+// option on every degraded delivery, so a lossy round-trip here would
+// silently corrupt the availability accounting downstream.
+func FuzzFallbackMarker(f *testing.F) {
+	f.Add(uint8(8), uint8(64), FallbackMarkState, []byte("fallback-state"))
+	f.Add(uint8(8), uint8(1), FallbackMarkRescue, []byte("fallback-rescue"))
+	f.Add(uint8(0), uint8(0), uint8(0), []byte{})
+	f.Add(uint8(255), uint8(255), uint8(255), bytes.Repeat([]byte{0xAB}, 512))
+	f.Fuzz(func(t *testing.T, version, hop, mark uint8, payload []byte) {
+		h := VNHeader{
+			Version:  version,
+			HopLimit: hop,
+			Src:      addr.SelfAddress(3),
+			Dst:      addr.VN{Hi: 9, Lo: 9},
+			Options: []Option{
+				{Type: OptTraceTag, Value: []byte{0, 0, 0, 1}},
+				{Type: OptFallback, Value: []byte{mark}},
+			},
+		}
+		b := NewSerializeBuffer()
+		if err := Serialize(b, payload, &h); err != nil {
+			t.Fatalf("serialize: %v", err)
+		}
+		wire := append([]byte(nil), b.Bytes()...)
+
+		h2, p2, err := DecodeVN(wire)
+		if err != nil {
+			t.Fatalf("decode: %v", err)
+		}
+		if got, ok := h2.FallbackMark(); !ok || got != mark {
+			t.Fatalf("marker diverged: got (%d,%v), want (%d,true)", got, ok, mark)
+		}
+		if !bytes.Equal(p2, payload) {
+			t.Fatal("payload diverged")
+		}
+
+		// The zero-copy decoder (the hot path's view) must agree.
+		hs, _, err := DecodeVNShared(wire, nil)
+		if err != nil {
+			t.Fatalf("shared decode: %v", err)
+		}
+		if got, ok := hs.FallbackMark(); !ok || got != mark {
+			t.Fatalf("shared marker diverged: got (%d,%v), want (%d,true)", got, ok, mark)
+		}
+
+		// Byte-identical pin: re-serializing the decoded header must
+		// reproduce the oracle wire exactly (the decoder surfaced the
+		// normalized hop limit, so no further normalization applies).
+		b2 := NewSerializeBuffer()
+		if err := Serialize(b2, p2, &h2); err != nil {
+			t.Fatalf("re-serialize: %v", err)
+		}
+		if !bytes.Equal(b2.Bytes(), wire) {
+			t.Fatalf("round trip diverged:\n in  %x\n out %x", wire, b2.Bytes())
 		}
 	})
 }

@@ -32,6 +32,21 @@ const (
 	// value is the acknowledged sequence number. Ack packets carry no
 	// payload and are consumed by the sender's reliability layer.
 	OptDeliveryAck uint8 = 4
+	// OptFallback marks a delivery that rode the IPv(N-1) baseline path
+	// instead of the vN-Bone (the graceful-degradation layer of
+	// internal/core). The 1-byte value classifies why: FallbackMarkState
+	// or FallbackMarkRescue.
+	OptFallback uint8 = 5
+)
+
+// OptFallback marker values.
+const (
+	// FallbackMarkState: the flow was in the fallback state and the send
+	// skipped the vN path deliberately.
+	FallbackMarkState uint8 = 1
+	// FallbackMarkRescue: the vN attempt failed and the delivery was
+	// rescued in-line over the baseline path.
+	FallbackMarkRescue uint8 = 2
 )
 
 // Option is a decoded IPvN header option.
@@ -97,6 +112,18 @@ func (h VNHeader) UnderlayDst() (addr.V4, bool) {
 		}
 	}
 	return h.Dst.Underlay()
+}
+
+// FallbackMark extracts the OptFallback option if present: the marker
+// value (FallbackMarkState or FallbackMarkRescue) and whether the packet
+// carries the option at all.
+func (h VNHeader) FallbackMark() (uint8, bool) {
+	for _, o := range h.Options {
+		if o.Type == OptFallback && len(o.Value) == 1 {
+			return o.Value[0], true
+		}
+	}
+	return 0, false
 }
 
 // SerializeTo prepends the header (with options), treating the buffer's

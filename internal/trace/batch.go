@@ -14,19 +14,26 @@ import "github.com/evolvable-net/evolve/internal/topology"
 // the core can count through either behind one interface and the
 // batch≡loop differential contract holds counter by counter.
 type CounterBatch struct {
-	sends        uint64
-	deliveries   uint64
-	redirects    uint64
-	redirectHits uint64
-	encaps       uint64
-	decaps       uint64
-	boneHops     uint64
-	flowHits     uint64
-	flowMisses   uint64
-	payloadBytes uint64
-	batchFlows   uint64
-	batchPackets uint64
-	drops        [numDropReasons]uint64
+	sends           uint64
+	deliveries      uint64
+	redirects       uint64
+	redirectHits    uint64
+	encaps          uint64
+	decaps          uint64
+	boneHops        uint64
+	flowHits        uint64
+	flowMisses      uint64
+	payloadBytes    uint64
+	batchFlows      uint64
+	batchPackets    uint64
+	fallbackSends   uint64
+	fallbackRescues uint64
+	fallbackProbes  uint64
+	healthSuspect   uint64
+	healthFallback  uint64
+	healthProbation uint64
+	healthRecovered uint64
+	drops           [numDropReasons]uint64
 	// ingress is a tiny assoc array: bursts touch one (or very few)
 	// ingress domains, so a linear scan beats a map and allocates
 	// nothing once the slice has grown.
@@ -87,6 +94,28 @@ func (b *CounterBatch) BatchPackets(n int) {
 		b.batchPackets += uint64(n)
 	}
 }
+
+// FallbackSend counts one delivery carried over the baseline path.
+func (b *CounterBatch) FallbackSend() { b.fallbackSends++ }
+
+// FallbackRescue counts one in-line baseline rescue of a failed vN
+// attempt.
+func (b *CounterBatch) FallbackRescue() { b.fallbackRescues++ }
+
+// FallbackProbe counts one vN probe attempted by a flow in fallback.
+func (b *CounterBatch) FallbackProbe() { b.fallbackProbes++ }
+
+// HealthSuspect counts one flow transitioning healthy → suspect.
+func (b *CounterBatch) HealthSuspect() { b.healthSuspect++ }
+
+// HealthFallback counts one flow transitioning into the fallback state.
+func (b *CounterBatch) HealthFallback() { b.healthFallback++ }
+
+// HealthProbation counts one flow entering probation.
+func (b *CounterBatch) HealthProbation() { b.healthProbation++ }
+
+// HealthRecovered counts one flow returning to the healthy state.
+func (b *CounterBatch) HealthRecovered() { b.healthRecovered++ }
 
 // Ingress counts one delivery entering the deployment in domain as.
 func (b *CounterBatch) Ingress(as topology.ASN) {
@@ -159,6 +188,27 @@ func (b *CounterBatch) FlushTo(c *Counters) {
 	}
 	if b.batchPackets > 0 {
 		c.batchPackets.add(m, b.batchPackets)
+	}
+	if b.fallbackSends > 0 {
+		c.fallbackSends.add(m, b.fallbackSends)
+	}
+	if b.fallbackRescues > 0 {
+		c.fallbackRescues.add(m, b.fallbackRescues)
+	}
+	if b.fallbackProbes > 0 {
+		c.fallbackProbes.add(m, b.fallbackProbes)
+	}
+	if b.healthSuspect > 0 {
+		c.healthSuspect.add(m, b.healthSuspect)
+	}
+	if b.healthFallback > 0 {
+		c.healthFallback.add(m, b.healthFallback)
+	}
+	if b.healthProbation > 0 {
+		c.healthProbation.add(m, b.healthProbation)
+	}
+	if b.healthRecovered > 0 {
+		c.healthRecovered.add(m, b.healthRecovered)
 	}
 	for r := DropNotDeployed; r < numDropReasons; r++ {
 		if n := b.drops[r]; n > 0 {

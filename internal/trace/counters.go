@@ -113,14 +113,29 @@ type Counters struct {
 	payloadBytes striped
 	batchFlows   striped
 	batchPackets striped
-	boneRebuilds atomic.Uint64
-	rebuildsFail atomic.Uint64
-	epochs       atomic.Uint64
-	invalDomain  atomic.Uint64
-	invalInter   atomic.Uint64
-	invalFull    atomic.Uint64
-	boneReused   atomic.Uint64
-	boneRebuilt  atomic.Uint64
+	// Graceful-degradation tallies (internal/core health/fallback layer):
+	// baseline-path deliveries, in-line rescues, vN probes from fallback,
+	// and flow-health state transitions. All ride the send path, so they
+	// stripe like the delivery counters above.
+	fallbackSends   striped
+	fallbackRescues striped
+	fallbackProbes  striped
+	healthSuspect   striped
+	healthFallback  striped
+	healthProbation striped
+	healthRecovered striped
+	// healthSignals counts external failure signals (unacked reliable
+	// sends, overlay peer suspicion) fed into the health layer by the live
+	// plane — mutator-side, so a single atomic suffices.
+	healthSignals atomic.Uint64
+	boneRebuilds  atomic.Uint64
+	rebuildsFail  atomic.Uint64
+	epochs        atomic.Uint64
+	invalDomain   atomic.Uint64
+	invalInter    atomic.Uint64
+	invalFull     atomic.Uint64
+	boneReused    atomic.Uint64
+	boneRebuilt   atomic.Uint64
 	// Live-plane fault-tolerance tallies (internal/overlaynet,
 	// internal/livebridge): liveness probing, failover, retransmission,
 	// epoch reconciliation and injected wire faults.
@@ -192,6 +207,42 @@ func (c *Counters) BatchFlows(n int) {
 func (c *Counters) BatchPackets(n int) {
 	if n > 0 {
 		c.batchPackets.add(c.mask(), uint64(n))
+	}
+}
+
+// FallbackSend counts one delivery carried over the IPv(N-1) baseline
+// path instead of the vN-Bone (the flow was in the fallback state, or an
+// error epoch was bridged).
+func (c *Counters) FallbackSend() { c.fallbackSends.add(c.mask(), 1) }
+
+// FallbackRescue counts one delivery whose vN attempt failed and was
+// rescued in-line over the baseline path. Every rescue is also a
+// FallbackSend.
+func (c *Counters) FallbackRescue() { c.fallbackRescues.add(c.mask(), 1) }
+
+// FallbackProbe counts one vN probe attempted by a flow in the fallback
+// state (seeded-jitter backoff schedule).
+func (c *Counters) FallbackProbe() { c.fallbackProbes.add(c.mask(), 1) }
+
+// HealthSuspect counts one flow transitioning healthy → suspect.
+func (c *Counters) HealthSuspect() { c.healthSuspect.add(c.mask(), 1) }
+
+// HealthFallback counts one flow transitioning into the fallback state.
+func (c *Counters) HealthFallback() { c.healthFallback.add(c.mask(), 1) }
+
+// HealthProbation counts one flow whose fallback probe succeeded,
+// entering probation.
+func (c *Counters) HealthProbation() { c.healthProbation.add(c.mask(), 1) }
+
+// HealthRecovered counts one flow returning to the healthy state (from
+// suspect or probation).
+func (c *Counters) HealthRecovered() { c.healthRecovered.add(c.mask(), 1) }
+
+// HealthSignal counts n external failure signals (unacked reliable
+// sends, overlay peer suspicion) applied to flow-health records.
+func (c *Counters) HealthSignal(n int) {
+	if n > 0 {
+		c.healthSignals.Add(uint64(n))
 	}
 }
 
@@ -360,6 +411,15 @@ type Snapshot struct {
 	// materialized and how many packets rode them. Loop sends never move
 	// these, so BatchPackets/Sends is the batch-adoption ratio.
 	DeliveryBatchFlows, DeliveryBatchPackets uint64
+	// DeliveryFallbackSends/DeliveryFallbackRescues measure graceful
+	// degradation: deliveries carried over the IPv(N-1) baseline path, and
+	// the subset that were in-line rescues of a failed vN attempt.
+	DeliveryFallbackSends, DeliveryFallbackRescues uint64
+	// HealthProbes counts vN probes attempted by flows in the fallback
+	// state; HealthSuspects/HealthFallbacks/HealthProbations/
+	// HealthRecovered count flow-health state transitions; HealthSignals
+	// counts external failure signals fed in by the live plane.
+	HealthProbes, HealthSuspects, HealthFallbacks, HealthProbations, HealthRecovered, HealthSignals uint64
 	// BoneRebuilds counts successful vN-Bone reconstructions;
 	// RebuildsFailed counts attempts that errored and left the previous
 	// routing state live.
@@ -402,41 +462,49 @@ type Snapshot struct {
 // Snapshot returns a point-in-time copy of the counters.
 func (c *Counters) Snapshot() Snapshot {
 	s := Snapshot{
-		Sends:                c.sends.load(),
-		Deliveries:           c.deliveries.load(),
-		Redirects:            c.redirects.load(),
-		RedirectCacheHits:    c.redirectHits.load(),
-		Encaps:               c.encaps.load(),
-		Decaps:               c.decaps.load(),
-		BoneHops:             c.boneHops.load(),
-		DeliveryFlowHits:     c.flowHits.load(),
-		DeliveryFlowMisses:   c.flowMisses.load(),
-		DeliveryPayloadBytes: c.payloadBytes.load(),
-		DeliveryBatchFlows:   c.batchFlows.load(),
-		DeliveryBatchPackets: c.batchPackets.load(),
-		BoneRebuilds:         c.boneRebuilds.Load(),
-		RebuildsFailed:       c.rebuildsFail.Load(),
-		Epochs:               c.epochs.Load(),
-		InvalDomain:          c.invalDomain.Load(),
-		InvalInter:           c.invalInter.Load(),
-		InvalFull:            c.invalFull.Load(),
-		BoneDomainsReused:    c.boneReused.Load(),
-		BoneDomainsRebuilt:   c.boneRebuilt.Load(),
-		ProbesSent:           c.probesSent.Load(),
-		ProbesMissed:         c.probesMissed.Load(),
-		PeersSuspected:       c.peersSuspected.Load(),
-		PeersRecovered:       c.peersRecovered.Load(),
-		FailoversAnycast:     c.failoverAny.Load(),
-		FailoversRoute:       c.failoverRoute.Load(),
-		Retransmits:          c.retransmits.Load(),
-		DedupDrops:           c.dedupDrops.Load(),
-		ReconcileDeltas:      c.reconDeltas.Load(),
-		ReconcileFallbacks:   c.reconFallbacks.Load(),
-		FaultDropped:         c.faultDropped.Load(),
-		FaultDuplicated:      c.faultDup.Load(),
-		FaultDelayed:         c.faultDelayed.Load(),
-		DropsByReason:        map[DropReason]uint64{},
-		IngressByAS:          map[topology.ASN]uint64{},
+		Sends:                   c.sends.load(),
+		Deliveries:              c.deliveries.load(),
+		Redirects:               c.redirects.load(),
+		RedirectCacheHits:       c.redirectHits.load(),
+		Encaps:                  c.encaps.load(),
+		Decaps:                  c.decaps.load(),
+		BoneHops:                c.boneHops.load(),
+		DeliveryFlowHits:        c.flowHits.load(),
+		DeliveryFlowMisses:      c.flowMisses.load(),
+		DeliveryPayloadBytes:    c.payloadBytes.load(),
+		DeliveryBatchFlows:      c.batchFlows.load(),
+		DeliveryBatchPackets:    c.batchPackets.load(),
+		DeliveryFallbackSends:   c.fallbackSends.load(),
+		DeliveryFallbackRescues: c.fallbackRescues.load(),
+		HealthProbes:            c.fallbackProbes.load(),
+		HealthSuspects:          c.healthSuspect.load(),
+		HealthFallbacks:         c.healthFallback.load(),
+		HealthProbations:        c.healthProbation.load(),
+		HealthRecovered:         c.healthRecovered.load(),
+		HealthSignals:           c.healthSignals.Load(),
+		BoneRebuilds:            c.boneRebuilds.Load(),
+		RebuildsFailed:          c.rebuildsFail.Load(),
+		Epochs:                  c.epochs.Load(),
+		InvalDomain:             c.invalDomain.Load(),
+		InvalInter:              c.invalInter.Load(),
+		InvalFull:               c.invalFull.Load(),
+		BoneDomainsReused:       c.boneReused.Load(),
+		BoneDomainsRebuilt:      c.boneRebuilt.Load(),
+		ProbesSent:              c.probesSent.Load(),
+		ProbesMissed:            c.probesMissed.Load(),
+		PeersSuspected:          c.peersSuspected.Load(),
+		PeersRecovered:          c.peersRecovered.Load(),
+		FailoversAnycast:        c.failoverAny.Load(),
+		FailoversRoute:          c.failoverRoute.Load(),
+		Retransmits:             c.retransmits.Load(),
+		DedupDrops:              c.dedupDrops.Load(),
+		ReconcileDeltas:         c.reconDeltas.Load(),
+		ReconcileFallbacks:      c.reconFallbacks.Load(),
+		FaultDropped:            c.faultDropped.Load(),
+		FaultDuplicated:         c.faultDup.Load(),
+		FaultDelayed:            c.faultDelayed.Load(),
+		DropsByReason:           map[DropReason]uint64{},
+		IngressByAS:             map[topology.ASN]uint64{},
 	}
 	for r := DropNotDeployed; r < numDropReasons; r++ {
 		if n := c.drops[r].load(); n > 0 {
@@ -467,42 +535,50 @@ func (s Snapshot) Sub(prev Snapshot) Snapshot {
 		return a - b
 	}
 	d := Snapshot{
-		Sends:                sub(s.Sends, prev.Sends, "sends"),
-		Deliveries:           sub(s.Deliveries, prev.Deliveries, "deliveries"),
-		Drops:                sub(s.Drops, prev.Drops, "drops"),
-		Redirects:            sub(s.Redirects, prev.Redirects, "redirects"),
-		RedirectCacheHits:    sub(s.RedirectCacheHits, prev.RedirectCacheHits, "redirects.cache_hits"),
-		Encaps:               sub(s.Encaps, prev.Encaps, "tunnel.encaps"),
-		Decaps:               sub(s.Decaps, prev.Decaps, "tunnel.decaps"),
-		BoneHops:             sub(s.BoneHops, prev.BoneHops, "bone.hops"),
-		DeliveryFlowHits:     sub(s.DeliveryFlowHits, prev.DeliveryFlowHits, "delivery.flow_hits"),
-		DeliveryFlowMisses:   sub(s.DeliveryFlowMisses, prev.DeliveryFlowMisses, "delivery.flow_misses"),
-		DeliveryPayloadBytes: sub(s.DeliveryPayloadBytes, prev.DeliveryPayloadBytes, "delivery.payload_bytes"),
-		DeliveryBatchFlows:   sub(s.DeliveryBatchFlows, prev.DeliveryBatchFlows, "delivery.batch_flows"),
-		DeliveryBatchPackets: sub(s.DeliveryBatchPackets, prev.DeliveryBatchPackets, "delivery.batch_packets"),
-		BoneRebuilds:         sub(s.BoneRebuilds, prev.BoneRebuilds, "bone.rebuilds"),
-		RebuildsFailed:       sub(s.RebuildsFailed, prev.RebuildsFailed, "bone.rebuilds_failed"),
-		Epochs:               sub(s.Epochs, prev.Epochs, "epochs"),
-		InvalDomain:          sub(s.InvalDomain, prev.InvalDomain, "invalidate.domain"),
-		InvalInter:           sub(s.InvalInter, prev.InvalInter, "invalidate.inter"),
-		InvalFull:            sub(s.InvalFull, prev.InvalFull, "invalidate.full"),
-		BoneDomainsReused:    sub(s.BoneDomainsReused, prev.BoneDomainsReused, "bone.domains_reused"),
-		BoneDomainsRebuilt:   sub(s.BoneDomainsRebuilt, prev.BoneDomainsRebuilt, "bone.domains_rebuilt"),
-		ProbesSent:           sub(s.ProbesSent, prev.ProbesSent, "live.probes_sent"),
-		ProbesMissed:         sub(s.ProbesMissed, prev.ProbesMissed, "live.probes_missed"),
-		PeersSuspected:       sub(s.PeersSuspected, prev.PeersSuspected, "live.peers_suspected"),
-		PeersRecovered:       sub(s.PeersRecovered, prev.PeersRecovered, "live.peers_recovered"),
-		FailoversAnycast:     sub(s.FailoversAnycast, prev.FailoversAnycast, "live.failover_anycast"),
-		FailoversRoute:       sub(s.FailoversRoute, prev.FailoversRoute, "live.failover_route"),
-		Retransmits:          sub(s.Retransmits, prev.Retransmits, "live.retransmits"),
-		DedupDrops:           sub(s.DedupDrops, prev.DedupDrops, "live.dedup_drops"),
-		ReconcileDeltas:      sub(s.ReconcileDeltas, prev.ReconcileDeltas, "live.reconcile_deltas"),
-		ReconcileFallbacks:   sub(s.ReconcileFallbacks, prev.ReconcileFallbacks, "live.reconcile_fallbacks"),
-		FaultDropped:         sub(s.FaultDropped, prev.FaultDropped, "fault.dropped"),
-		FaultDuplicated:      sub(s.FaultDuplicated, prev.FaultDuplicated, "fault.duplicated"),
-		FaultDelayed:         sub(s.FaultDelayed, prev.FaultDelayed, "fault.delayed"),
-		DropsByReason:        map[DropReason]uint64{},
-		IngressByAS:          map[topology.ASN]uint64{},
+		Sends:                   sub(s.Sends, prev.Sends, "sends"),
+		Deliveries:              sub(s.Deliveries, prev.Deliveries, "deliveries"),
+		Drops:                   sub(s.Drops, prev.Drops, "drops"),
+		Redirects:               sub(s.Redirects, prev.Redirects, "redirects"),
+		RedirectCacheHits:       sub(s.RedirectCacheHits, prev.RedirectCacheHits, "redirects.cache_hits"),
+		Encaps:                  sub(s.Encaps, prev.Encaps, "tunnel.encaps"),
+		Decaps:                  sub(s.Decaps, prev.Decaps, "tunnel.decaps"),
+		BoneHops:                sub(s.BoneHops, prev.BoneHops, "bone.hops"),
+		DeliveryFlowHits:        sub(s.DeliveryFlowHits, prev.DeliveryFlowHits, "delivery.flow_hits"),
+		DeliveryFlowMisses:      sub(s.DeliveryFlowMisses, prev.DeliveryFlowMisses, "delivery.flow_misses"),
+		DeliveryPayloadBytes:    sub(s.DeliveryPayloadBytes, prev.DeliveryPayloadBytes, "delivery.payload_bytes"),
+		DeliveryBatchFlows:      sub(s.DeliveryBatchFlows, prev.DeliveryBatchFlows, "delivery.batch_flows"),
+		DeliveryBatchPackets:    sub(s.DeliveryBatchPackets, prev.DeliveryBatchPackets, "delivery.batch_packets"),
+		DeliveryFallbackSends:   sub(s.DeliveryFallbackSends, prev.DeliveryFallbackSends, "delivery.fallback_sends"),
+		DeliveryFallbackRescues: sub(s.DeliveryFallbackRescues, prev.DeliveryFallbackRescues, "delivery.fallback_rescues"),
+		HealthProbes:            sub(s.HealthProbes, prev.HealthProbes, "health.probes"),
+		HealthSuspects:          sub(s.HealthSuspects, prev.HealthSuspects, "health.suspect"),
+		HealthFallbacks:         sub(s.HealthFallbacks, prev.HealthFallbacks, "health.fallback"),
+		HealthProbations:        sub(s.HealthProbations, prev.HealthProbations, "health.probation"),
+		HealthRecovered:         sub(s.HealthRecovered, prev.HealthRecovered, "health.recovered"),
+		HealthSignals:           sub(s.HealthSignals, prev.HealthSignals, "health.signals"),
+		BoneRebuilds:            sub(s.BoneRebuilds, prev.BoneRebuilds, "bone.rebuilds"),
+		RebuildsFailed:          sub(s.RebuildsFailed, prev.RebuildsFailed, "bone.rebuilds_failed"),
+		Epochs:                  sub(s.Epochs, prev.Epochs, "epochs"),
+		InvalDomain:             sub(s.InvalDomain, prev.InvalDomain, "invalidate.domain"),
+		InvalInter:              sub(s.InvalInter, prev.InvalInter, "invalidate.inter"),
+		InvalFull:               sub(s.InvalFull, prev.InvalFull, "invalidate.full"),
+		BoneDomainsReused:       sub(s.BoneDomainsReused, prev.BoneDomainsReused, "bone.domains_reused"),
+		BoneDomainsRebuilt:      sub(s.BoneDomainsRebuilt, prev.BoneDomainsRebuilt, "bone.domains_rebuilt"),
+		ProbesSent:              sub(s.ProbesSent, prev.ProbesSent, "live.probes_sent"),
+		ProbesMissed:            sub(s.ProbesMissed, prev.ProbesMissed, "live.probes_missed"),
+		PeersSuspected:          sub(s.PeersSuspected, prev.PeersSuspected, "live.peers_suspected"),
+		PeersRecovered:          sub(s.PeersRecovered, prev.PeersRecovered, "live.peers_recovered"),
+		FailoversAnycast:        sub(s.FailoversAnycast, prev.FailoversAnycast, "live.failover_anycast"),
+		FailoversRoute:          sub(s.FailoversRoute, prev.FailoversRoute, "live.failover_route"),
+		Retransmits:             sub(s.Retransmits, prev.Retransmits, "live.retransmits"),
+		DedupDrops:              sub(s.DedupDrops, prev.DedupDrops, "live.dedup_drops"),
+		ReconcileDeltas:         sub(s.ReconcileDeltas, prev.ReconcileDeltas, "live.reconcile_deltas"),
+		ReconcileFallbacks:      sub(s.ReconcileFallbacks, prev.ReconcileFallbacks, "live.reconcile_fallbacks"),
+		FaultDropped:            sub(s.FaultDropped, prev.FaultDropped, "fault.dropped"),
+		FaultDuplicated:         sub(s.FaultDuplicated, prev.FaultDuplicated, "fault.duplicated"),
+		FaultDelayed:            sub(s.FaultDelayed, prev.FaultDelayed, "fault.delayed"),
+		DropsByReason:           map[DropReason]uint64{},
+		IngressByAS:             map[topology.ASN]uint64{},
 	}
 	for r, n := range s.DropsByReason {
 		if delta := sub(n, prev.DropsByReason[r], "drops."+r.String()); delta > 0 {
@@ -539,6 +615,14 @@ func (s Snapshot) String() string {
 	fmt.Fprintf(&b, "delivery.payload_bytes %d\n", s.DeliveryPayloadBytes)
 	fmt.Fprintf(&b, "delivery.batch_flows %d\n", s.DeliveryBatchFlows)
 	fmt.Fprintf(&b, "delivery.batch_packets %d\n", s.DeliveryBatchPackets)
+	fmt.Fprintf(&b, "delivery.fallback_sends %d\n", s.DeliveryFallbackSends)
+	fmt.Fprintf(&b, "delivery.fallback_rescues %d\n", s.DeliveryFallbackRescues)
+	fmt.Fprintf(&b, "health.probes %d\n", s.HealthProbes)
+	fmt.Fprintf(&b, "health.suspect %d\n", s.HealthSuspects)
+	fmt.Fprintf(&b, "health.fallback %d\n", s.HealthFallbacks)
+	fmt.Fprintf(&b, "health.probation %d\n", s.HealthProbations)
+	fmt.Fprintf(&b, "health.recovered %d\n", s.HealthRecovered)
+	fmt.Fprintf(&b, "health.signals %d\n", s.HealthSignals)
 	fmt.Fprintf(&b, "tunnel.encaps %d\n", s.Encaps)
 	fmt.Fprintf(&b, "tunnel.decaps %d\n", s.Decaps)
 	fmt.Fprintf(&b, "bone.hops %d\n", s.BoneHops)

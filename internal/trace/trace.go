@@ -60,6 +60,17 @@ const (
 	KindDeliver
 	// KindDrop closes a failed delivery span; Reason says why.
 	KindDrop
+	// KindFallback marks a delivery that rode the IPv(N-1) baseline path
+	// instead of the vN-Bone: Detail classifies the trigger
+	// (DetailFallbackState for a flow already in fallback,
+	// DetailFallbackRescue for an in-line rescue of a failed vN attempt,
+	// DetailFallbackErrEpoch for an error-epoch rescue), and Reason carries
+	// the vN failure that triggered a rescue (DropNone for state sends).
+	KindFallback
+	// KindHealth marks a flow-health state transition observed on the
+	// send path; Detail names the state entered (DetailHealthSuspect,
+	// DetailHealthFallback, DetailHealthProbation, DetailHealthRecovered).
+	KindHealth
 )
 
 // String names the event kind the way formatted traces print it.
@@ -83,6 +94,10 @@ func (k Kind) String() string {
 		return "deliver"
 	case KindDrop:
 		return "drop"
+	case KindFallback:
+		return "fallback"
+	case KindHealth:
+		return "health"
 	default:
 		return fmt.Sprintf("kind(%d)", uint8(k))
 	}
@@ -97,6 +112,29 @@ const (
 	// EgressRegistered: the destination is self-addressed but registered
 	// a /128 via the §3.3.2 anycast advertisement; native routing won.
 	EgressRegistered = "registered-/128"
+)
+
+// Fallback and health Detail labels (KindFallback, KindHealth). Emitters
+// must use these constants so tracing never allocates.
+const (
+	// DetailFallbackState: the flow was already in the fallback state, so
+	// the send skipped the vN path entirely.
+	DetailFallbackState = "fallback-state"
+	// DetailFallbackRescue: the vN attempt failed and the delivery was
+	// rescued in-line over the IPv(N-1) baseline path.
+	DetailFallbackRescue = "fallback-rescue"
+	// DetailFallbackErrEpoch: the routing state was an error epoch
+	// (failed rebuild or undeployment) and the delivery rode the baseline.
+	DetailFallbackErrEpoch = "fallback-error-epoch"
+	// DetailHealthSuspect: the flow entered the suspect state.
+	DetailHealthSuspect = "health-suspect"
+	// DetailHealthFallback: the flow entered the fallback state.
+	DetailHealthFallback = "health-fallback"
+	// DetailHealthProbation: a fallback probe succeeded and the flow
+	// entered probation.
+	DetailHealthProbation = "health-probation"
+	// DetailHealthRecovered: the flow returned to the healthy state.
+	DetailHealthRecovered = "health-recovered"
 )
 
 // Event is one span event of one delivery. It is a value type: emit it
